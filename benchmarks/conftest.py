@@ -1,0 +1,52 @@
+"""Benchmark-suite configuration.
+
+Every benchmark registers the result tables it reproduces via
+``record_table``; a terminal-summary hook prints them after the
+pytest-benchmark timing table, so running::
+
+    pytest benchmarks/ --benchmark-only
+
+shows both how long each experiment harness takes and the actual reproduced
+rows/series of the corresponding paper figure.
+
+The scale of the experiments can be adjusted with the ``COBRA_BENCH_SCALE``
+environment variable (the largest-relation row count for the Wilos study and
+the divisor basis for the Figure 13 sweeps); the default keeps the whole
+suite at laptop scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Tables registered by benchmarks, printed in the terminal summary.
+_RESULT_TABLES: list = []
+
+
+def record_table(table) -> None:
+    """Register a ResultTable for printing at the end of the run."""
+    _RESULT_TABLES.append(table)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """Largest-relation scale used by the benchmark experiments."""
+    return int(os.environ.get("COBRA_BENCH_SCALE", "2000"))
+
+
+@pytest.fixture(scope="session")
+def fig13_scale_divisor() -> int:
+    """Divisor applied to the paper's Figure 13 cardinalities for measured runs."""
+    return int(os.environ.get("COBRA_FIG13_DIVISOR", "200"))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULT_TABLES:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for table in _RESULT_TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)

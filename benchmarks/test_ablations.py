@@ -1,0 +1,76 @@
+"""Ablation benchmarks: AF sweep, rule families, network sensitivity, dedup."""
+
+from conftest import record_table
+
+from repro.experiments.ablations import (
+    run_af_sweep,
+    run_dedup_ablation,
+    run_network_sensitivity,
+    run_rule_ablation,
+)
+
+
+def test_amortization_factor_sweep(benchmark, bench_scale):
+    table = benchmark.pedantic(
+        run_af_sweep, kwargs={"scale": min(bench_scale, 2_000)}, rounds=1, iterations=1
+    )
+    record_table(table)
+    choices = table.column("chosen_strategy")
+    # With a large enough AF the prefetch alternative wins.
+    assert choices[-1] == "prefetch"
+    # Estimated cost never increases as AF grows (prefetching only gets cheaper).
+    costs = table.column("estimated_cost")
+    assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_rule_family_ablation(benchmark, bench_scale):
+    table = benchmark.pedantic(
+        run_rule_ablation,
+        kwargs={"scale": min(bench_scale, 2_000)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    rows = {row[0]: dict(zip(table.columns, row)) for row in table.rows}
+    full = rows["all rules"]["estimated_cost"]
+    assert rows["no rules (original only)"]["chosen_strategy"] == "original"
+    assert full <= rows["SQL rules only (no prefetching)"]["estimated_cost"] + 1e-9
+    assert full <= rows["prefetch rules only (no SQL translation)"]["estimated_cost"] + 1e-9
+
+
+def test_network_sensitivity(benchmark):
+    table = benchmark.pedantic(run_network_sensitivity, rounds=1, iterations=1)
+    record_table(table)
+    # At paper-scale cardinalities (1M orders, 73k customers) the prefetch
+    # alternative wins across the whole bandwidth sweep; the estimates shrink
+    # monotonically as the network gets faster.
+    p1 = table.column("p1_estimate")
+    assert all(b <= a + 1e-9 for a, b in zip(p1, p1[1:]))
+    assert all(choice != "original" for choice in table.column("chosen"))
+
+
+def test_dedup_ablation(benchmark, bench_scale):
+    table = benchmark.pedantic(
+        run_dedup_ablation,
+        kwargs={"scale": min(bench_scale, 2_000)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    for row in table.as_dicts():
+        assert row["nodes (with dedup)"] <= row["insertions (without dedup)"]
+
+
+def test_dynamic_prefetch_ablation(benchmark):
+    from repro.experiments.ablations import run_dynamic_prefetch_ablation
+
+    table = benchmark.pedantic(run_dynamic_prefetch_ablation, rounds=1, iterations=1)
+    record_table(table)
+    rows = table.as_dicts()
+    # At one access, not prefetching is best and the dynamic policy follows it.
+    assert rows[0]["dynamic_s"] <= rows[0]["always_prefetch_s"] + 1e-9
+    assert not rows[0]["dynamic_prefetched"]
+    # At many accesses, the dynamic policy has switched to the prefetched plan
+    # and is far cheaper than issuing a query per access.
+    assert rows[-1]["dynamic_prefetched"]
+    assert rows[-1]["dynamic_s"] < rows[-1]["never_prefetch_s"] / 2

@@ -1,0 +1,47 @@
+"""Benchmark + reproduction of Figure 13a (Experiment 1).
+
+Slow remote network (500 kbps, 250 ms latency), Customers fixed at 73 000,
+Orders swept from 100 to 1 million.  Measured rows run at reduced scale; the
+analytical rows report the cost model at full paper scale.
+"""
+
+from conftest import record_table
+
+from repro.experiments.figure13 import PAPER_ORDER_COUNTS, run_figure13a
+
+
+def test_figure13a(benchmark, fig13_scale_divisor):
+    table = benchmark.pedantic(
+        run_figure13a,
+        kwargs={
+            "scale_divisor": fig13_scale_divisor,
+            "include_analytical": True,
+            "order_counts": PAPER_ORDER_COUNTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+
+    analytical = [r for r in table.as_dicts() if r["mode"] == "analytical"]
+    by_orders = {r["orders"]: r for r in analytical}
+    # Paper shape: P1 wins at low Order cardinality, P2 wins at 1M
+    # (paper: 3467 s vs 6047 s).
+    assert by_orders[100]["COBRA choice"] == "SQL Query(P1)"
+    assert by_orders[1_000_000]["COBRA choice"] == "Prefetching(P2)"
+    assert (
+        by_orders[1_000_000]["Prefetching(P2)"]
+        < by_orders[1_000_000]["SQL Query(P1)"]
+    )
+    # COBRA always reports the time of the alternative it chose.
+    for row in table.as_dicts():
+        assert row["COBRA"] == min(
+            row["COBRA"],
+            row["Hibernate(P0)"],
+            row["SQL Query(P1)"],
+            row["Prefetching(P2)"],
+        ) or row["COBRA"] in (
+            row["Hibernate(P0)"],
+            row["SQL Query(P1)"],
+            row["Prefetching(P2)"],
+        )

@@ -1,0 +1,34 @@
+"""Benchmark + reproduction of Figure 13b (Experiment 2).
+
+Fast local network (6 Gbps, 0.5 ms RTT), Customers fixed at 73 000, Orders
+swept from 100 to 1 million.
+"""
+
+from conftest import record_table
+
+from repro.experiments.figure13 import PAPER_ORDER_COUNTS, run_figure13b
+
+
+def test_figure13b(benchmark, fig13_scale_divisor):
+    table = benchmark.pedantic(
+        run_figure13b,
+        kwargs={
+            "scale_divisor": fig13_scale_divisor,
+            "include_analytical": True,
+            "order_counts": PAPER_ORDER_COUNTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+
+    analytical = [r for r in table.as_dicts() if r["mode"] == "analytical"]
+    by_orders = {r["orders"]: r for r in analytical}
+    # Paper shape: P2 beats P1 at 1M orders (12 s vs 16 s), but the gap is far
+    # smaller than on the slow remote network of Figure 13a.
+    top = by_orders[1_000_000]
+    assert top["Prefetching(P2)"] < top["SQL Query(P1)"]
+    gap_fast = top["SQL Query(P1)"] - top["Prefetching(P2)"]
+    assert gap_fast < 60, "on a fast network the gap is seconds, not thousands"
+    # Everything is orders of magnitude faster than the slow-network numbers.
+    assert top["SQL Query(P1)"] < 100

@@ -1,0 +1,40 @@
+"""Benchmark + reproduction of Figure 13c (Experiment 3).
+
+Slow remote network, Orders fixed at 10 000, Customers swept from 10 to
+100 000.  The paper's observation: P1's time is nearly constant (the join
+result does not grow with Customer cardinality), while P2's grows because it
+prefetches the entire Customer table — so neither alternative wins everywhere.
+"""
+
+from conftest import record_table
+
+from repro.experiments.figure13 import PAPER_CUSTOMER_COUNTS, run_figure13c
+
+
+def test_figure13c(benchmark, fig13_scale_divisor):
+    table = benchmark.pedantic(
+        run_figure13c,
+        kwargs={
+            "scale_divisor": fig13_scale_divisor,
+            "include_analytical": True,
+            "customer_counts": PAPER_CUSTOMER_COUNTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+
+    analytical = [r for r in table.as_dicts() if r["mode"] == "analytical"]
+    by_customers = {r["customers"]: r for r in analytical}
+    p1_low = by_customers[10]["SQL Query(P1)"]
+    p1_high = by_customers[100_000]["SQL Query(P1)"]
+    # P1 nearly constant across the sweep.
+    assert abs(p1_high - p1_low) / p1_low < 0.10
+    # P2 grows with the Customer cardinality.
+    assert (
+        by_customers[100_000]["Prefetching(P2)"]
+        > by_customers[10]["Prefetching(P2)"] * 2
+    )
+    # The winner flips across the sweep, and COBRA follows it.
+    assert by_customers[10]["COBRA choice"] == "Prefetching(P2)"
+    assert by_customers[100_000]["COBRA choice"] == "SQL Query(P1)"

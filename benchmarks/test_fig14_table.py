@@ -1,0 +1,22 @@
+"""Reproduction of Figure 14 (pattern categories) and Figure 16 (fragment list)."""
+
+from conftest import record_table
+
+from repro.experiments.figure15 import run_figure14, run_figure16
+
+
+def test_figure14_categories(benchmark):
+    table = benchmark.pedantic(run_figure14, rounds=1, iterations=1)
+    record_table(table)
+    assert [row[0] for row in table.rows] == list("ABCDEF")
+    assert table.column("#") == [3, 2, 9, 7, 9, 2]
+    assert sum(table.column("#")) == 32
+
+
+def test_figure16_fragment_list(benchmark):
+    table = benchmark.pedantic(run_figure16, rounds=1, iterations=1)
+    record_table(table)
+    assert len(table.rows) == 32
+    locations = table.column("File Name (Line Number)")
+    assert "ProjectService (1139)" in locations
+    assert "ProcessService (921)" in locations

@@ -1,0 +1,23 @@
+"""Benchmark of the COBRA optimization time (Section VIII).
+
+The paper notes optimization took under a second for every evaluated program;
+this benchmark both measures the experiment harness and asserts the bound
+holds for the reproduction.
+"""
+
+from conftest import record_table
+
+from repro.experiments.opt_time import run_optimization_time
+
+
+def test_optimization_time(benchmark, bench_scale):
+    table = benchmark.pedantic(
+        run_optimization_time,
+        kwargs={"scale": min(bench_scale, 2_000)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    assert len(table.rows) == 7  # P0 plus the six Wilos patterns
+    assert all(t < 1.0 for t in table.column("optimization_seconds"))
+    assert all(groups > 0 for groups in table.column("dag_groups"))

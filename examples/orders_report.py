@@ -1,0 +1,47 @@
+"""Orders/customer reporting under different networks (the Figure 13 scenario).
+
+This example reproduces a miniature version of Experiments 1-3: it measures
+the three implementations of the orders report (Hibernate-style N+1 selects,
+one SQL join, prefetch-and-join-locally) across several cardinalities and two
+network conditions, and shows which one COBRA selects at each point.
+
+Run with::
+
+    python examples/orders_report.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure13 import measure_point
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+
+
+def sweep(network, label: str) -> None:
+    print(f"\n=== {label} ===")
+    header = (
+        f"{'orders':>8} {'customers':>10} {'P0 (s)':>10} {'P1 (s)':>10} "
+        f"{'P2 (s)':>10}   COBRA choice"
+    )
+    print(header)
+    print("-" * len(header))
+    for num_orders, num_customers in [
+        (50, 2_000),
+        (500, 2_000),
+        (2_000, 2_000),
+        (5_000, 500),
+    ]:
+        point = measure_point(num_orders, num_customers, network)
+        print(
+            f"{num_orders:>8} {num_customers:>10} {point.p0_seconds:>10.3f} "
+            f"{point.p1_seconds:>10.3f} {point.p2_seconds:>10.3f}   "
+            f"{point.cobra_choice}"
+        )
+
+
+def main() -> None:
+    sweep(SLOW_REMOTE, "slow remote network (500 kbps, 250 ms latency)")
+    sweep(FAST_LOCAL, "fast local network (6 Gbps, 0.5 ms RTT)")
+
+
+if __name__ == "__main__":
+    main()

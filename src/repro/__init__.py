@@ -1,0 +1,31 @@
+"""Reproduction of COBRA: cost-based rewriting of database applications.
+
+The public API re-exports the pieces a downstream user needs most often:
+
+* :class:`repro.core.optimizer.CobraOptimizer` — the cost-based rewriter,
+* :class:`repro.core.cost_model.CostModel` and
+  :class:`repro.core.cost_model.CostParameters` — the Section VI cost model,
+* :class:`repro.appsim.runtime.AppRuntime` — the simulated execution
+  environment programs run against,
+* the network presets :data:`repro.net.network.SLOW_REMOTE` and
+  :data:`repro.net.network.FAST_LOCAL`,
+* :class:`repro.db.database.Database` — the in-memory database engine.
+
+See ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+__version__ = "1.0.0"
+
+from repro.appsim.runtime import AppRuntime, RunMeasurement
+from repro.db.database import Database
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
+
+__all__ = [
+    "AppRuntime",
+    "Database",
+    "FAST_LOCAL",
+    "NetworkConditions",
+    "RunMeasurement",
+    "SLOW_REMOTE",
+    "__version__",
+]

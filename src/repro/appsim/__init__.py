@@ -1,0 +1,14 @@
+"""Application-side runtime simulation.
+
+This package binds the database, network, ORM, and client cache into a single
+:class:`repro.appsim.runtime.AppRuntime` object that application programs
+(the P0/P1/P2 variants, the Wilos patterns, and COBRA-generated code) run
+against.  It also charges the imperative-statement cost ``CZ`` from the cost
+model, so virtual execution times include the loop-body work the paper
+profiles at 30 ns per statement.
+"""
+
+from repro.appsim.cache import ClientCache
+from repro.appsim.runtime import AppRuntime, RunMeasurement
+
+__all__ = ["AppRuntime", "ClientCache", "RunMeasurement"]

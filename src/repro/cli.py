@@ -1,0 +1,207 @@
+"""Command-line interface for the COBRA reproduction.
+
+Usage::
+
+    python -m repro.cli optimize PROGRAM.py [--function NAME]
+        [--catalog catalog.json | --network slow-remote|fast-local]
+        [--amortization AF] [--workload orders|wilos] [--scale N]
+        [--show-alternatives] [--heuristic]
+
+    python -m repro.cli experiment fig13a|fig13b|fig13c|fig14|fig15|fig16|opt-time
+        [--scale N] [--divisor N]
+
+    python -m repro.cli catalog --network slow-remote --out catalog.json
+
+``optimize`` reads a Python source file containing one function written
+against the :class:`repro.appsim.runtime.AppRuntime` API, optimizes it
+against a synthetic workload database (orders/customer or Wilos-like), and
+prints the chosen strategy, the estimated costs, and the rewritten program.
+
+``experiment`` runs one of the paper-figure reproductions and prints the
+result table.
+
+``catalog`` writes a cost catalog file that can be edited and passed back via
+``--catalog``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.catalog import catalog_for_network, load_catalog, save_catalog
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.heuristic import HeuristicOptimizer
+from repro.core.optimizer import CobraOptimizer
+from repro.core.plans import DagCostCalculator
+from repro.workloads import tpcds
+from repro.workloads.wilos import build_wilos_database
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="COBRA: cost based rewriting of database applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser("optimize", help="optimize a program source file")
+    optimize.add_argument("program", type=Path, help="path to the Python source")
+    optimize.add_argument("--function", default=None, help="function to optimize")
+    optimize.add_argument(
+        "--network",
+        choices=["slow-remote", "fast-local"],
+        default="fast-local",
+        help="network preset for the cost model",
+    )
+    optimize.add_argument(
+        "--catalog", type=Path, default=None, help="cost catalog JSON file"
+    )
+    optimize.add_argument(
+        "--amortization", type=float, default=1.0, help="amortization factor AF"
+    )
+    optimize.add_argument(
+        "--workload",
+        choices=["orders", "wilos"],
+        default="orders",
+        help="synthetic database the statistics come from",
+    )
+    optimize.add_argument(
+        "--scale", type=int, default=2_000, help="workload scale (row count)"
+    )
+    optimize.add_argument(
+        "--show-alternatives",
+        action="store_true",
+        help="print every alternative of every region with its estimated cost",
+    )
+    optimize.add_argument(
+        "--heuristic",
+        action="store_true",
+        help="also show the always-push-to-SQL heuristic rewrite",
+    )
+
+    experiment = sub.add_parser("experiment", help="run a paper-figure reproduction")
+    experiment.add_argument(
+        "figure",
+        choices=["fig13a", "fig13b", "fig13c", "fig14", "fig15", "fig16", "opt-time"],
+    )
+    experiment.add_argument("--scale", type=int, default=2_000)
+    experiment.add_argument("--divisor", type=int, default=200)
+
+    catalog = sub.add_parser("catalog", help="write a cost catalog file")
+    catalog.add_argument(
+        "--network", choices=["slow-remote", "fast-local"], default="fast-local"
+    )
+    catalog.add_argument("--amortization", type=float, default=1.0)
+    catalog.add_argument("--out", type=Path, required=True)
+
+    return parser
+
+
+# -- subcommands ----------------------------------------------------------------
+
+
+def _load_parameters(args: argparse.Namespace) -> CostParameters:
+    if args.catalog is not None:
+        parameters = load_catalog(args.catalog)
+    else:
+        parameters = catalog_for_network(args.network)
+    if args.amortization != 1.0:
+        parameters = parameters.with_amortization(args.amortization)
+    return parameters
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload == "wilos":
+        return build_wilos_database(scale=args.scale), None
+    database = tpcds.build_orders_database(
+        num_orders=args.scale, num_customers=max(args.scale // 10, 10)
+    )
+    return database, tpcds.build_registry()
+
+
+def run_optimize(args: argparse.Namespace, out) -> int:
+    source = args.program.read_text()
+    parameters = _load_parameters(args)
+    database, registry = _build_workload(args)
+    optimizer = CobraOptimizer(database, parameters, registry=registry)
+    result = optimizer.optimize(source, function_name=args.function)
+
+    print(f"program              : {args.program}", file=out)
+    print(f"alternatives added   : {result.alternatives_added}", file=out)
+    print(f"original cost (est.) : {result.original_cost:.6f} s", file=out)
+    print(f"best cost (est.)     : {result.best_cost:.6f} s", file=out)
+    print(f"estimated speedup    : {result.estimated_speedup:.2f}x", file=out)
+    print(f"chosen strategy      : {result.primary_choice()}", file=out)
+    print(f"optimization time    : {result.optimization_seconds * 1000:.1f} ms", file=out)
+
+    if args.show_alternatives:
+        calculator = DagCostCalculator(
+            result.dag, CostModel(database, parameters)
+        )
+        print("\nalternatives per region:", file=out)
+        for group in result.dag.iter_groups():
+            if len(group.alternatives) < 2:
+                continue
+            print(f"  {group.label}:", file=out)
+            for node in group.alternatives:
+                cost = calculator.node_cost(node)
+                print(f"    {node.strategy:<20} {cost:.6f} s", file=out)
+
+    print("\nrewritten program:", file=out)
+    print(result.rewritten_source, file=out)
+
+    if args.heuristic:
+        heuristic = HeuristicOptimizer(database, parameters, registry=registry)
+        outcome = heuristic.rewrite(source, function_name=args.function)
+        print("\nheuristic (always push to SQL) rewrite:", file=out)
+        print(outcome.rewritten_source, file=out)
+    return 0
+
+
+def run_experiment(args: argparse.Namespace, out) -> int:
+    from repro.experiments import figure13, figure15, opt_time
+
+    if args.figure == "fig13a":
+        table = figure13.run_figure13a(scale_divisor=args.divisor)
+    elif args.figure == "fig13b":
+        table = figure13.run_figure13b(scale_divisor=args.divisor)
+    elif args.figure == "fig13c":
+        table = figure13.run_figure13c(scale_divisor=args.divisor)
+    elif args.figure == "fig14":
+        table = figure15.run_figure14()
+    elif args.figure == "fig15":
+        table = figure15.run_figure15(scale=args.scale)
+    elif args.figure == "fig16":
+        table = figure15.run_figure16()
+    else:
+        table = opt_time.run_optimization_time(scale=args.scale)
+    print(table.render(), file=out)
+    return 0
+
+
+def run_catalog(args: argparse.Namespace, out) -> int:
+    parameters = catalog_for_network(args.network).with_amortization(
+        args.amortization
+    )
+    path = save_catalog(parameters, args.out)
+    print(f"wrote cost catalog to {path}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return run_optimize(args, out)
+    if args.command == "experiment":
+        return run_experiment(args, out)
+    if args.command == "catalog":
+        return run_catalog(args, out)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""COBRA core: regions, the Region AND-OR DAG, cost model, and the optimizer.
+
+Public entry points:
+
+* :func:`repro.core.region_analysis.analyze_program` — source → region tree,
+* :class:`repro.core.dag.RegionDag` — the AND-OR DAG over regions,
+* :class:`repro.core.cost_model.CostModel` / ``CostParameters`` — Section VI,
+* :class:`repro.core.optimizer.CobraOptimizer` — the cost-based rewriter,
+* :class:`repro.core.heuristic.HeuristicOptimizer` — the always-push-to-SQL
+  baseline used in Experiment 4.
+"""
+
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.heuristic import HeuristicOptimizer
+from repro.core.optimizer import CobraOptimizer, OptimizationResult
+
+__all__ = [
+    "CobraOptimizer",
+    "CostModel",
+    "CostParameters",
+    "HeuristicOptimizer",
+    "OptimizationResult",
+]

@@ -1,0 +1,102 @@
+"""The cost catalog file.
+
+The paper: "The cost metrics we used were provided to our system as a cost
+catalog file."  This module serialises :class:`CostParameters` to and from a
+small JSON document so experiments can be configured without code changes,
+and provides the two network presets used in the evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.core.cost_model import CostParameters
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions, PRESETS
+
+
+class CatalogError(Exception):
+    """Raised for malformed cost catalog files."""
+
+
+_FIELDS = {
+    "network_round_trip",
+    "bandwidth_bytes_per_sec",
+    "statement_cost",
+    "operator_cost",
+    "amortization_factor",
+    "branch_probability",
+    "default_loop_iterations",
+}
+
+
+def to_dict(parameters: CostParameters) -> dict:
+    """Serialise cost parameters to a plain dictionary."""
+    return asdict(parameters)
+
+
+def from_dict(data: dict) -> CostParameters:
+    """Build cost parameters from a dictionary, validating field names."""
+    unknown = set(data) - _FIELDS - {"network"}
+    if unknown:
+        raise CatalogError(
+            f"unknown cost catalog fields: {sorted(unknown)}; valid fields "
+            f"are {sorted(_FIELDS)} plus 'network'"
+        )
+    values = dict(data)
+    network_name = values.pop("network", None)
+    if network_name is not None:
+        network = PRESETS.get(network_name)
+        if network is None:
+            raise CatalogError(
+                f"unknown network preset {network_name!r}; presets are "
+                f"{sorted(PRESETS)}"
+            )
+        base = CostParameters.for_network(network)
+        merged = asdict(base)
+        merged.update(values)
+        values = merged
+    return CostParameters(**values)
+
+
+def save_catalog(
+    parameters: CostParameters, path: Union[str, Path]
+) -> Path:
+    """Write a cost catalog file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(to_dict(parameters), indent=2) + "\n")
+    return path
+
+
+def load_catalog(path: Union[str, Path]) -> CostParameters:
+    """Read a cost catalog file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CatalogError(f"cannot read cost catalog {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CatalogError("cost catalog must be a JSON object")
+    return from_dict(data)
+
+
+def catalog_for_network(
+    network: Union[str, NetworkConditions], **overrides
+) -> CostParameters:
+    """Cost parameters for a named or explicit network preset."""
+    if isinstance(network, str):
+        preset = PRESETS.get(network)
+        if preset is None:
+            raise CatalogError(
+                f"unknown network preset {network!r}; presets are "
+                f"{sorted(PRESETS)}"
+            )
+        network = preset
+    return CostParameters.for_network(network, **overrides)
+
+
+#: Ready-made parameter sets for the paper's two network conditions.
+SLOW_REMOTE_PARAMETERS = CostParameters.for_network(SLOW_REMOTE)
+FAST_LOCAL_PARAMETERS = CostParameters.for_network(FAST_LOCAL)

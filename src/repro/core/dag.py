@@ -1,0 +1,222 @@
+"""The Region AND-OR DAG (Section IV of the paper).
+
+The Region DAG is the memo structure of a Volcano/Cascades-style optimizer
+specialised to program regions:
+
+* an **OR node** (:class:`Group`) represents a region — all alternative ways
+  of performing the computation of that region;
+* an **AND node** (:class:`AndNode`) represents one operator combining
+  sub-regions into the parent region (``seq``, ``cond``, ``loop``, ``block``,
+  ``function``), i.e. one concrete alternative.
+
+Duplicate detection works exactly as in Volcano/Cascades: an AND node is
+identified by its operator kind, its payload key (for blocks, the normalised
+statement source; for loops, the loop header source; for conditionals, the
+predicate source) and the identity of its child groups.  Inserting an
+expression that already exists returns the existing node, so cyclic
+transformations terminate and common sub-regions (like ``P0.B2`` in the
+paper's Figure 6c) are shared between alternatives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.regions import (
+    BasicBlockRegion,
+    ConditionalRegion,
+    FunctionRegion,
+    LoopRegion,
+    Region,
+    SequentialRegion,
+)
+
+
+class DagError(Exception):
+    """Raised for inconsistent Region DAG operations."""
+
+
+@dataclass
+class AndNode:
+    """An operator node: one alternative implementation of its owner group."""
+
+    kind: str
+    payload: Region
+    children: tuple["Group", ...]
+    strategy: str = "original"
+    rule: str = ""
+    description: str = ""
+    key: tuple = field(default_factory=tuple)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_ids = [c.group_id for c in self.children]
+        return f"AndNode({self.kind}, strategy={self.strategy}, children={child_ids})"
+
+
+@dataclass
+class Group:
+    """An OR node: all alternative implementations of one region."""
+
+    group_id: int
+    label: str
+    alternatives: list[AndNode] = field(default_factory=list)
+
+    def add(self, node: AndNode) -> bool:
+        """Add an alternative if not already present; returns True if added."""
+        for existing in self.alternatives:
+            if existing.key == node.key:
+                return False
+        self.alternatives.append(node)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Group(id={self.group_id}, label={self.label!r}, "
+            f"alternatives={len(self.alternatives)})"
+        )
+
+
+class RegionDag:
+    """The memo: groups, AND nodes, and duplicate detection."""
+
+    def __init__(self) -> None:
+        self.groups: list[Group] = []
+        #: structural key -> (AndNode, owning Group)
+        self._node_index: dict[tuple, tuple[AndNode, Group]] = {}
+        self.root: Optional[Group] = None
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, region: Region) -> Group:
+        """Insert the initial region tree; the returned group is the root."""
+        self.root = self.insert_region(region)
+        return self.root
+
+    def insert_region(self, region: Region, into: Optional[Group] = None) -> Group:
+        """Insert ``region`` (recursively) and return the group representing it.
+
+        If ``into`` is given, the region's top-level AND node is added as an
+        alternative of that group (this is how transformation results are
+        attached); otherwise a group is found or created by duplicate
+        detection.
+        """
+        children = tuple(
+            self.insert_region(sub) for sub in self._dag_children(region)
+        )
+        key = self._node_key(region, children)
+        existing = self._node_index.get(key)
+        if existing is not None:
+            node, owner = existing
+            if into is not None and owner is not into:
+                into.add(node)
+            return into or owner
+        node = AndNode(
+            kind=region.kind,
+            payload=region,
+            children=children,
+            key=key,
+        )
+        group = into or self._new_group(region.label or region.kind)
+        group.add(node)
+        self._node_index[key] = (node, group)
+        return group
+
+    def add_alternative(
+        self,
+        group: Group,
+        region: Region,
+        strategy: str,
+        rule: str = "",
+        description: str = "",
+    ) -> Optional[AndNode]:
+        """Add a transformation-produced region as an alternative of ``group``.
+
+        Returns the AND node representing the alternative, or ``None`` when an
+        identical alternative was already present (duplicate detection).
+        """
+        children = tuple(
+            self.insert_region(sub) for sub in self._dag_children(region)
+        )
+        key = self._node_key(region, children)
+        existing = self._node_index.get(key)
+        if existing is not None:
+            node, owner = existing
+            if owner is not group:
+                group.add(node)
+                return node
+            return None
+        node = AndNode(
+            kind=region.kind,
+            payload=region,
+            children=children,
+            strategy=strategy,
+            rule=rule,
+            description=description,
+            key=key,
+        )
+        added = group.add(node)
+        if not added:
+            return None
+        self._node_index[key] = (node, group)
+        return node
+
+    # -- inspection --------------------------------------------------------
+
+    def iter_groups(self) -> Iterator[Group]:
+        return iter(self.groups)
+
+    def iter_nodes(self) -> Iterator[AndNode]:
+        for group in self.groups:
+            yield from group.alternatives
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(group.alternatives) for group in self.groups)
+
+    def alternatives_at_root(self) -> list[AndNode]:
+        """The alternatives of the root group (the whole program)."""
+        if self.root is None:
+            raise DagError("the DAG has not been built yet")
+        return list(self.root.alternatives)
+
+    # -- internals ----------------------------------------------------------
+
+    def _new_group(self, label: str) -> Group:
+        group = Group(group_id=len(self.groups), label=label)
+        self.groups.append(group)
+        return group
+
+    @staticmethod
+    def _dag_children(region: Region) -> tuple[Region, ...]:
+        """The sub-regions that become child groups of the region's AND node."""
+        if isinstance(region, BasicBlockRegion):
+            return ()
+        return region.sub_regions()
+
+    @staticmethod
+    def _node_key(region: Region, children: tuple[Group, ...]) -> tuple:
+        """Structural identity of an AND node for duplicate detection."""
+        child_ids = tuple(group.group_id for group in children)
+        if isinstance(region, BasicBlockRegion):
+            return ("block", _normalise(region.source), child_ids)
+        if isinstance(region, LoopRegion):
+            header = f"for {region.loop_variable} in {ast.unparse(region.iterable)}"
+            return ("loop", _normalise(header), child_ids)
+        if isinstance(region, ConditionalRegion):
+            return ("cond", _normalise(ast.unparse(region.test)), child_ids)
+        if isinstance(region, SequentialRegion):
+            return ("seq", len(region.regions), child_ids)
+        if isinstance(region, FunctionRegion):
+            return ("function", region.name, child_ids)
+        return (region.kind, region.label, child_ids)
+
+
+def _normalise(source: str) -> str:
+    """Whitespace-insensitive normalisation of statement source."""
+    return " ".join(source.split())

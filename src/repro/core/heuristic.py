@@ -1,0 +1,69 @@
+"""The heuristic optimizer baseline (the prior-work policy COBRA is compared to).
+
+The paper's Experiment 4 compares COBRA against "the heuristic from [4]":
+push as much computation as possible into SQL queries, then prefetch the
+query results at the earliest program point — without consulting a cost
+model.  This module packages that policy behind the same interface as
+:class:`repro.core.optimizer.CobraOptimizer`, reusing the same Region DAG and
+transformation rules so the two optimizers differ only in how they *choose*
+among alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.dag import RegionDag
+from repro.core.optimizer import CobraOptimizer, OptimizationResult
+from repro.core.plans import DagCostCalculator, Plan, PlanExtractor, heuristic_chooser
+from repro.db.database import Database
+from repro.fir.rules import FIRRule
+from repro.orm.mapping import MappingRegistry
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of a heuristic rewrite."""
+
+    plan: Plan
+    cobra_result: OptimizationResult
+
+    @property
+    def rewritten_source(self) -> str:
+        return self.plan.source
+
+    @property
+    def chosen_strategies(self) -> set[str]:
+        return self.plan.chosen_strategies
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.plan.cost
+
+
+class HeuristicOptimizer:
+    """Always-push-to-SQL rewriting (no cost-based choice)."""
+
+    def __init__(
+        self,
+        database: Database,
+        parameters: CostParameters,
+        registry: Optional[MappingRegistry] = None,
+        fir_rules: Optional[Sequence[FIRRule]] = None,
+    ) -> None:
+        self._cobra = CobraOptimizer(
+            database=database,
+            parameters=parameters,
+            registry=registry,
+            fir_rules=fir_rules,
+        )
+
+    def rewrite(
+        self, source: str, function_name: Optional[str] = None
+    ) -> HeuristicResult:
+        """Rewrite ``source`` with the heuristic policy."""
+        result = self._cobra.optimize(source, function_name=function_name)
+        plan = self._cobra.extract_heuristic_plan(result)
+        return HeuristicResult(plan=plan, cobra_result=result)

@@ -1,0 +1,238 @@
+"""Plan costing and extraction over the Region DAG.
+
+Two pieces live here:
+
+* :class:`DagCostCalculator` — memoised min-cost computation over the AND-OR
+  DAG (the OR-node cost is the minimum over its alternatives, the AND-node
+  cost combines its operator cost with the costs of its child groups, exactly
+  the table in Section III-A of the paper, with the loop/cond refinements of
+  Section VI), and
+* :class:`PlanExtractor` — rebuilding a concrete program (a region tree and
+  its Python source) from a choice of one alternative per group.
+
+Both guard against alternatives that reference their own ancestor group
+(which can happen when a transformation keeps the original region as a part
+of its rewrite, e.g. the "extra aggregate query" alternative of Section V-B):
+while a group is being expanded, re-entering it falls back to its original
+alternative, so costing and extraction always terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.cost_model import CostModel
+from repro.core.dag import AndNode, Group, RegionDag
+from repro.core.regions import (
+    BasicBlockRegion,
+    ConditionalRegion,
+    FunctionRegion,
+    LoopRegion,
+    Region,
+    SequentialRegion,
+)
+
+#: Cost assigned to alternatives that cannot be priced (self-referential).
+INFINITE_COST = float("inf")
+
+
+@dataclass
+class Plan:
+    """A concrete program chosen from the Region DAG."""
+
+    region: Region
+    cost: float
+    strategies: dict[str, str] = field(default_factory=dict)
+    source: str = ""
+
+    @property
+    def chosen_strategies(self) -> set[str]:
+        """All non-original strategies used anywhere in the plan."""
+        return {s for s in self.strategies.values() if s != "original"}
+
+
+class DagCostCalculator:
+    """Memoised cost computation over a Region DAG."""
+
+    def __init__(self, dag: RegionDag, cost_model: CostModel) -> None:
+        self.dag = dag
+        self.cost_model = cost_model
+        self._group_costs: dict[int, float] = {}
+
+    # -- group / node costs --------------------------------------------------
+
+    def group_cost(self, group: Group, active: Optional[set] = None) -> float:
+        """Minimum cost over the group's alternatives."""
+        cached = self._group_costs.get(group.group_id)
+        if cached is not None:
+            return cached
+        active = active or set()
+        if group.group_id in active:
+            original = _original_alternative(group)
+            if original is None:
+                return INFINITE_COST
+            return self.node_cost(original, active)
+        active = active | {group.group_id}
+        costs = [self.node_cost(node, active) for node in group.alternatives]
+        best = min(costs) if costs else INFINITE_COST
+        self._group_costs[group.group_id] = best
+        return best
+
+    def node_cost(self, node: AndNode, active: Optional[set] = None) -> float:
+        """Cost of one AND node (operator + children)."""
+        active = active or set()
+        model = self.cost_model
+        if node.kind == "block":
+            return model.block_cost(node.payload)  # type: ignore[arg-type]
+        child_costs = [self.group_cost(child, active) for child in node.children]
+        if any(cost == INFINITE_COST for cost in child_costs):
+            return INFINITE_COST
+        if node.kind == "seq":
+            return model.sequence_cost(child_costs)
+        if node.kind == "loop":
+            body_cost = child_costs[0] if child_costs else 0.0
+            return model.loop_cost(node.payload, body_cost)  # type: ignore[arg-type]
+        if node.kind == "cond":
+            then_cost = child_costs[0] if child_costs else 0.0
+            else_cost = child_costs[1] if len(child_costs) > 1 else 0.0
+            return model.conditional_cost(then_cost, else_cost)
+        if node.kind == "function":
+            return child_costs[0] if child_costs else 0.0
+        return model.sequence_cost(child_costs)
+
+    def best_alternative(
+        self, group: Group, active: Optional[set] = None
+    ) -> AndNode:
+        """The minimum-cost alternative of ``group``."""
+        active = (active or set()) | {group.group_id}
+        best_node: Optional[AndNode] = None
+        best_cost = INFINITE_COST
+        for node in group.alternatives:
+            cost = self.node_cost(node, active)
+            if cost < best_cost:
+                best_cost = cost
+                best_node = node
+        if best_node is None:
+            best_node = group.alternatives[0]
+        return best_node
+
+    def clear(self) -> None:
+        """Forget memoised costs (after the DAG or cost model changes)."""
+        self._group_costs.clear()
+
+
+#: A chooser maps (group, candidate alternatives) to the chosen AND node.
+Chooser = Callable[[Group, list[AndNode]], AndNode]
+
+
+class PlanExtractor:
+    """Rebuilds a concrete region tree from per-group choices."""
+
+    def __init__(self, dag: RegionDag, chooser: Chooser) -> None:
+        self.dag = dag
+        self.chooser = chooser
+        self.strategies: dict[str, str] = {}
+
+    def extract(self, group: Optional[Group] = None) -> Region:
+        """Extract the chosen program starting from ``group`` (default: root)."""
+        group = group or self.dag.root
+        if group is None:
+            raise ValueError("the Region DAG has no root group")
+        self.strategies = {}
+        return self._extract_group(group, active=set())
+
+    # -- internals ------------------------------------------------------------
+
+    def _extract_group(self, group: Group, active: set) -> Region:
+        if group.group_id in active:
+            node = _original_alternative(group) or group.alternatives[0]
+        else:
+            node = self.chooser(group, list(group.alternatives))
+        key = f"{group.label or 'region'}#{group.group_id}"
+        # A group can be re-entered when an alternative embeds the original
+        # region (the "extra aggregate query" case); the first visit is the
+        # actual choice, so do not let the fallback overwrite it.
+        self.strategies.setdefault(key, node.strategy)
+        return self._extract_node(node, active | {group.group_id})
+
+    def _extract_node(self, node: AndNode, active: set) -> Region:
+        payload = node.payload
+        if node.kind == "block":
+            return payload
+        children = [self._extract_group(child, active) for child in node.children]
+        if node.kind == "seq":
+            return SequentialRegion(children, label=payload.label)
+        if node.kind == "loop":
+            loop: LoopRegion = payload  # type: ignore[assignment]
+            return LoopRegion(
+                loop_variable=loop.loop_variable,
+                iterable=loop.iterable,
+                body=children[0],
+                label=loop.label,
+                query=loop.query,
+                loop_node=loop.loop_node,
+            )
+        if node.kind == "cond":
+            cond: ConditionalRegion = payload  # type: ignore[assignment]
+            else_region = children[1] if len(children) > 1 else None
+            return ConditionalRegion(
+                cond.test, children[0], else_region, label=cond.label
+            )
+        if node.kind == "function":
+            function: FunctionRegion = payload  # type: ignore[assignment]
+            return FunctionRegion(
+                function.name,
+                function.parameters,
+                children[0],
+                label=function.label,
+            )
+        if len(children) == 1:
+            return children[0]
+        return SequentialRegion(children, label=payload.label)
+
+
+def _original_alternative(group: Group) -> Optional[AndNode]:
+    for node in group.alternatives:
+        if node.strategy == "original":
+            return node
+    return None
+
+
+def cost_based_chooser(calculator: DagCostCalculator) -> Chooser:
+    """The COBRA policy: pick the minimum-cost alternative of every group."""
+
+    def choose(group: Group, alternatives: list[AndNode]) -> AndNode:
+        return calculator.best_alternative(group)
+
+    return choose
+
+
+#: Preference order of the heuristic optimizer from the paper's prior work:
+#: push as much computation as possible into SQL.  The heuristic never fetches
+#: *more* data than needed, so whole-relation prefetching ranks below keeping
+#: the original (already maximally filtered) query — this matches the paper's
+#: description of patterns E/F, where the heuristic "deemed the filtered
+#: queries optimal" while COBRA chose to prefetch.
+HEURISTIC_RANK = {
+    "sql-join": 0,
+    "sql-translation": 1,
+    "sql-filter": 1,
+    "sql-aggregate": 2,
+    "sql-aggregate-extra": 3,
+    "original": 9,
+    "prefetch": 20,
+    "prefetch-join": 20,
+}
+
+
+def heuristic_chooser() -> Chooser:
+    """The heuristic policy: maximal SQL pushing regardless of cost."""
+
+    def choose(group: Group, alternatives: list[AndNode]) -> AndNode:
+        return min(
+            alternatives,
+            key=lambda node: HEURISTIC_RANK.get(node.strategy, 5),
+        )
+
+    return choose

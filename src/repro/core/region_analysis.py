@@ -1,0 +1,316 @@
+"""Region analysis: from Python source to a region tree with data-access info.
+
+The paper builds regions from the control-flow graph of Java bytecode (via
+Soot); it notes that "it is possible to use an abstract syntax tree of code
+written in a structured programming language to identify program regions".
+This reproduction follows that route: application functions are Python source,
+parsed with :mod:`ast`, and each statement/if/for maps directly onto a region.
+
+Besides the region structure, the analysis annotates regions with the
+data-access operations COBRA cares about:
+
+* explicit SQL queries (``rt.execute_query("select ...")``),
+* ORM collection loads (``rt.orm.load_all("Order")``),
+* lazy many-to-one loads (``cust = o.customer`` where ``customer`` is a mapped
+  relation of the loop variable's entity — the N+1 pattern),
+* prefetches and local cache lookups (already-rewritten programs).
+
+The ORM mapping registry supplies entity→table and relation→join-column
+information so later transformation rules can produce concrete SQL.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.regions import (
+    BasicBlockRegion,
+    ConditionalRegion,
+    FunctionRegion,
+    LoopRegion,
+    QueryCallInfo,
+    Region,
+    SequentialRegion,
+)
+from repro.orm.mapping import MappingRegistry
+
+
+class AnalysisError(Exception):
+    """Raised when the program cannot be analysed."""
+
+
+@dataclass
+class AnalysisContext:
+    """Everything the analysis needs besides the source text."""
+
+    registry: Optional[MappingRegistry] = None
+    runtime_parameter: Optional[str] = None
+    #: loop variable name -> entity name (for lazy-load detection)
+    loop_entities: dict = field(default_factory=dict)
+
+
+@dataclass
+class ProgramInfo:
+    """Result of analysing one function."""
+
+    name: str
+    parameters: list[str]
+    region: FunctionRegion
+    source: str
+    context: AnalysisContext
+
+    def cursor_loops(self) -> list[LoopRegion]:
+        """All cursor loops in the program."""
+        return [
+            r
+            for r in self.region.walk()
+            if isinstance(r, LoopRegion) and r.is_cursor_loop
+        ]
+
+
+def analyze_program(
+    source: str,
+    registry: Optional[MappingRegistry] = None,
+    function_name: Optional[str] = None,
+) -> ProgramInfo:
+    """Analyse the (single) function in ``source`` and build its region tree."""
+    source = textwrap.dedent(source)
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse program: {exc}") from exc
+    functions = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if not functions:
+        raise AnalysisError("no function definition found in program source")
+    if function_name is not None:
+        matches = [f for f in functions if f.name == function_name]
+        if not matches:
+            raise AnalysisError(f"no function named {function_name!r} in source")
+        function = matches[0]
+    else:
+        function = functions[0]
+
+    parameters = [a.arg for a in function.args.args]
+    context = AnalysisContext(
+        registry=registry,
+        runtime_parameter=parameters[0] if parameters else None,
+    )
+    body = _build_sequence(function.body, context, prefix=function.name)
+    region = FunctionRegion(function.name, parameters, body)
+    return ProgramInfo(
+        name=function.name,
+        parameters=parameters,
+        region=region,
+        source=source,
+        context=context,
+    )
+
+
+# -- region construction --------------------------------------------------
+
+
+def _build_sequence(
+    statements: list[ast.stmt], context: AnalysisContext, prefix: str
+) -> Region:
+    regions = [
+        _build_region(stmt, context, f"{prefix}.{index}")
+        for index, stmt in enumerate(statements)
+    ]
+    if len(regions) == 1:
+        return regions[0]
+    return SequentialRegion(regions, label=f"{prefix}.seq")
+
+
+def _build_region(
+    stmt: ast.stmt, context: AnalysisContext, label: str
+) -> Region:
+    if isinstance(stmt, ast.For):
+        return _build_loop(stmt, context, label)
+    if isinstance(stmt, ast.While):
+        body = _build_sequence(stmt.body, context, f"{label}.body")
+        return LoopRegion(
+            loop_variable="",
+            iterable=stmt.test,
+            body=body,
+            label=label,
+            query=None,
+            loop_node=stmt,
+        )
+    if isinstance(stmt, ast.If):
+        then_region = _build_sequence(stmt.body, context, f"{label}.then")
+        else_region = (
+            _build_sequence(stmt.orelse, context, f"{label}.else")
+            if stmt.orelse
+            else None
+        )
+        return ConditionalRegion(stmt.test, then_region, else_region, label)
+    queries = _queries_in_statement(stmt, context)
+    return BasicBlockRegion(stmt, label=label, queries=queries)
+
+
+def _build_loop(
+    stmt: ast.For, context: AnalysisContext, label: str
+) -> LoopRegion:
+    loop_variable = (
+        stmt.target.id if isinstance(stmt.target, ast.Name) else ast.unparse(stmt.target)
+    )
+    query = classify_data_access(stmt.iter, context)
+    if query is not None and query.kind == "load_all" and context.registry:
+        context.loop_entities[loop_variable] = query.entity
+    elif query is not None and query.kind == "sql":
+        context.loop_entities.pop(loop_variable, None)
+    body = _build_sequence(stmt.body, context, f"{label}.body")
+    return LoopRegion(
+        loop_variable=loop_variable,
+        iterable=stmt.iter,
+        body=body,
+        label=label,
+        query=query,
+        loop_node=stmt,
+    )
+
+
+# -- data-access classification -------------------------------------------
+
+
+def classify_data_access(
+    node: ast.expr, context: AnalysisContext
+) -> Optional[QueryCallInfo]:
+    """Classify an expression as a data-access call, if it is one."""
+    if not isinstance(node, ast.Call):
+        return None
+    callee = _attribute_chain(node.func)
+    if callee is None:
+        return None
+    runtime = context.runtime_parameter
+    # rt.execute_query("sql"[, params]) / rt.execute_query_result(...)
+    if callee[-1] in {"execute_query", "execute_query_result"} and (
+        runtime is None or callee[0] == runtime or callee[-2:] == ["orm", callee[-1]]
+    ):
+        sql = _literal_string(node.args[0]) if node.args else None
+        return QueryCallInfo(kind="sql", sql=sql)
+    # rt.orm.load_all("Entity")
+    if callee[-1] == "load_all":
+        entity = _literal_string(node.args[0]) if node.args else None
+        table = None
+        if entity and context.registry and context.registry.has_entity(entity):
+            table = context.registry.entity(entity).table
+        return QueryCallInfo(kind="load_all", entity=entity, table=table)
+    # rt.execute_update("update ...", params) — a database write.
+    if callee[-1] == "execute_update":
+        sql = _literal_string(node.args[0]) if node.args else None
+        return QueryCallInfo(kind="update", sql=sql)
+    # rt.prefetch("table", "column") / rt.prefetch_group(...) /
+    # rt.prefetch_query(sql, "column")
+    if callee[-1] in {"prefetch", "prefetch_group", "prefetch_query"}:
+        first = _literal_string(node.args[0]) if node.args else None
+        column = (
+            _literal_string(node.args[1]) if len(node.args) > 1 else None
+        )
+        info = QueryCallInfo(kind="prefetch", key_column=column)
+        if callee[-1] == "prefetch_query":
+            info.sql = first
+        else:
+            info.table = first
+        return info
+    # rt.cache.cache_by_column(rows, "column")
+    if callee[-1] == "cache_by_column":
+        column = (
+            _literal_string(node.args[1]) if len(node.args) > 1 else None
+        )
+        return QueryCallInfo(kind="prefetch", key_column=column)
+    # rt.lookup(key, "region") / rt.lookup_group(key, "region") /
+    # rt.cache.lookup(key, "region")
+    if callee[-1] in {"lookup", "lookup_group"}:
+        region = (
+            _literal_string(node.args[1]) if len(node.args) > 1 else None
+        )
+        table = None
+        key_column = region
+        if region and "." in region:
+            table, key_column = region.split(".", 1)
+        return QueryCallInfo(kind="lookup", table=table, key_column=key_column)
+    # rt.orm.get("Entity", key) — a point lookup through the ORM.
+    if callee[-1] == "get" and len(callee) >= 2 and callee[-2] == "orm":
+        entity = _literal_string(node.args[0]) if node.args else None
+        table = None
+        if entity and context.registry and context.registry.has_entity(entity):
+            table = context.registry.entity(entity).table
+        return QueryCallInfo(kind="orm_get", entity=entity, table=table)
+    return None
+
+
+def _queries_in_statement(
+    stmt: ast.stmt, context: AnalysisContext
+) -> list[QueryCallInfo]:
+    """All data-access operations performed by one statement."""
+    queries: list[QueryCallInfo] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            info = classify_data_access(node, context)
+            if info is not None:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    info.target_variable = stmt.targets[0].id
+                queries.append(info)
+        elif isinstance(node, ast.Attribute):
+            lazy = _classify_lazy_load(node, context)
+            if lazy is not None:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    lazy.target_variable = stmt.targets[0].id
+                queries.append(lazy)
+    return queries
+
+
+def _classify_lazy_load(
+    node: ast.Attribute, context: AnalysisContext
+) -> Optional[QueryCallInfo]:
+    """Detect ``o.relation`` where ``o`` is a loop variable over an entity."""
+    if context.registry is None:
+        return None
+    if not isinstance(node.value, ast.Name):
+        return None
+    entity_name = context.loop_entities.get(node.value.id)
+    if entity_name is None or not context.registry.has_entity(entity_name):
+        return None
+    definition = context.registry.entity(entity_name)
+    if not definition.has_relation(node.attr):
+        return None
+    relation = definition.relation(node.attr)
+    target = context.registry.entity(relation.target_entity)
+    return QueryCallInfo(
+        kind="lazy_load",
+        entity=relation.target_entity,
+        table=target.table,
+        relation_name=node.attr,
+        key_column=relation.target_key_column,
+        source_column=relation.join_column,
+    )
+
+
+# -- small AST helpers -----------------------------------------------------
+
+
+def _attribute_chain(node: ast.expr) -> Optional[list[str]]:
+    """Return ['rt', 'orm', 'load_all'] for ``rt.orm.load_all``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _literal_string(node: ast.expr) -> Optional[str]:
+    """The value of a string literal, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

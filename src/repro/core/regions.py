@@ -1,0 +1,270 @@
+"""Program regions (Section III-B of the paper).
+
+A region is a single-entry single-exit fragment of a program.  The kinds used
+by COBRA are:
+
+* basic block — a single statement,
+* sequential region — a sequence of regions,
+* conditional region — an if/else,
+* loop region — a loop (for COBRA's purposes, usually a *cursor loop* over a
+  query result or an ORM collection),
+* function region — the whole function body (the outermost region).
+
+Regions form a tree (the *region tree*); the COBRA optimizer converts the
+region tree into an AND-OR *Region DAG* (:mod:`repro.core.dag`) whose OR nodes
+are regions and whose AND nodes are the operators that combine sub-regions
+(``seq``, ``cond``, ``loop``, ``block``).
+
+Every region can render itself back to Python source (``to_source``), which is
+what plan extraction uses for the parts of the program that transformations
+left untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+class RegionError(Exception):
+    """Raised for malformed region trees."""
+
+
+@dataclass
+class QueryCallInfo:
+    """Description of a data-access call found in a statement or loop header.
+
+    ``kind`` is one of:
+
+    * ``"sql"``       — ``rt.execute_query("<sql>")`` with a literal query,
+    * ``"load_all"``  — ``rt.orm.load_all("<Entity>")``,
+    * ``"lazy_load"`` — attribute access on a loop variable that the ORM
+      mapping declares as a many-to-one relation (a per-iteration lookup),
+    * ``"prefetch"``  — ``rt.prefetch(...)`` / ``rt.cache.cache_by_column(...)``,
+    * ``"lookup"``    — ``rt.lookup(...)`` local cache lookup.
+    """
+
+    kind: str
+    sql: Optional[str] = None
+    entity: Optional[str] = None
+    table: Optional[str] = None
+    target_variable: Optional[str] = None
+    relation_name: Optional[str] = None
+    key_column: Optional[str] = None
+    source_column: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.kind == "sql":
+            return f"sql:{self.sql}"
+        if self.kind == "load_all":
+            return f"load_all:{self.entity}"
+        if self.kind == "lazy_load":
+            return f"lazy:{self.relation_name}"
+        return self.kind
+
+
+class Region:
+    """Base class of all regions."""
+
+    kind: str = "region"
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+
+    # -- structure -------------------------------------------------------
+
+    def sub_regions(self) -> tuple["Region", ...]:
+        """Immediate sub-regions, in program order."""
+        return ()
+
+    def walk(self) -> Iterator["Region"]:
+        """Pre-order traversal of the region tree."""
+        yield self
+        for sub in self.sub_regions():
+            yield from sub.walk()
+
+    def statement_count(self) -> int:
+        """Number of simple statements contained in the region."""
+        return sum(sub.statement_count() for sub in self.sub_regions())
+
+    # -- code ------------------------------------------------------------
+
+    def to_source(self, indent: int = 0) -> str:
+        """Render the region back to Python source."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class BasicBlockRegion(Region):
+    """A single statement."""
+
+    kind = "block"
+
+    def __init__(
+        self,
+        statement: ast.stmt,
+        label: str = "",
+        queries: Optional[Iterable[QueryCallInfo]] = None,
+    ) -> None:
+        super().__init__(label)
+        self.statement = statement
+        self.queries: list[QueryCallInfo] = list(queries or [])
+
+    def statement_count(self) -> int:
+        return 1
+
+    def to_source(self, indent: int = 0) -> str:
+        text = ast.unparse(self.statement)
+        prefix = " " * indent
+        return "\n".join(prefix + line for line in text.splitlines())
+
+    @property
+    def source(self) -> str:
+        """Unindented source of the statement."""
+        return ast.unparse(self.statement)
+
+    def has_query(self) -> bool:
+        """True if the statement performs any database access."""
+        return any(
+            q.kind in {"sql", "load_all", "lazy_load"} for q in self.queries
+        )
+
+
+class SequentialRegion(Region):
+    """A sequence of two or more regions (or a wrapper around one)."""
+
+    kind = "seq"
+
+    def __init__(self, regions: Iterable[Region], label: str = "") -> None:
+        super().__init__(label)
+        self.regions: list[Region] = list(regions)
+        if not self.regions:
+            raise RegionError("a sequential region needs at least one child")
+
+    def sub_regions(self) -> tuple[Region, ...]:
+        return tuple(self.regions)
+
+    def to_source(self, indent: int = 0) -> str:
+        return "\n".join(region.to_source(indent) for region in self.regions)
+
+
+class ConditionalRegion(Region):
+    """An if/else statement."""
+
+    kind = "cond"
+
+    def __init__(
+        self,
+        test: ast.expr,
+        then_region: Region,
+        else_region: Optional[Region] = None,
+        label: str = "",
+    ) -> None:
+        super().__init__(label)
+        self.test = test
+        self.then_region = then_region
+        self.else_region = else_region
+
+    def sub_regions(self) -> tuple[Region, ...]:
+        if self.else_region is not None:
+            return (self.then_region, self.else_region)
+        return (self.then_region,)
+
+    def statement_count(self) -> int:
+        return 1 + super().statement_count()
+
+    def to_source(self, indent: int = 0) -> str:
+        prefix = " " * indent
+        lines = [f"{prefix}if {ast.unparse(self.test)}:"]
+        lines.append(self.then_region.to_source(indent + 4))
+        if self.else_region is not None:
+            lines.append(f"{prefix}else:")
+            lines.append(self.else_region.to_source(indent + 4))
+        return "\n".join(lines)
+
+
+class LoopRegion(Region):
+    """A loop.  When the iterable is a query result this is a *cursor loop*."""
+
+    kind = "loop"
+
+    def __init__(
+        self,
+        loop_variable: str,
+        iterable: ast.expr,
+        body: Region,
+        label: str = "",
+        query: Optional[QueryCallInfo] = None,
+        loop_node: Optional[ast.stmt] = None,
+    ) -> None:
+        super().__init__(label)
+        self.loop_variable = loop_variable
+        self.iterable = iterable
+        self.body = body
+        self.query = query
+        self.loop_node = loop_node
+
+    def sub_regions(self) -> tuple[Region, ...]:
+        return (self.body,)
+
+    def statement_count(self) -> int:
+        return 1 + super().statement_count()
+
+    @property
+    def is_cursor_loop(self) -> bool:
+        """True when the loop iterates over a query/ORM result."""
+        return self.query is not None
+
+    def to_source(self, indent: int = 0) -> str:
+        prefix = " " * indent
+        header = (
+            f"{prefix}for {self.loop_variable} in "
+            f"{ast.unparse(self.iterable)}:"
+        )
+        return header + "\n" + self.body.to_source(indent + 4)
+
+
+class FunctionRegion(Region):
+    """The outermost region: a whole function."""
+
+    kind = "function"
+
+    def __init__(
+        self,
+        name: str,
+        parameters: list[str],
+        body: Region,
+        label: str = "",
+        returns: Optional[str] = None,
+    ) -> None:
+        super().__init__(label or name)
+        self.name = name
+        self.parameters = parameters
+        self.body = body
+        self.returns = returns
+
+    def sub_regions(self) -> tuple[Region, ...]:
+        return (self.body,)
+
+    def to_source(self, indent: int = 0) -> str:
+        prefix = " " * indent
+        header = f"{prefix}def {self.name}({', '.join(self.parameters)}):"
+        return header + "\n" + self.body.to_source(indent + 4)
+
+
+def iter_cursor_loops(region: Region) -> Iterator[LoopRegion]:
+    """Yield every cursor loop anywhere in ``region``."""
+    for node in region.walk():
+        if isinstance(node, LoopRegion) and node.is_cursor_loop:
+            yield node
+
+
+def count_regions(region: Region) -> dict[str, int]:
+    """Count regions by kind (useful for reporting and tests)."""
+    counts: dict[str, int] = {}
+    for node in region.walk():
+        counts[node.kind] = counts.get(node.kind, 0) + 1
+    return counts

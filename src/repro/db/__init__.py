@@ -1,0 +1,34 @@
+"""In-memory relational database substrate.
+
+This package provides the database server that the COBRA reproduction runs
+against.  It implements:
+
+* a schema/catalog layer (:mod:`repro.db.schema`),
+* row storage (:mod:`repro.db.table`),
+* scalar and boolean expressions over rows (:mod:`repro.db.expressions`),
+* a relational algebra with an iterator-style executor
+  (:mod:`repro.db.algebra`, :mod:`repro.db.executor`),
+* table statistics and cardinality estimation (:mod:`repro.db.statistics`),
+* a small SQL dialect: parser and generator (:mod:`repro.db.sqlparser`,
+  :mod:`repro.db.sqlgen`),
+* and the :class:`repro.db.database.Database` facade tying it all together.
+
+The engine favours clarity over raw speed: its role in the reproduction is to
+return correct results, correct cardinalities and row widths, and server-side
+cost estimates for the COBRA cost model.
+"""
+
+from repro.db.database import Database, QueryResult
+from repro.db.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.db.statistics import TableStatistics
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "QueryResult",
+    "Schema",
+    "TableSchema",
+    "TableStatistics",
+]

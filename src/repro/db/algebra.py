@@ -1,0 +1,258 @@
+"""Relational algebra plan nodes.
+
+These nodes form the logical/physical plan language of the in-memory engine,
+and double as the relational part of F-IR (COBRA's intermediate
+representation embeds query expressions as algebra trees).
+
+Nodes
+-----
+``Scan``            full table scan (with optional alias)
+``Select``          filter by a predicate
+``Project``         projection onto named output expressions
+``Join``            inner equi-/theta-join of two inputs
+``Aggregate``       grouped or scalar aggregation
+``Sort``            order by one or more columns
+``Limit``           first-N rows
+
+All nodes are immutable; rewrites build new trees.  The executor
+(:mod:`repro.db.executor`) interprets them; the statistics module estimates
+their output cardinality and row width; :mod:`repro.db.sqlgen` renders them
+back to SQL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.db.expressions import ColumnRef, Expression
+
+
+class AlgebraError(Exception):
+    """Raised for malformed algebra trees."""
+
+
+class PlanNode:
+    """Base class for relational algebra nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        """Child plan nodes."""
+        return ()
+
+    def base_tables(self) -> set[str]:
+        """Names of all base tables referenced in the subtree."""
+        tables: set[str] = set()
+        for child in self.children():
+            tables |= child.base_tables()
+        return tables
+
+    def height(self) -> int:
+        """Height of the plan tree (a single Scan has height 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.height() for child in kids)
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Full scan of a base table, optionally under an alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+    def base_tables(self) -> set[str]:
+        return {self.table}
+
+    def __repr__(self) -> str:
+        if self.alias and self.alias != self.table:
+            return f"Scan({self.table!r} AS {self.alias!r})"
+        return f"Scan({self.table!r})"
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """Filter the input by ``predicate``."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate.to_sql()}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One output column of a projection or aggregation: expression + name."""
+
+    expression: Expression
+    name: str
+
+    def __repr__(self) -> str:
+        return f"{self.expression.to_sql()} AS {self.name}"
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Project the input onto the given output columns."""
+
+    child: PlanNode
+    outputs: tuple[OutputColumn, ...]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise AlgebraError("Project requires at least one output column")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def output_names(self) -> list[str]:
+        return [o.name for o in self.outputs]
+
+    def __repr__(self) -> str:
+        cols = ", ".join(o.name for o in self.outputs)
+        return f"Project([{cols}], {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Inner join of ``left`` and ``right`` on ``condition``.
+
+    ``condition`` may be ``None`` for a cross join.  The executor uses a hash
+    join when the condition is a simple equality between one column from each
+    side and falls back to nested loops otherwise.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    condition: Optional[Expression] = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        cond = self.condition.to_sql() if self.condition is not None else "TRUE"
+        return f"Join({cond}, {self.left!r}, {self.right!r})"
+
+
+#: Aggregate function names supported by the engine.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: function, argument expression, output name.
+
+    ``argument`` may be ``None`` only for ``count`` (meaning ``count(*)``).
+    """
+
+    function: str
+    argument: Optional[Expression]
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise AlgebraError(f"unsupported aggregate {self.function!r}")
+        if self.argument is None and self.function != "count":
+            raise AlgebraError(
+                f"aggregate {self.function!r} requires an argument"
+            )
+
+    def __repr__(self) -> str:
+        arg = self.argument.to_sql() if self.argument is not None else "*"
+        return f"{self.function}({arg}) AS {self.name}"
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """Grouped (or, with no group keys, scalar) aggregation."""
+
+    child: PlanNode
+    group_by: tuple[ColumnRef, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates and not self.group_by:
+            raise AlgebraError("Aggregate requires group keys or aggregates")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        keys = ", ".join(c.qualified_name for c in self.group_by)
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"Aggregate(by=[{keys}], aggs=[{aggs}], {self.child!r})"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """A sort key: column reference plus direction."""
+
+    column: ColumnRef
+    ascending: bool = True
+
+    def __repr__(self) -> str:
+        direction = "ASC" if self.ascending else "DESC"
+        return f"{self.column.qualified_name} {direction}"
+
+
+@dataclass(frozen=True)
+class Sort(PlanNode):
+    """Order the input by the given keys."""
+
+    child: PlanNode
+    keys: tuple[SortKey, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise AlgebraError("Sort requires at least one key")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        keys = ", ".join(repr(k) for k in self.keys)
+        return f"Sort([{keys}], {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Limit(PlanNode):
+    """Return at most ``count`` rows of the input."""
+
+    child: PlanNode
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise AlgebraError("Limit count must be non-negative")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Limit({self.count}, {self.child!r})"
+
+
+def walk(plan: PlanNode):
+    """Yield every node of the plan tree in pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+def find_scans(plan: PlanNode) -> list[Scan]:
+    """Return all Scan leaves in the plan, left to right."""
+    return [node for node in walk(plan) if isinstance(node, Scan)]
+
+
+def has_operator(plan: PlanNode, node_type: type) -> bool:
+    """Return True if any node in the plan is an instance of ``node_type``."""
+    return any(isinstance(node, node_type) for node in walk(plan))

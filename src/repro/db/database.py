@@ -1,0 +1,216 @@
+"""The Database facade: DDL, DML, SQL queries, statistics, and cost estimates.
+
+This is the "server" the simulated network talks to.  Everything the COBRA
+cost model needs from the database side is exposed here:
+
+* ``execute_sql`` / ``execute_plan`` return a :class:`QueryResult` carrying
+  rows, cardinality, and the byte size of the result;
+* ``estimate`` returns a :class:`QueryEstimate` with the estimated result
+  cardinality, row width, and server-side time-to-first/last-row — these feed
+  ``NQ``, ``Srow(Q)``, ``CFQ`` and ``CLQ`` in the cost model (the paper
+  "consulted the database query optimizer to get an estimate of query
+  execution times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.db import algebra
+from repro.db.executor import Executor
+from repro.db.schema import Column, ForeignKey, Schema, TableSchema
+from repro.db.sqlgen import to_sql
+from repro.db.sqlparser import bind_parameters, count_parameters, parse_sql
+from repro.db.statistics import StatisticsCatalog, TableStatistics
+from repro.db.table import Row, Table
+
+#: Server-side per-row processing cost, in seconds, used for CFQ/CLQ estimates.
+DEFAULT_SERVER_ROW_COST = 2e-6
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a query: rows plus size accounting."""
+
+    rows: list[Row]
+    row_width: int
+    sql: str
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    @property
+    def byte_size(self) -> int:
+        return self.cardinality * self.row_width
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class QueryEstimate:
+    """Optimizer-style estimate for one query."""
+
+    cardinality: float
+    row_width: int
+    first_row_time: float
+    last_row_time: float
+
+    @property
+    def byte_size(self) -> float:
+        return self.cardinality * self.row_width
+
+
+class Database:
+    """An in-memory database: schema, tables, statistics, SQL execution."""
+
+    def __init__(self, server_row_cost: float = DEFAULT_SERVER_ROW_COST) -> None:
+        self.schema = Schema()
+        self.tables: dict[str, Table] = {}
+        self.statistics = StatisticsCatalog(self.schema)
+        self.server_row_cost = server_row_cost
+        self._executor = Executor(self.tables)
+        self.queries_executed = 0
+
+    # -- DDL / DML -------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: Optional[str] = None,
+        foreign_keys: Optional[Iterable[ForeignKey]] = None,
+    ) -> Table:
+        """Create a table and register it in the schema and catalog."""
+        schema = TableSchema(name, columns, primary_key, foreign_keys)
+        self.schema.add(schema)
+        table = Table(schema)
+        self.tables[name] = table
+        return table
+
+    def insert(self, table: str, rows: Iterable[Row]) -> int:
+        """Insert rows into ``table``; returns the number inserted."""
+        return self.table(table).insert_many(rows)
+
+    def table(self, name: str) -> Table:
+        """Return the :class:`Table` called ``name``."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table named {name!r}; tables are {sorted(self.tables)}"
+            ) from None
+
+    def analyze(self) -> None:
+        """Refresh catalog statistics from current table contents."""
+        self.statistics.refresh(self.tables)
+
+    def set_table_statistics(self, table: str, stats: TableStatistics) -> None:
+        """Install statistics explicitly (analytical/full-scale experiments)."""
+        self.statistics.set_table_stats(table, stats)
+
+    # -- query execution -------------------------------------------------
+
+    def execute_sql(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """Parse, bind, and execute a SQL SELECT statement."""
+        plan = parse_sql(sql)
+        if count_parameters(plan):
+            plan = bind_parameters(plan, params)
+        return self.execute_plan(plan, sql=sql)
+
+    def execute_plan(
+        self, plan: algebra.PlanNode, sql: Optional[str] = None
+    ) -> QueryResult:
+        """Execute an algebra plan directly."""
+        rows = self._executor.execute(plan)
+        width = self.statistics.estimate_row_width(plan)
+        self.queries_executed += 1
+        return QueryResult(rows=rows, row_width=width, sql=sql or to_sql(plan))
+
+    def execute_update_sql(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Execute a simple UPDATE statement; returns the number of rows changed.
+
+        Supported shape: ``update <table> set <col> = <value> [where <col> =
+        <value-or-?>]``.  This is enough for the evaluation programs that
+        interleave updates with queries (Wilos pattern A); richer DML is out
+        of scope for the reproduction.
+        """
+        import re
+
+        pattern = re.compile(
+            r"^\s*update\s+(?P<table>\w+)\s+set\s+(?P<set_col>\w+)\s*=\s*"
+            r"(?P<set_val>\?|'[^']*'|[\w.-]+)"
+            r"(?:\s+where\s+(?P<where_col>\w+)\s*=\s*"
+            r"(?P<where_val>\?|'[^']*'|[\w.-]+))?\s*$",
+            re.IGNORECASE,
+        )
+        match = pattern.match(sql)
+        if match is None:
+            raise ValueError(f"unsupported UPDATE statement: {sql!r}")
+        params = list(params)
+
+        def resolve(token: str) -> Any:
+            if token == "?":
+                if not params:
+                    raise ValueError("missing parameter for UPDATE statement")
+                return params.pop(0)
+            if token.startswith("'") and token.endswith("'"):
+                return token[1:-1]
+            try:
+                return int(token)
+            except ValueError:
+                try:
+                    return float(token)
+                except ValueError:
+                    return token
+
+        table = self.table(match.group("table"))
+        set_value = resolve(match.group("set_val"))
+        where_col = match.group("where_col")
+        if where_col is None:
+            predicate = lambda row: True  # noqa: E731 - tiny local predicate
+        else:
+            where_value = resolve(match.group("where_val"))
+            predicate = lambda row: row.get(where_col) == where_value  # noqa: E731
+        self.queries_executed += 1
+        return table.update_rows(predicate, {match.group("set_col"): set_value})
+
+    # -- estimation ------------------------------------------------------
+
+    def estimate_sql(self, sql: str, params: Sequence[Any] = ()) -> QueryEstimate:
+        """Estimate cost-model inputs for a SQL statement."""
+        plan = parse_sql(sql)
+        if count_parameters(plan) and params:
+            plan = bind_parameters(plan, params)
+        return self.estimate_plan(plan)
+
+    def estimate_plan(self, plan: algebra.PlanNode) -> QueryEstimate:
+        """Estimate cost-model inputs for an algebra plan."""
+        cardinality = self.statistics.estimate_cardinality(plan)
+        width = self.statistics.estimate_row_width(plan)
+        first, last = self.statistics.estimate_server_time(
+            plan, self.server_row_cost
+        )
+        return QueryEstimate(
+            cardinality=cardinality,
+            row_width=width,
+            first_row_time=first,
+            last_row_time=last,
+        )
+
+    # -- convenience -----------------------------------------------------
+
+    def row_count(self, table: str) -> int:
+        """Number of rows currently stored in ``table``."""
+        return len(self.table(table))
+
+    def reset_counters(self) -> None:
+        """Reset the executed-query counter (per-experiment bookkeeping)."""
+        self.queries_executed = 0

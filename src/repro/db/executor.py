@@ -1,0 +1,235 @@
+"""Execution of relational algebra plans against in-memory tables.
+
+The executor is a straightforward interpreter over :mod:`repro.db.algebra`
+trees.  Rows flow as dictionaries.  Join outputs carry both qualified keys
+(``alias.column``) and, when unambiguous, bare column keys, so that
+downstream expressions written either way evaluate correctly — the same
+convention the SQL parser and the ORM rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.db import algebra
+from repro.db.expressions import BinaryOp, ColumnRef, Expression
+from repro.db.table import Row, Table
+
+
+class ExecutionError(Exception):
+    """Raised when a plan cannot be executed."""
+
+
+class Executor:
+    """Executes algebra plans against a mapping of table name -> Table."""
+
+    def __init__(self, tables: Mapping[str, Table]) -> None:
+        self._tables = tables
+
+    # -- public API ------------------------------------------------------
+
+    def execute(self, plan: algebra.PlanNode) -> list[Row]:
+        """Execute ``plan`` and return the output rows as a list of dicts."""
+        return list(self._execute(plan))
+
+    # -- dispatch --------------------------------------------------------
+
+    def _execute(self, plan: algebra.PlanNode) -> Iterable[Row]:
+        if isinstance(plan, algebra.Scan):
+            return self._scan(plan)
+        if isinstance(plan, algebra.Select):
+            return self._select(plan)
+        if isinstance(plan, algebra.Project):
+            return self._project(plan)
+        if isinstance(plan, algebra.Join):
+            return self._join(plan)
+        if isinstance(plan, algebra.Aggregate):
+            return self._aggregate(plan)
+        if isinstance(plan, algebra.Sort):
+            return self._sort(plan)
+        if isinstance(plan, algebra.Limit):
+            return self._limit(plan)
+        raise ExecutionError(f"unsupported plan node {type(plan).__name__}")
+
+    # -- operators -------------------------------------------------------
+
+    def _scan(self, plan: algebra.Scan) -> Iterable[Row]:
+        try:
+            table = self._tables[plan.table]
+        except KeyError:
+            raise ExecutionError(f"unknown table {plan.table!r}") from None
+        alias = plan.effective_alias
+        for row in table.rows:
+            out = dict(row)
+            for key, value in row.items():
+                out[f"{alias}.{key}"] = value
+            yield out
+
+    def _select(self, plan: algebra.Select) -> Iterable[Row]:
+        for row in self._execute(plan.child):
+            if plan.predicate.evaluate(row):
+                yield row
+
+    def _project(self, plan: algebra.Project) -> Iterable[Row]:
+        for row in self._execute(plan.child):
+            yield {
+                output.name: output.expression.evaluate(row)
+                for output in plan.outputs
+            }
+
+    def _join(self, plan: algebra.Join) -> Iterable[Row]:
+        left_rows = list(self._execute(plan.left))
+        right_rows = list(self._execute(plan.right))
+        equi = _equi_join_columns(plan.condition)
+        if equi is not None:
+            yield from self._hash_join(left_rows, right_rows, plan, equi)
+        else:
+            yield from self._nested_loops_join(left_rows, right_rows, plan)
+
+    def _hash_join(
+        self,
+        left_rows: list[Row],
+        right_rows: list[Row],
+        plan: algebra.Join,
+        equi: tuple[ColumnRef, ColumnRef],
+    ) -> Iterable[Row]:
+        left_col, right_col = equi
+        # Decide which column belongs to which side by probing a sample row.
+        if left_rows and not _resolves(left_col, left_rows[0]):
+            left_col, right_col = right_col, left_col
+        build: dict[Any, list[Row]] = {}
+        for row in right_rows:
+            key = _safe_eval(right_col, row)
+            if key is None:
+                continue
+            build.setdefault(key, []).append(row)
+        for left_row in left_rows:
+            key = _safe_eval(left_col, left_row)
+            if key is None:
+                continue
+            for right_row in build.get(key, ()):
+                yield _merge_rows(left_row, right_row)
+
+    def _nested_loops_join(
+        self, left_rows: list[Row], right_rows: list[Row], plan: algebra.Join
+    ) -> Iterable[Row]:
+        for left_row in left_rows:
+            for right_row in right_rows:
+                merged = _merge_rows(left_row, right_row)
+                if plan.condition is None or plan.condition.evaluate(merged):
+                    yield merged
+
+    def _aggregate(self, plan: algebra.Aggregate) -> Iterable[Row]:
+        rows = list(self._execute(plan.child))
+        if plan.group_by:
+            groups: dict[tuple, list[Row]] = {}
+            for row in rows:
+                key = tuple(col.evaluate(row) for col in plan.group_by)
+                groups.setdefault(key, []).append(row)
+            for key, group_rows in groups.items():
+                out: Row = {}
+                for col, value in zip(plan.group_by, key):
+                    out[col.name] = value
+                    out[col.qualified_name] = value
+                for spec in plan.aggregates:
+                    out[spec.name] = _compute_aggregate(spec, group_rows)
+                yield out
+        else:
+            out = {
+                spec.name: _compute_aggregate(spec, rows)
+                for spec in plan.aggregates
+            }
+            yield out
+
+    def _sort(self, plan: algebra.Sort) -> Iterable[Row]:
+        rows = list(self._execute(plan.child))
+        # Sort by the last key first so earlier keys take precedence.
+        for key in reversed(plan.keys):
+            rows.sort(
+                key=lambda row: _sort_key(key.column.evaluate(row)),
+                reverse=not key.ascending,
+            )
+        return rows
+
+    def _limit(self, plan: algebra.Limit) -> Iterable[Row]:
+        for index, row in enumerate(self._execute(plan.child)):
+            if index >= plan.count:
+                break
+            yield row
+
+
+# -- helpers ------------------------------------------------------------
+
+
+def _merge_rows(left: Row, right: Row) -> Row:
+    """Merge join-side rows.
+
+    Qualified keys from both sides are kept.  A bare key present on both
+    sides keeps the left value for the bare name (qualified names remain
+    unambiguous), matching the usual SQL behaviour where ambiguous bare
+    references should be qualified by the query author.
+    """
+    merged = dict(right)
+    merged.update(left)
+    return merged
+
+
+def _equi_join_columns(
+    condition: Expression | None,
+) -> tuple[ColumnRef, ColumnRef] | None:
+    """Return the (left, right) column refs if the condition is a simple
+    equality between two columns, else ``None``."""
+    if isinstance(condition, BinaryOp) and condition.op in {"=", "=="}:
+        if isinstance(condition.left, ColumnRef) and isinstance(
+            condition.right, ColumnRef
+        ):
+            return condition.left, condition.right
+    return None
+
+
+def _resolves(column: ColumnRef, row: Row) -> bool:
+    """Return True if ``column`` can be evaluated against ``row``."""
+    try:
+        column.evaluate(row)
+        return True
+    except Exception:
+        return False
+
+
+def _safe_eval(column: ColumnRef, row: Row) -> Any:
+    try:
+        return column.evaluate(row)
+    except Exception:
+        return None
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total ordering that tolerates None and mixed types."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def _compute_aggregate(spec: algebra.AggregateSpec, rows: list[Row]) -> Any:
+    """Compute one aggregate over ``rows``."""
+    if spec.function == "count" and spec.argument is None:
+        return len(rows)
+    values = [spec.argument.evaluate(row) for row in rows]
+    values = [v for v in values if v is not None]
+    if spec.function == "count":
+        return len(values)
+    if not values:
+        return None
+    if spec.function == "sum":
+        return sum(values)
+    if spec.function == "avg":
+        return sum(values) / len(values)
+    if spec.function == "min":
+        return min(values)
+    if spec.function == "max":
+        return max(values)
+    raise ExecutionError(f"unsupported aggregate {spec.function!r}")

@@ -1,0 +1,286 @@
+"""Scalar and boolean expressions evaluated over rows.
+
+These expressions are shared by the relational algebra (predicates, projection
+expressions, aggregate arguments) and by the SQL parser.  Expressions are
+immutable trees; evaluation takes a row dictionary.
+
+Column references may be qualified (``o.o_id``) or unqualified (``o_id``);
+qualified references resolve against rows whose keys carry the qualifier
+(``"o.o_id"``) first and fall back to the bare name, so the same expression
+works on both base-table rows and join-output rows.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+Row = Mapping[str, Any]
+
+
+class ExpressionError(Exception):
+    """Raised when an expression cannot be evaluated against a row."""
+
+
+class Expression:
+    """Base class for row expressions."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate this expression against ``row``."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """All column names (possibly qualified) referenced by the expression."""
+        return set()
+
+    def to_sql(self) -> str:
+        """Render the expression in SQL syntax."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column, optionally qualified by a table/alias name."""
+
+    name: str
+    qualifier: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def evaluate(self, row: Row) -> Any:
+        if self.qualifier:
+            qualified = f"{self.qualifier}.{self.name}"
+            if qualified in row:
+                return row[qualified]
+        if self.name in row:
+            return row[self.name]
+        # Fall back to any qualified key ending in ".name".
+        suffix = f".{self.name}"
+        matches = [k for k in row if k.endswith(suffix)]
+        if len(matches) == 1:
+            return row[matches[0]]
+        if len(matches) > 1:
+            raise ExpressionError(
+                f"ambiguous column {self.name!r}: candidates {sorted(matches)}"
+            )
+        raise ExpressionError(
+            f"column {self.qualified_name!r} not found in row with keys "
+            f"{sorted(row)}"
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return {self.qualified_name}
+
+    def to_sql(self) -> str:
+        return self.qualified_name
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.qualified_name!r})"
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary arithmetic or comparison operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPS:
+            raise ExpressionError(f"unsupported binary operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to None/False for simplicity.
+            return None if self.op in {"+", "-", "*", "/", "%"} else False
+        return _BINARY_OPS[self.op](left, right)
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        op = "=" if self.op == "==" else self.op
+        return f"{self.left.to_sql()} {op} {self.right.to_sql()}"
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """AND/OR over a sequence of boolean expressions."""
+
+    op: str  # "and" | "or"
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in {"and", "or"}:
+            raise ExpressionError(f"unsupported boolean operator {self.op!r}")
+        if len(self.operands) < 2:
+            raise ExpressionError("BooleanOp requires at least two operands")
+
+    def evaluate(self, row: Row) -> Any:
+        values = (bool(o.evaluate(row)) for o in self.operands)
+        return all(values) if self.op == "and" else any(values)
+
+    def referenced_columns(self) -> set[str]:
+        cols: set[str] = set()
+        for operand in self.operands:
+            cols |= operand.referenced_columns()
+        return cols
+
+    def to_sql(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(o.to_sql() for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, row: Row) -> Any:
+        return not bool(self.operand.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` test."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.to_sql()} {suffix}"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` membership test over literal values."""
+
+    operand: Expression
+    values: tuple[Any, ...]
+
+    def evaluate(self, row: Row) -> Any:
+        return self.operand.evaluate(row) in self.values
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(Literal(v).to_sql() for v in self.values)
+        return f"{self.operand.to_sql()} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar function call (e.g. ``upper(name)``, ``abs(x)``)."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    _FUNCTIONS: "dict[str, Callable[..., Any]]" = None  # type: ignore[assignment]
+
+    def evaluate(self, row: Row) -> Any:
+        functions = {
+            "upper": lambda v: v.upper() if v is not None else None,
+            "lower": lambda v: v.lower() if v is not None else None,
+            "abs": lambda v: abs(v) if v is not None else None,
+            "length": lambda v: len(v) if v is not None else None,
+            "coalesce": lambda *vs: next((v for v in vs if v is not None), None),
+        }
+        func = functions.get(self.name.lower())
+        if func is None:
+            raise ExpressionError(f"unknown scalar function {self.name!r}")
+        return func(*(a.evaluate(row) for a in self.args))
+
+    def referenced_columns(self) -> set[str]:
+        cols: set[str] = set()
+        for arg in self.args:
+            cols |= arg.referenced_columns()
+        return cols
+
+    def to_sql(self) -> str:
+        return f"{self.name}({', '.join(a.to_sql() for a in self.args)})"
+
+
+def conjunction(predicates: Sequence[Expression]) -> Expression | None:
+    """Combine ``predicates`` into a single AND expression.
+
+    Returns ``None`` for an empty sequence and the lone predicate for a
+    singleton, which keeps generated SQL tidy.
+    """
+    predicates = [p for p in predicates if p is not None]
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanOp("and", tuple(predicates))
+
+
+def equals(column: str, value: Any, qualifier: str | None = None) -> BinaryOp:
+    """Convenience constructor for ``column = value`` predicates."""
+    return BinaryOp("=", ColumnRef(column, qualifier), Literal(value))

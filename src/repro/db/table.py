@@ -1,0 +1,120 @@
+"""Row storage for the in-memory database engine.
+
+Rows are stored as plain dictionaries mapping column name to value.  A
+:class:`Table` owns its schema, validates inserted rows, and maintains an
+optional hash index on the primary key for point lookups (used by the ORM
+substrate for lazy loads and by the executor for indexed joins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.db.schema import SchemaError, TableSchema
+
+Row = dict
+
+
+class Table:
+    """An in-memory table: a schema plus a list of rows."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[Row] = []
+        self._pk_index: Optional[dict[Any, Row]] = (
+            {} if schema.primary_key else None
+        )
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, row: Row) -> Row:
+        """Insert one row (a mapping of column name to value).
+
+        Missing columns are filled with ``None``; unknown columns raise
+        :class:`SchemaError`.  Returns the stored row dict.
+        """
+        stored: Row = {}
+        for column in self.schema.columns:
+            stored[column.name] = row.get(column.name)
+        unknown = set(row) - set(stored)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)} for table "
+                f"{self.schema.name!r}"
+            )
+        self.rows.append(stored)
+        if self._pk_index is not None:
+            key = stored[self.schema.primary_key]
+            self._pk_index[key] = stored
+        return stored
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self.rows.clear()
+        if self._pk_index is not None:
+            self._pk_index.clear()
+
+    def update_rows(self, predicate, assignments: dict) -> int:
+        """Update rows matching ``predicate`` (a callable on a row dict).
+
+        ``assignments`` maps column name to either a constant or a callable
+        taking the row and returning the new value.  Returns the number of
+        rows updated.  Used by the application-side programs that contain
+        intermittent updates (Wilos pattern A).
+        """
+        updated = 0
+        for row in self.rows:
+            if not predicate(row):
+                continue
+            for column, value in assignments.items():
+                if column not in row:
+                    raise SchemaError(
+                        f"unknown column {column!r} in update on table "
+                        f"{self.schema.name!r}"
+                    )
+                row[column] = value(row) if callable(value) else value
+            updated += 1
+        return updated
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over copies of all rows (callers may mutate results)."""
+        for row in self.rows:
+            yield dict(row)
+
+    def lookup_pk(self, key: Any) -> Optional[Row]:
+        """Point lookup by primary key; returns a copy or ``None``."""
+        if self._pk_index is None:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no primary key index"
+            )
+        row = self._pk_index.get(key)
+        return dict(row) if row is not None else None
+
+    @property
+    def row_width(self) -> int:
+        """Byte width of a full row according to the schema."""
+        return self.schema.row_width
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct non-null values in ``column``."""
+        self.schema.column(column)
+        return len({row[column] for row in self.rows if row[column] is not None})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.name!r}, rows={len(self.rows)})"

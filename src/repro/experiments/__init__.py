@@ -1,0 +1,12 @@
+"""Experiment reproductions: one module per figure/table of the paper.
+
+* :mod:`repro.experiments.figure13` — Experiments 1-3 (Figures 13a/13b/13c),
+* :mod:`repro.experiments.figure15` — Experiment 4 (Figures 14, 15, 16),
+* :mod:`repro.experiments.opt_time` — optimization-time measurement,
+* :mod:`repro.experiments.ablations` — ablations of design choices,
+* :mod:`repro.experiments.harness` — shared result tables and runners.
+"""
+
+from repro.experiments.harness import ResultTable
+
+__all__ = ["ResultTable"]

@@ -1,0 +1,261 @@
+"""Ablation studies for design choices called out in the paper.
+
+These are not figures of the paper itself; they probe the design decisions
+the paper discusses in Sections V, VI and VIII:
+
+* **Amortization factor sweep** — how the prefetch-vs-query decision moves
+  with AF (Section VI introduces AF; Figure 15 evaluates only AF = 1 and 50).
+* **Rule-set ablation** — what happens to the chosen plan and its cost when
+  the prefetching rules (N1/N2) or the SQL-translation rules (T1-T5) are
+  removed, quantifying how much of COBRA's benefit each rule family provides.
+* **Network sensitivity** — the crossover point between P1 and P2 for the
+  motivating example as bandwidth scales between the two presets (Experiments
+  1-3 only evaluate the two endpoints).
+* **Duplicate detection** — size of the Region DAG with and without node
+  reuse, demonstrating why Volcano-style duplicate detection matters for
+  termination and memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.catalog import CostParameters
+from repro.core.optimizer import CobraOptimizer
+from repro.experiments.figure13 import build_stats_only_database
+from repro.experiments.harness import ResultTable
+from repro.fir.rules import (
+    AggregationRule,
+    JoinRewriteRule,
+    NestedJoinRule,
+    PredicatePushRule,
+    PrefetchFilterRule,
+    PrefetchGroupRule,
+    PrefetchNestedJoinRule,
+    PrefetchRule,
+    SqlTranslationRule,
+)
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE
+from repro.workloads.wilos import build_wilos_database
+from repro.workloads.wilos_programs import build_patterns
+
+#: Rule families used by the rule-set ablation.
+SQL_RULES = (
+    SqlTranslationRule(),
+    AggregationRule(),
+    PredicatePushRule(),
+    JoinRewriteRule(),
+    NestedJoinRule(),
+)
+PREFETCH_RULES = (
+    PrefetchRule(),
+    PrefetchFilterRule(),
+    PrefetchNestedJoinRule(),
+    PrefetchGroupRule(),
+)
+
+
+def run_af_sweep(
+    factors: Sequence[float] = (1, 2, 5, 10, 20, 50, 100),
+    scale: int = 2_000,
+) -> ResultTable:
+    """How COBRA's choice for pattern D moves with the amortization factor."""
+    table = ResultTable(
+        title="Ablation — amortization factor sweep (Wilos pattern D)",
+        columns=["amortization_factor", "chosen_strategy", "estimated_cost"],
+    )
+    database = build_wilos_database(scale=scale)
+    pattern = build_patterns()["D"]
+    for factor in factors:
+        parameters = CostParameters.for_network(FAST_LOCAL).with_amortization(
+            factor
+        )
+        optimizer = CobraOptimizer(database, parameters)
+        result = optimizer.optimize(
+            pattern.source, function_name=pattern.function_name
+        )
+        table.add_row(factor, result.primary_choice(), result.best_cost)
+    table.add_note(
+        "a larger AF amortises the prefetch over more invocations, so the "
+        "chosen strategy should move from per-call queries towards prefetching"
+    )
+    return table
+
+
+def run_rule_ablation(scale: int = 2_000) -> ResultTable:
+    """Chosen plan and estimated cost with rule families removed."""
+    table = ResultTable(
+        title="Ablation — rule families (motivating example, slow remote)",
+        columns=["rule_set", "chosen_strategy", "estimated_cost", "alternatives"],
+    )
+    database = tpcds.build_orders_database(num_orders=scale, num_customers=scale // 10)
+    parameters = CostParameters.for_network(SLOW_REMOTE)
+    registry = tpcds.build_registry()
+    configurations = {
+        "all rules": None,
+        "SQL rules only (no prefetching)": SQL_RULES,
+        "prefetch rules only (no SQL translation)": PREFETCH_RULES,
+        "no rules (original only)": (),
+    }
+    for label, rules in configurations.items():
+        optimizer = CobraOptimizer(
+            database, parameters, registry=registry, fir_rules=rules
+        )
+        result = optimizer.optimize(P0_SOURCE)
+        table.add_row(
+            label,
+            result.primary_choice(),
+            result.best_cost,
+            result.alternatives_added,
+        )
+    return table
+
+
+def run_network_sensitivity(
+    bandwidth_factors: Sequence[float] = (1, 4, 16, 64, 256, 1024, 4096),
+    num_orders: int = 1_000_000,
+    num_customers: int = 73_000,
+) -> ResultTable:
+    """Where the P1/P2 crossover falls as the network speeds up.
+
+    Starts from the slow-remote preset and scales bandwidth and latency
+    towards the fast-local preset.
+    """
+    table = ResultTable(
+        title="Ablation — network sensitivity of the P1/P2 choice",
+        columns=[
+            "bandwidth_factor",
+            "latency_factor",
+            "chosen",
+            "p1_estimate",
+            "p2_estimate",
+        ],
+    )
+    from repro.workloads.programs import P1_SOURCE, P2_SOURCE
+
+    for factor in bandwidth_factors:
+        latency_factor = 1.0 / factor
+        network = SLOW_REMOTE.scaled(
+            bandwidth_factor=factor, latency_factor=latency_factor
+        )
+        database = build_stats_only_database(num_orders, num_customers)
+        parameters = CostParameters.for_network(network)
+        optimizer = CobraOptimizer(
+            database, parameters, registry=tpcds.build_registry()
+        )
+        result = optimizer.optimize(P0_SOURCE)
+        table.add_row(
+            factor,
+            latency_factor,
+            result.primary_choice(),
+            optimizer.estimate_cost(P1_SOURCE),
+            optimizer.estimate_cost(P2_SOURCE),
+        )
+    return table
+
+
+def run_dynamic_prefetch_ablation(
+    access_counts: Sequence[int] = (1, 5, 20, 80, 300),
+    num_customers: int = 500,
+) -> ResultTable:
+    """Dynamic (ski-rental) prefetching vs the two static policies.
+
+    Section VI lists dynamic prefetching as future work; this ablation shows
+    how the dynamic policy tracks whichever static policy (never prefetch /
+    always prefetch) is better as the number of accesses grows.
+    """
+    from repro.appsim.dynamic_prefetch import dynamic_lookup_program
+    from repro.workloads import tpcds as tpcds_workload
+
+    table = ResultTable(
+        title="Ablation — dynamic (ski-rental) prefetching",
+        columns=[
+            "accesses",
+            "never_prefetch_s",
+            "always_prefetch_s",
+            "dynamic_s",
+            "dynamic_prefetched",
+        ],
+    )
+    for accesses in access_counts:
+        runtime = tpcds_workload.build_runtime(
+            num_orders=50, num_customers=num_customers, network=SLOW_REMOTE
+        )
+        keys = [(i % num_customers) + 1 for i in range(accesses)]
+
+        def never(rt):
+            return [
+                rt.execute_query(
+                    "select * from customer where c_customer_sk = ?", (key,)
+                )[0]
+                for key in keys
+            ]
+
+        def always(rt):
+            rt.prefetch("customer", "c_customer_sk", "pf")
+            return [rt.lookup(key, "pf") for key in keys]
+
+        stats_holder = {}
+
+        def dynamic(rt):
+            rows, stats = dynamic_lookup_program(
+                rt, "customer", "c_customer_sk", keys
+            )
+            stats_holder["stats"] = stats
+            return rows
+
+        never_time = runtime.measure(never).elapsed_seconds
+        always_time = runtime.measure(always).elapsed_seconds
+        dynamic_time = runtime.measure(dynamic).elapsed_seconds
+        table.add_row(
+            accesses,
+            never_time,
+            always_time,
+            dynamic_time,
+            stats_holder["stats"].prefetched,
+        )
+    table.add_note(
+        "the dynamic policy should stay close to the better static policy at "
+        "both ends of the sweep (2-competitive ski rental)"
+    )
+    return table
+
+
+def run_dedup_ablation(scale: int = 2_000) -> ResultTable:
+    """Region DAG size with Volcano-style duplicate detection vs without.
+
+    "Without" is simulated by counting every alternative insertion as a new
+    node (the DAG itself always deduplicates; the counterfactual count shows
+    what an unshared expansion would have produced).
+    """
+    table = ResultTable(
+        title="Ablation — duplicate detection in the Region DAG",
+        columns=[
+            "program",
+            "groups",
+            "nodes (with dedup)",
+            "insertions (without dedup)",
+        ],
+    )
+    parameters = CostParameters.for_network(FAST_LOCAL)
+    database = build_wilos_database(scale=scale)
+    for pattern_id, pattern in build_patterns().items():
+        optimizer = CobraOptimizer(database, parameters)
+        result = optimizer.optimize(
+            pattern.source, function_name=pattern.function_name
+        )
+        dag = result.dag
+        # Counterfactual: every region of every alternative inserted afresh.
+        insertions = 0
+        for group in dag.iter_groups():
+            for node in group.alternatives:
+                insertions += 1 + len(node.children)
+        table.add_row(
+            f"Wilos pattern {pattern_id}",
+            dag.group_count,
+            dag.node_count,
+            insertions,
+        )
+    return table

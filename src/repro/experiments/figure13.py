@@ -1,0 +1,313 @@
+"""Experiments 1-3: Figure 13a, 13b, 13c of the paper.
+
+The three experiments run the motivating-example programs P0 (Hibernate ORM,
+N+1 selects), P1 (single SQL join), and P2 (prefetch both relations, join at
+the client) under two simulated network conditions and varying Order/Customer
+cardinalities, and record which alternative COBRA chooses at every point.
+
+Two modes are provided:
+
+* **measured** — the data is materialised in the in-memory database, the
+  programs actually execute, and the virtual clock gives their execution
+  time.  Used for the default (scaled-down) cardinalities.
+* **analytical** — only table statistics are installed (no rows), and the
+  reported numbers are the cost model's estimates for each alternative.  Used
+  to also cover the paper's full-scale cardinalities (up to 1M orders) without
+  materialising millions of Python dictionaries.
+
+In both modes the COBRA column reports the value of the alternative the
+optimizer chose at that point, exactly as in Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.appsim.runtime import AppRuntime
+from repro.core.catalog import CostParameters
+from repro.core.cost_model import CostModel
+from repro.core.dag import RegionDag
+from repro.core.optimizer import CobraOptimizer
+from repro.core.plans import DagCostCalculator
+from repro.db.database import Database
+from repro.db.statistics import TableStatistics
+from repro.experiments.harness import ResultTable
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
+from repro.workloads import programs, tpcds
+
+#: Cardinalities the paper sweeps in Figures 13a and 13b.
+PAPER_ORDER_COUNTS = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+#: Customer cardinalities the paper sweeps in Figure 13c.
+PAPER_CUSTOMER_COUNTS = (10, 100, 1_000, 10_000, 100_000)
+
+#: Customer cardinality fixed in Experiments 1 and 2.
+PAPER_NUM_CUSTOMERS = 73_000
+
+#: Order cardinality fixed in Experiment 3.
+PAPER_NUM_ORDERS = 10_000
+
+#: Default scale divisor for the measured runs (paper cardinality / divisor).
+DEFAULT_SCALE_DIVISOR = 100
+
+#: Strategy labels as the optimizer reports them, mapped to the paper's names.
+STRATEGY_TO_PROGRAM = {
+    "original": "Hibernate(P0)",
+    "sql-join": "SQL Query(P1)",
+    "prefetch": "Prefetching(P2)",
+}
+
+
+@dataclass
+class Figure13Point:
+    """One x-axis point of a Figure 13 plot."""
+
+    num_orders: int
+    num_customers: int
+    p0_seconds: float
+    p1_seconds: float
+    p2_seconds: float
+    cobra_choice: str
+    cobra_seconds: float
+    mode: str
+
+    def as_row(self, vary: str) -> list:
+        x = self.num_orders if vary == "orders" else self.num_customers
+        return [
+            x,
+            self.p0_seconds,
+            self.p1_seconds,
+            self.p2_seconds,
+            self.cobra_choice,
+            self.cobra_seconds,
+            self.mode,
+        ]
+
+
+# -- measured mode -------------------------------------------------------------
+
+
+def measure_point(
+    num_orders: int,
+    num_customers: int,
+    network: NetworkConditions,
+    seed: int = 7,
+) -> Figure13Point:
+    """Materialise the data, run P0/P1/P2, and record COBRA's choice."""
+    runtime = tpcds.build_runtime(
+        num_orders=num_orders,
+        num_customers=num_customers,
+        network=network,
+        seed=seed,
+    )
+    measurements = {}
+    for label, function in programs.VARIANTS.items():
+        measurements[label] = runtime.measure(function)
+    results = {label: m.result for label, m in measurements.items()}
+    reference = results["Hibernate(P0)"]
+    for label, value in results.items():
+        if value != reference:
+            raise AssertionError(
+                f"variant {label} produced a different result at "
+                f"orders={num_orders}, customers={num_customers}"
+            )
+    choice_label = _cobra_choice(runtime.database, network)
+    return Figure13Point(
+        num_orders=num_orders,
+        num_customers=num_customers,
+        p0_seconds=measurements["Hibernate(P0)"].elapsed_seconds,
+        p1_seconds=measurements["SQL Query(P1)"].elapsed_seconds,
+        p2_seconds=measurements["Prefetching(P2)"].elapsed_seconds,
+        cobra_choice=choice_label,
+        cobra_seconds=measurements[choice_label].elapsed_seconds,
+        mode="measured",
+    )
+
+
+def _cobra_choice(database: Database, network: NetworkConditions) -> str:
+    """Which of P0/P1/P2 COBRA picks for the current data and network."""
+    parameters = CostParameters.for_network(network)
+    optimizer = CobraOptimizer(
+        database, parameters, registry=tpcds.build_registry()
+    )
+    result = optimizer.optimize(programs.P0_SOURCE)
+    return STRATEGY_TO_PROGRAM.get(result.primary_choice(), "Hibernate(P0)")
+
+
+# -- analytical mode -----------------------------------------------------------
+
+
+def build_stats_only_database(num_orders: int, num_customers: int) -> Database:
+    """A database with the orders/customer schema and statistics but no rows."""
+    database = Database()
+    database.create_table(
+        "customer", tpcds.customer_columns(), primary_key="c_customer_sk"
+    )
+    database.create_table(
+        "orders", tpcds.orders_columns(), primary_key="o_id"
+    )
+    database.set_table_statistics(
+        "customer",
+        TableStatistics(
+            row_count=num_customers,
+            distinct={"c_customer_sk": num_customers},
+            row_width=tpcds.CUSTOMER_ROW_WIDTH,
+        ),
+    )
+    database.set_table_statistics(
+        "orders",
+        TableStatistics(
+            row_count=num_orders,
+            distinct={
+                "o_id": num_orders,
+                "o_customer_sk": min(num_orders, num_customers),
+            },
+            row_width=tpcds.ORDER_ROW_WIDTH,
+        ),
+    )
+    return database
+
+
+def estimate_point(
+    num_orders: int,
+    num_customers: int,
+    network: NetworkConditions,
+) -> Figure13Point:
+    """Cost-model estimates for P0/P1/P2 at paper-scale cardinalities."""
+    database = build_stats_only_database(num_orders, num_customers)
+    parameters = CostParameters.for_network(network)
+    optimizer = CobraOptimizer(
+        database, parameters, registry=tpcds.build_registry()
+    )
+    result = optimizer.optimize(programs.P0_SOURCE)
+    estimates = {
+        "Hibernate(P0)": _estimate_source(
+            optimizer, programs.P0_SOURCE
+        ),
+        "SQL Query(P1)": _estimate_source(optimizer, programs.P1_SOURCE),
+        "Prefetching(P2)": _estimate_source(optimizer, programs.P2_SOURCE),
+    }
+    choice_label = STRATEGY_TO_PROGRAM.get(
+        result.primary_choice(), "Hibernate(P0)"
+    )
+    return Figure13Point(
+        num_orders=num_orders,
+        num_customers=num_customers,
+        p0_seconds=estimates["Hibernate(P0)"],
+        p1_seconds=estimates["SQL Query(P1)"],
+        p2_seconds=estimates["Prefetching(P2)"],
+        cobra_choice=choice_label,
+        cobra_seconds=estimates[choice_label],
+        mode="analytical",
+    )
+
+
+def _estimate_source(optimizer: CobraOptimizer, source: str) -> float:
+    return optimizer.estimate_cost(source)
+
+
+# -- the three experiments -----------------------------------------------------
+
+
+def run_figure13a(
+    scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+    include_analytical: bool = True,
+    order_counts: Sequence[int] = PAPER_ORDER_COUNTS,
+    num_customers: int = PAPER_NUM_CUSTOMERS,
+) -> ResultTable:
+    """Experiment 1: slow remote network, vary the number of Order rows."""
+    return _run_order_sweep(
+        title="Figure 13a — slow remote network, varying Orders",
+        network=SLOW_REMOTE,
+        scale_divisor=scale_divisor,
+        include_analytical=include_analytical,
+        order_counts=order_counts,
+        num_customers=num_customers,
+    )
+
+
+def run_figure13b(
+    scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+    include_analytical: bool = True,
+    order_counts: Sequence[int] = PAPER_ORDER_COUNTS,
+    num_customers: int = PAPER_NUM_CUSTOMERS,
+) -> ResultTable:
+    """Experiment 2: fast local network, vary the number of Order rows."""
+    return _run_order_sweep(
+        title="Figure 13b — fast local network, varying Orders",
+        network=FAST_LOCAL,
+        scale_divisor=scale_divisor,
+        include_analytical=include_analytical,
+        order_counts=order_counts,
+        num_customers=num_customers,
+    )
+
+
+def run_figure13c(
+    scale_divisor: int = DEFAULT_SCALE_DIVISOR,
+    include_analytical: bool = True,
+    customer_counts: Sequence[int] = PAPER_CUSTOMER_COUNTS,
+    num_orders: int = PAPER_NUM_ORDERS,
+) -> ResultTable:
+    """Experiment 3: slow remote network, vary the number of Customer rows."""
+    table = ResultTable(
+        title="Figure 13c — slow remote network, varying Customers",
+        columns=[
+            "customers",
+            "Hibernate(P0)",
+            "SQL Query(P1)",
+            "Prefetching(P2)",
+            "COBRA choice",
+            "COBRA",
+            "mode",
+        ],
+    )
+    for num_customers in customer_counts:
+        scaled_customers = max(num_customers // scale_divisor, 5)
+        scaled_orders = max(num_orders // scale_divisor, 20)
+        point = measure_point(scaled_orders, scaled_customers, SLOW_REMOTE)
+        table.add_row(*point.as_row("customers"))
+        if include_analytical:
+            analytic = estimate_point(num_orders, num_customers, SLOW_REMOTE)
+            table.add_row(*analytic.as_row("customers"))
+    table.add_note(
+        f"measured rows use cardinalities divided by {scale_divisor}; "
+        "analytical rows are cost-model estimates at paper scale"
+    )
+    return table
+
+
+def _run_order_sweep(
+    title: str,
+    network: NetworkConditions,
+    scale_divisor: int,
+    include_analytical: bool,
+    order_counts: Sequence[int],
+    num_customers: int,
+) -> ResultTable:
+    table = ResultTable(
+        title=title,
+        columns=[
+            "orders",
+            "Hibernate(P0)",
+            "SQL Query(P1)",
+            "Prefetching(P2)",
+            "COBRA choice",
+            "COBRA",
+            "mode",
+        ],
+    )
+    for num_orders in order_counts:
+        scaled_orders = max(num_orders // scale_divisor, 10)
+        scaled_customers = max(num_customers // scale_divisor, 10)
+        point = measure_point(scaled_orders, scaled_customers, network)
+        table.add_row(*point.as_row("orders"))
+        if include_analytical:
+            analytic = estimate_point(num_orders, num_customers, network)
+            table.add_row(*analytic.as_row("orders"))
+    table.add_note(
+        f"measured rows use cardinalities divided by {scale_divisor}; "
+        "analytical rows are cost-model estimates at paper scale"
+    )
+    return table

@@ -1,0 +1,134 @@
+"""Shared infrastructure for the experiment reproductions.
+
+Every experiment produces one or more :class:`ResultTable` objects: a title,
+column names, and rows of values.  Tables render to aligned text (what the
+benchmark harness prints) and to dictionaries (what tests assert on).
+
+``run_program_variant`` compiles a program source, runs it through a driver on
+a fresh runtime measurement, and returns the measurement — used whenever an
+experiment executes optimizer-generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.appsim.runtime import AppRuntime, RunMeasurement
+
+
+@dataclass
+class ResultTable:
+    """A table of experiment results (one per figure/table of the paper)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        formatted_rows = [
+            [_format_value(value) for value in row] for row in self.rows
+        ]
+        widths = [len(c) for c in self.columns]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            name.ljust(widths[index]) for index, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in formatted_rows:
+            lines.append(
+                "  ".join(
+                    cell.ljust(widths[index]) for index, cell in enumerate(row)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class VariantOutcome:
+    """Measurement of one program variant within an experiment."""
+
+    label: str
+    measurement: RunMeasurement
+    source: str = ""
+
+    @property
+    def elapsed(self) -> float:
+        return self.measurement.elapsed_seconds
+
+
+def compile_program(source: str, function_name: str, extra_globals: Optional[dict] = None):
+    """Compile program source and return the named function object."""
+    namespace: dict = dict(extra_globals or {})
+    exec(compile(source, f"<{function_name}>", "exec"), namespace)
+    try:
+        return namespace[function_name]
+    except KeyError:
+        raise ValueError(
+            f"program source does not define {function_name!r}"
+        ) from None
+
+
+def run_program_variant(
+    runtime: AppRuntime,
+    source: str,
+    function_name: str,
+    driver: Callable[[AppRuntime, Callable], Any],
+    label: str,
+    extra_globals: Optional[dict] = None,
+) -> VariantOutcome:
+    """Compile and measure one program variant."""
+    function = compile_program(source, function_name, extra_globals)
+    measurement = runtime.measure(lambda rt: driver(rt, function))
+    return VariantOutcome(label=label, measurement=measurement, source=source)
+
+
+def assert_equivalent(outcomes: Sequence[VariantOutcome]) -> bool:
+    """True when all variant outcomes produced the same result."""
+    if not outcomes:
+        return True
+    reference = outcomes[0].measurement.result
+    return all(o.measurement.result == reference for o in outcomes[1:])

@@ -1,0 +1,82 @@
+"""Exporting experiment result tables.
+
+:class:`repro.experiments.harness.ResultTable` renders to aligned text for
+the terminal; this module adds the formats a paper-reproduction pipeline
+typically needs:
+
+* ``to_markdown``   — a GitHub-flavoured markdown table (for EXPERIMENTS.md),
+* ``to_csv``        — comma-separated values (for plotting scripts),
+* ``to_series``     — ``{column -> [values]}``, the shape plotting libraries
+  and the figure-comparison tests consume,
+* ``write_report``  — write several tables into one text report file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.experiments.harness import ResultTable
+
+
+def to_markdown(table: ResultTable) -> str:
+    """Render ``table`` as a GitHub-flavoured markdown table."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_cell(value) for value in row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(table: ResultTable) -> str:
+    """Render ``table`` as CSV text (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_series(table: ResultTable) -> dict[str, list]:
+    """Column-oriented view of the table (one list per column)."""
+    return {name: table.column(name) for name in table.columns}
+
+
+def write_report(
+    tables: Iterable[ResultTable],
+    path: Union[str, Path],
+    fmt: str = "text",
+) -> Path:
+    """Write several tables into one report file.
+
+    ``fmt`` is ``"text"`` (aligned tables), ``"markdown"``, or ``"csv"``
+    (tables separated by blank lines).
+    """
+    path = Path(path)
+    renderers = {
+        "text": lambda t: t.render(),
+        "markdown": to_markdown,
+        "csv": to_csv,
+    }
+    try:
+        renderer = renderers[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown report format {fmt!r}; choose from {sorted(renderers)}"
+        ) from None
+    parts = [renderer(table) for table in tables]
+    path.write_text("\n\n".join(parts) + "\n")
+    return path
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""F-IR: the fold-based intermediate representation (Section V of the paper).
+
+Cursor loops are represented with the ``fold`` operator, extended with
+``tuple`` and ``project`` so loops with dependent aggregations (Figure 7) are
+representable.  The transformation rules T1-T5 (SQL translation) and N1/N2
+(prefetching) of Figure 11 operate on this representation.
+"""
+
+from repro.fir.builder import FoldInfo, build_fold
+from repro.fir.expressions import FIRError, Fold, ProjectExpr, QueryExpr, TupleExpr
+
+__all__ = [
+    "FIRError",
+    "Fold",
+    "FoldInfo",
+    "ProjectExpr",
+    "QueryExpr",
+    "TupleExpr",
+    "build_fold",
+]

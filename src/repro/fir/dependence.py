@@ -1,0 +1,220 @@
+"""Data-dependence analysis of cursor-loop bodies.
+
+The F-IR construction algorithm (Figure 9 of the paper) requires a data
+dependence graph of the loop body to check its preconditions: every statement
+in the loop must either
+
+* bind a loop-local temporary from the current tuple (possibly through a
+  lookup query / lazy load), or
+* update an accumulator variable as a pure function of the accumulator's
+  previous value, the current tuple, and loop-invariant values.
+
+External dependence edges — updates to database state, writes to variables
+that are read before being written in the same iteration in unsupported ways,
+``break``/``return`` inside the loop, calls with unknown side effects on
+shared state — make the loop non-representable as a fold (the preconditions
+fail) and the builder leaves the loop untouched.
+
+This module provides a light-weight analysis sufficient for the patterns the
+paper evaluates: it computes, per statement, the sets of variables read and
+written and classifies accumulator updates.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class StatementFacts:
+    """Reads/writes and classification of one loop-body statement."""
+
+    node: ast.stmt
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    #: 'binding' | 'accumulate' | 'guard' | 'work' | 'unsupported'
+    classification: str = "work"
+    reason: str = ""
+
+
+@dataclass
+class LoopDependenceInfo:
+    """Result of analysing a loop body."""
+
+    statements: list[StatementFacts]
+    loop_variable: str
+    #: variables written in the loop whose value escapes the loop
+    accumulators: set[str] = field(default_factory=set)
+    #: variables bound fresh each iteration (loop-local temporaries)
+    locals_: set[str] = field(default_factory=set)
+    has_external_effects: bool = False
+    failure_reasons: list[str] = field(default_factory=list)
+
+    @property
+    def is_foldable(self) -> bool:
+        """True when the Figure-9 preconditions (minus P2) are satisfied."""
+        return not self.has_external_effects and not self.failure_reasons
+
+
+#: Calls considered to have external side effects (database writes, I/O).
+_EFFECTFUL_CALL_SUFFIXES = {
+    "execute_update",
+    "update_rows",
+    "insert",
+    "delete",
+    "save",
+    "persist",
+    "write",
+    "print",
+}
+
+#: Calls that are known-pure data accesses (allowed inside a foldable loop).
+_PURE_DATA_CALLS = {
+    "execute_query",
+    "execute_query_result",
+    "load_all",
+    "get",
+    "lookup",
+    "append",
+    "add",
+    "put",
+}
+
+
+def analyze_loop_body(
+    body: list[ast.stmt], loop_variable: str
+) -> LoopDependenceInfo:
+    """Analyse the statements of a cursor-loop body."""
+    info = LoopDependenceInfo(statements=[], loop_variable=loop_variable)
+    bound_locals: set[str] = {loop_variable}
+    for stmt in body:
+        facts = _analyze_statement(stmt, bound_locals)
+        info.statements.append(facts)
+        if facts.classification == "unsupported":
+            info.failure_reasons.append(facts.reason)
+        elif facts.classification == "binding":
+            bound_locals |= facts.writes
+            info.locals_ |= facts.writes
+        elif facts.classification == "accumulate":
+            info.accumulators |= facts.writes
+        if _has_external_effect(stmt):
+            info.has_external_effects = True
+            info.failure_reasons.append(
+                f"statement has external side effects: {ast.unparse(stmt)}"
+            )
+    return info
+
+
+def _analyze_statement(stmt: ast.stmt, bound_locals: set[str]) -> StatementFacts:
+    facts = StatementFacts(node=stmt)
+    facts.reads = _names_read(stmt)
+    facts.writes = _names_written(stmt)
+
+    if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+        facts.classification = "unsupported"
+        facts.reason = f"control-flow escape inside loop: {ast.unparse(stmt)}"
+        return facts
+
+    if isinstance(stmt, ast.If):
+        # A guard around accumulations: analyse its body recursively.
+        inner = analyze_loop_body(stmt.body + stmt.orelse, loop_variable="")
+        if inner.failure_reasons:
+            facts.classification = "unsupported"
+            facts.reason = "; ".join(inner.failure_reasons)
+        else:
+            facts.classification = "guard"
+        facts.writes |= {
+            name for s in inner.statements for name in s.writes
+        }
+        return facts
+
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            if target.id in facts.reads:
+                facts.classification = "accumulate"
+            else:
+                facts.classification = "binding"
+            return facts
+        if isinstance(target, ast.Subscript):
+            # map[key] = value — a map-put accumulation.
+            facts.classification = "accumulate"
+            facts.writes |= _names_read_expr(target.value)
+            return facts
+
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        facts.classification = "accumulate"
+        facts.writes.add(stmt.target.id)
+        return facts
+
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        method = _call_method_name(stmt.value)
+        if method in {"append", "add", "put"}:
+            facts.classification = "accumulate"
+            facts.writes |= _names_read_expr(stmt.value.func)
+            return facts
+        if method in _PURE_DATA_CALLS:
+            facts.classification = "work"
+            return facts
+        facts.classification = "work"
+        return facts
+
+    if isinstance(stmt, ast.For):
+        facts.classification = "nested_loop"
+        return facts
+
+    facts.classification = "work"
+    return facts
+
+
+def _has_external_effect(stmt: ast.stmt) -> bool:
+    """Detect statements with database-write or I/O effects."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            method = _call_method_name(node)
+            if method in _EFFECTFUL_CALL_SUFFIXES:
+                return True
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            return True
+    return False
+
+
+def _call_method_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _names_read(stmt: ast.stmt) -> set[str]:
+    reads: set[str] = set()
+    if isinstance(stmt, ast.AugAssign):
+        # An augmented assignment reads its own target.
+        reads |= _names_read_expr(stmt.target)
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            reads.add(node.id)
+    return reads
+
+
+def _names_written(stmt: ast.stmt) -> set[str]:
+    writes: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.AugStore if hasattr(ast, "AugStore") else ast.Store)
+        ):
+            writes.add(node.id)
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        writes.add(stmt.target.id)
+    return writes
+
+
+def _names_read_expr(expr: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }

@@ -1,0 +1,330 @@
+"""F-IR expression nodes.
+
+The node set covers what the paper's Figure 8/10/11 use:
+
+* imperative-side values: constants, variables, parametric accumulator
+  references (the ``<v>`` notation), attribute/column accesses, arithmetic,
+  comparisons, function calls, collection insertion and map put,
+* relational-side values: ``QueryExpr`` (a SQL query / algebra tree leaf),
+  ``InnerLookupQuery`` (an ``executeQuery(σ R.A = Q.B (R))`` issued inside a
+  loop body — the shape rules T4 and N1 match on), ``CacheLookup`` and
+  ``Prefetch`` (rule N1's client-side operators),
+* the loop abstraction: ``Fold(function, initial, query)`` extended with
+  ``TupleExpr`` and ``ProjectExpr`` for dependent aggregations,
+* region-combining operators used by rewritten expressions: ``SeqExpr`` and
+  ``CondExec`` (the ``?`` conditional-execution operator of rule T2/N2).
+
+Every node renders a readable text form via ``describe()`` (used in tests and
+documentation) and exposes ``children()`` for generic traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+class FIRError(Exception):
+    """Raised when an F-IR expression cannot be built or transformed."""
+
+
+class FIRNode:
+    """Base class of all F-IR nodes."""
+
+    def children(self) -> tuple["FIRNode", ...]:
+        """Immediate child nodes."""
+        return ()
+
+    def describe(self) -> str:
+        """A compact human-readable rendering of the node."""
+        raise NotImplementedError
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+# -- scalar / imperative-side nodes ---------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(FIRNode):
+    """A constant value (including ``{}`` / ``[]`` initial accumulators)."""
+
+    value: Any
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(FIRNode):
+    """A reference to a program variable available at region entry."""
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ParamVar(FIRNode):
+    """A parametric accumulator reference — the paper's ``<v>`` notation."""
+
+    name: str
+
+    def describe(self) -> str:
+        return f"<{self.name}>"
+
+
+@dataclass(frozen=True)
+class ColumnOf(FIRNode):
+    """``Q.column`` — the value of a column of the current tuple of a query."""
+
+    source: str
+    column: str
+
+    def describe(self) -> str:
+        return f"{self.source}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Attr(FIRNode):
+    """A generic attribute access on a non-query value."""
+
+    base: FIRNode
+    name: str
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.base,)
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}.{self.name}"
+
+
+@dataclass(frozen=True)
+class BinOp(FIRNode):
+    """Binary arithmetic (``+``, ``-``, ``*``, ``/``) or comparison."""
+
+    op: str
+    left: FIRNode
+    right: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Call(FIRNode):
+    """A call to an opaque (side-effect free) function such as ``my_func``."""
+
+    function: str
+    args: tuple[FIRNode, ...]
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return self.args
+
+    def describe(self) -> str:
+        rendered = ", ".join(a.describe() for a in self.args)
+        return f"{self.function}({rendered})"
+
+
+@dataclass(frozen=True)
+class Insert(FIRNode):
+    """Collection insertion — the ``insert`` function of rules T1/T4."""
+
+    collection: FIRNode
+    element: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.collection, self.element)
+
+    def describe(self) -> str:
+        return f"insert({self.collection.describe()}, {self.element.describe()})"
+
+
+@dataclass(frozen=True)
+class MapPut(FIRNode):
+    """Map/dictionary put — used by dependent aggregations (Figure 8)."""
+
+    mapping: FIRNode
+    key: FIRNode
+    value: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.mapping, self.key, self.value)
+
+    def describe(self) -> str:
+        return (
+            f"put({self.mapping.describe()}, {self.key.describe()}, "
+            f"{self.value.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class CondExec(FIRNode):
+    """The ``?`` operator: execute ``body`` only when ``predicate`` holds."""
+
+    predicate: FIRNode
+    body: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.predicate, self.body)
+
+    def describe(self) -> str:
+        return f"?({self.predicate.describe()}, {self.body.describe()})"
+
+
+# -- relational-side nodes -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryExpr(FIRNode):
+    """A relational query leaf, carried as SQL text (parsed on demand)."""
+
+    sql: str
+    label: str = "Q"
+
+    def describe(self) -> str:
+        return f"{self.label}[{self.sql}]"
+
+
+@dataclass(frozen=True)
+class InnerLookupQuery(FIRNode):
+    """``executeQuery(σ table.key_column = <key expression> (table))``.
+
+    This is the per-iteration lookup query issued inside a cursor loop (either
+    an explicit parameterised query or an ORM lazy load); it is exactly the
+    pattern rules T4 (join identification) and N1 (prefetching) rewrite.
+    """
+
+    table: str
+    key_column: str
+    key_expression: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.key_expression,)
+
+    def describe(self) -> str:
+        return (
+            f"executeQuery(σ {self.table}.{self.key_column} = "
+            f"{self.key_expression.describe()} ({self.table}))"
+        )
+
+
+@dataclass(frozen=True)
+class CacheLookup(FIRNode):
+    """A local cache lookup (rule N1's ``lookup``)."""
+
+    region: str
+    key_expression: FIRNode
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.key_expression,)
+
+    def describe(self) -> str:
+        return f"lookup({self.key_expression.describe()}, {self.region!r})"
+
+
+@dataclass(frozen=True)
+class Prefetch(FIRNode):
+    """Rule N1's ``prefetch(R, A)``: fetch relation R and cache it by column A."""
+
+    table: str
+    key_column: str
+    sql: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"prefetch({self.table}, {self.key_column})"
+
+
+# -- fold and its extensions ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TupleExpr(FIRNode):
+    """The ``tuple`` operator: an n-tuple of expressions (n >= 1)."""
+
+    items: tuple[FIRNode, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise FIRError("tuple requires at least one item")
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return self.items
+
+    def describe(self) -> str:
+        return "tuple(" + ", ".join(i.describe() for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class ProjectExpr(FIRNode):
+    """The ``project`` operator: the i-th component of a tuple expression."""
+
+    source: FIRNode
+    index: int
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"project{self.index}({self.source.describe()})"
+
+
+@dataclass(frozen=True)
+class Fold(FIRNode):
+    """``fold(function, initial, query)`` — the loop abstraction.
+
+    ``function`` is the aggregation function applied per tuple (a single
+    expression or, with the tuple/project extension, a :class:`TupleExpr`);
+    ``initial`` is the value of the accumulator(s) before the loop;
+    ``query`` is the query whose result the loop iterates over.
+    """
+
+    function: FIRNode
+    initial: FIRNode
+    query: QueryExpr
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return (self.function, self.initial, self.query)
+
+    def describe(self) -> str:
+        return (
+            f"fold({self.function.describe()}, {self.initial.describe()}, "
+            f"{self.query.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class SeqExpr(FIRNode):
+    """Sequential composition of F-IR expressions (rule N1's ``seq``)."""
+
+    items: tuple[FIRNode, ...]
+
+    def children(self) -> tuple[FIRNode, ...]:
+        return self.items
+
+    def describe(self) -> str:
+        return "seq(" + ", ".join(i.describe() for i in self.items) + ")"
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def contains_node(root: FIRNode, node_type: type) -> bool:
+    """True if any node in ``root`` is an instance of ``node_type``."""
+    return any(isinstance(node, node_type) for node in root.walk())
+
+
+def find_nodes(root: FIRNode, node_type: type) -> list[FIRNode]:
+    """All nodes of ``node_type`` in ``root`` (pre-order)."""
+    return [node for node in root.walk() if isinstance(node, node_type)]

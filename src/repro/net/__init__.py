@@ -1,0 +1,27 @@
+"""Network simulation substrate.
+
+The paper runs its client programs against a remote MySQL server and emulates
+two network conditions (slow remote: 500 kbps / 250 ms latency; fast local:
+6 Gbps / 0.5 ms RTT).  This package replaces the physical network with a
+deterministic simulator:
+
+* :class:`repro.net.clock.VirtualClock` — an accounted virtual clock,
+* :class:`repro.net.network.NetworkConditions` — bandwidth/latency parameters
+  with the paper's two presets,
+* :class:`repro.net.connection.SimulatedConnection` — a JDBC-like connection
+  that executes queries against the in-memory database and charges round-trip,
+  server, and transfer time to the virtual clock.
+"""
+
+from repro.net.clock import VirtualClock
+from repro.net.connection import ConnectionStats, SimulatedConnection
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
+
+__all__ = [
+    "ConnectionStats",
+    "FAST_LOCAL",
+    "NetworkConditions",
+    "SLOW_REMOTE",
+    "SimulatedConnection",
+    "VirtualClock",
+]

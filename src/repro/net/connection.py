@@ -1,0 +1,124 @@
+"""A simulated JDBC-style connection between the application and the database.
+
+Every query executed through :class:`SimulatedConnection` charges the virtual
+clock with the same components the paper's cost model accounts for:
+
+    CQ = CNRT + CFQ + max(NQ * Srow(Q) / BW, CLQ - CFQ)
+
+i.e. one round trip, the server's time to first row, and then whichever of
+network transfer or remaining server work dominates (they overlap because the
+server streams results).  The connection also tracks per-run statistics
+(queries issued, rows and bytes transferred) so experiments can report the
+N+1-select behaviour directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.db.database import Database, QueryResult
+from repro.net.clock import VirtualClock
+from repro.net.network import NetworkConditions
+
+
+@dataclass
+class ConnectionStats:
+    """Counters accumulated over the life of a connection."""
+
+    queries: int = 0
+    round_trips: int = 0
+    rows_transferred: int = 0
+    bytes_transferred: int = 0
+    network_time: float = 0.0
+    server_time: float = 0.0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.round_trips = 0
+        self.rows_transferred = 0
+        self.bytes_transferred = 0
+        self.network_time = 0.0
+        self.server_time = 0.0
+
+
+class SimulatedConnection:
+    """Executes SQL against a :class:`Database` over a simulated network."""
+
+    def __init__(
+        self,
+        database: Database,
+        network: NetworkConditions,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.database = database
+        self.network = network
+        self.clock = clock or VirtualClock()
+        self.stats = ConnectionStats()
+
+    # -- query execution -------------------------------------------------
+
+    def execute_query(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """Execute a SELECT and charge round trip + server + transfer time."""
+        result = self.database.execute_sql(sql, params)
+        estimate = self.database.estimate_sql(sql, params)
+        # Use the actual cardinality for transfer accounting but the
+        # optimizer estimate for server-side time (first/last row).
+        transfer_time = self.network.transfer_time(result.byte_size)
+        server_first = estimate.first_row_time
+        server_rest = max(0.0, estimate.last_row_time - estimate.first_row_time)
+        elapsed = (
+            self.network.round_trip_seconds
+            + server_first
+            + max(transfer_time, server_rest)
+        )
+        self.clock.advance(elapsed)
+        self._record(result, transfer_time, server_first + server_rest)
+        return result
+
+    def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Execute an UPDATE over the network (one round trip, tiny payload)."""
+        changed = self.database.execute_update_sql(sql, params)
+        self.clock.advance(self.network.round_trip_seconds)
+        self.stats.queries += 1
+        self.stats.round_trips += 1
+        self.stats.network_time += self.network.round_trip_seconds
+        return changed
+
+    def execute_lookup(
+        self, table: str, key_column: str, key_value: Any
+    ) -> QueryResult:
+        """Point lookup helper: ``SELECT * FROM table WHERE key_column = ?``.
+
+        This is the query shape the ORM issues for lazy loads, i.e. the N+1
+        select pattern.
+        """
+        sql = f"select * from {table} where {key_column} = ?"
+        return self.execute_query(sql, (key_value,))
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _record(
+        self, result: QueryResult, transfer_time: float, server_time: float
+    ) -> None:
+        self.stats.queries += 1
+        self.stats.round_trips += 1
+        self.stats.rows_transferred += result.cardinality
+        self.stats.bytes_transferred += result.byte_size
+        self.stats.network_time += (
+            self.network.round_trip_seconds + transfer_time
+        )
+        self.stats.server_time += server_time
+
+    @property
+    def elapsed(self) -> float:
+        """Current virtual time on this connection's clock."""
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Reset the clock and the statistics (start of an experiment run)."""
+        self.clock.reset()
+        self.stats.reset()
+        self.database.reset_counters()

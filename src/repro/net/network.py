@@ -1,0 +1,85 @@
+"""Network condition parameters and transfer-time model.
+
+The cost model's network terms (Figure 12 in the paper) are:
+
+* ``CNRT`` — network round trip time between client and database,
+* ``BW``   — network bandwidth in bytes/second.
+
+The two presets mirror the paper's experimental setup:
+
+* slow remote network: bandwidth 500 kbps, latency 250 ms
+  (round trip = 2 x 250 ms = 0.5 s as an upper bound; the paper quotes the
+  one-way latency, we expose both and use latency per direction),
+* fast local network: bandwidth 6 Gbps, round trip time 0.5 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Bandwidth/latency description of the client-database link."""
+
+    name: str
+    bandwidth_bytes_per_sec: float
+    round_trip_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.round_trip_seconds < 0:
+            raise ValueError("round trip time must be non-negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Time in seconds to push ``num_bytes`` through the link."""
+        if num_bytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        return num_bytes / self.bandwidth_bytes_per_sec
+
+    def round_trips(self, count: int) -> float:
+        """Total latency of ``count`` request/response round trips."""
+        if count < 0:
+            raise ValueError("round trip count must be non-negative")
+        return count * self.round_trip_seconds
+
+    def scaled(self, bandwidth_factor: float = 1.0, latency_factor: float = 1.0):
+        """Return a copy with bandwidth/latency scaled (for sensitivity sweeps)."""
+        return NetworkConditions(
+            name=f"{self.name}-scaled",
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec * bandwidth_factor,
+            round_trip_seconds=self.round_trip_seconds * latency_factor,
+        )
+
+
+def _kbps(value: float) -> float:
+    """Kilobits per second to bytes per second."""
+    return value * 1000.0 / 8.0
+
+
+def _gbps(value: float) -> float:
+    """Gigabits per second to bytes per second."""
+    return value * 1e9 / 8.0
+
+
+#: The paper's "slow remote network": 500 kbps bandwidth, 250 ms latency.
+#: We charge the full request/response latency (2 x 250 ms) per round trip.
+SLOW_REMOTE = NetworkConditions(
+    name="slow-remote",
+    bandwidth_bytes_per_sec=_kbps(500),
+    round_trip_seconds=0.5,
+)
+
+#: The paper's "fast local network": 6 Gbps bandwidth, 0.5 ms round trip time.
+FAST_LOCAL = NetworkConditions(
+    name="fast-local",
+    bandwidth_bytes_per_sec=_gbps(6),
+    round_trip_seconds=0.0005,
+)
+
+#: All presets by name, for the cost catalog file.
+PRESETS = {
+    "slow-remote": SLOW_REMOTE,
+    "fast-local": FAST_LOCAL,
+}

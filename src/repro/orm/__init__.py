@@ -1,0 +1,27 @@
+"""Hibernate-like object-relational mapping substrate.
+
+The paper's motivating programs use the Hibernate ORM; the behaviours COBRA's
+cost model depends on are reproduced here:
+
+* entity classes mapped to tables with column fields and many-to-one
+  relationships (:mod:`repro.orm.mapping`),
+* a :class:`repro.orm.session.Session` with ``load_all`` (fetch a whole
+  entity's table), lazy loading of many-to-one attributes (each first access
+  issues a separate point-lookup query — the N+1 select problem), and a
+  first-level cache keyed by primary key so repeated accesses to the same row
+  do not re-query the database,
+* a native-SQL escape hatch (``Session.execute_query``) corresponding to the
+  Hibernate SQL query API used by program P1.
+"""
+
+from repro.orm.mapping import EntityDefinition, Field, ManyToOne, MappingRegistry
+from repro.orm.session import EntityObject, Session
+
+__all__ = [
+    "EntityDefinition",
+    "EntityObject",
+    "Field",
+    "ManyToOne",
+    "MappingRegistry",
+    "Session",
+]

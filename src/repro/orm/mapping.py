@@ -1,0 +1,114 @@
+"""Entity-to-table mapping definitions (the @Entity/@Table/@ManyToOne layer).
+
+A :class:`MappingRegistry` holds :class:`EntityDefinition` objects, each of
+which maps an entity name (e.g. ``"Order"``) to a database table
+(``"orders"``), lists its scalar fields, and declares many-to-one
+relationships (e.g. ``Order.customer`` joined on ``o_customer_sk`` →
+``customer.c_customer_sk``).  The COBRA region analysis consults the registry
+to recognise which attribute accesses imply lazy-load queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class MappingError(Exception):
+    """Raised for invalid or missing mapping definitions."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """A scalar field mapped to a table column."""
+
+    name: str
+    column: str
+
+
+@dataclass(frozen=True)
+class ManyToOne:
+    """A many-to-one relationship to another entity.
+
+    ``join_column`` is the foreign-key column on this entity's table;
+    ``target_key_column`` is the referenced (usually primary key) column on
+    the target entity's table.
+    """
+
+    name: str
+    target_entity: str
+    join_column: str
+    target_key_column: str
+
+
+class EntityDefinition:
+    """Mapping of one entity class to a table."""
+
+    def __init__(
+        self,
+        entity: str,
+        table: str,
+        id_column: str,
+        fields: Iterable[Field] = (),
+        relations: Iterable[ManyToOne] = (),
+    ) -> None:
+        self.entity = entity
+        self.table = table
+        self.id_column = id_column
+        self.fields: list[Field] = list(fields)
+        self.relations: dict[str, ManyToOne] = {r.name: r for r in relations}
+
+    def relation(self, name: str) -> ManyToOne:
+        """Look up a many-to-one relationship by attribute name."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise MappingError(
+                f"entity {self.entity!r} has no relation {name!r}; "
+                f"relations are {sorted(self.relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        """Return True if ``name`` is a declared many-to-one relation."""
+        return name in self.relations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EntityDefinition({self.entity!r} -> {self.table!r})"
+
+
+class MappingRegistry:
+    """All entity definitions known to a session factory."""
+
+    def __init__(self) -> None:
+        self._by_entity: dict[str, EntityDefinition] = {}
+        self._by_table: dict[str, EntityDefinition] = {}
+
+    def register(self, definition: EntityDefinition) -> EntityDefinition:
+        """Register an entity definition; returns it for chaining."""
+        if definition.entity in self._by_entity:
+            raise MappingError(f"entity {definition.entity!r} already registered")
+        self._by_entity[definition.entity] = definition
+        self._by_table[definition.table] = definition
+        return definition
+
+    def entity(self, name: str) -> EntityDefinition:
+        """Look up a definition by entity name."""
+        try:
+            return self._by_entity[name]
+        except KeyError:
+            raise MappingError(
+                f"unknown entity {name!r}; known entities are "
+                f"{sorted(self._by_entity)}"
+            ) from None
+
+    def by_table(self, table: str) -> Optional[EntityDefinition]:
+        """Look up a definition by table name, or ``None``."""
+        return self._by_table.get(table)
+
+    def has_entity(self, name: str) -> bool:
+        """Return True if ``name`` is a registered entity."""
+        return name in self._by_entity
+
+    def entities(self) -> list[str]:
+        """Names of all registered entities."""
+        return sorted(self._by_entity)

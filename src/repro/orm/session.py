@@ -1,0 +1,167 @@
+"""A Hibernate-like session: load_all, lazy many-to-one loads, first-level cache.
+
+:class:`EntityObject` wraps one row and exposes mapped columns as attributes.
+Accessing a many-to-one attribute (``order.customer``) triggers a lazy load:
+if the target row is not in the session's first-level cache, the session
+issues a point-lookup query over the connection — this is exactly the N+1
+select behaviour of program P0 in the paper.  Once loaded, the row is cached
+by primary key, which is what makes P0 competitive with P1 on a fast local
+network at high Order cardinality (Experiment 2's observation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.net.connection import SimulatedConnection
+from repro.orm.mapping import EntityDefinition, MappingError, MappingRegistry
+
+
+class EntityObject:
+    """A mapped row: column values as attributes plus lazy relations."""
+
+    def __init__(
+        self, session: "Session", definition: EntityDefinition, row: dict
+    ) -> None:
+        # Use object.__setattr__ to avoid recursing through __getattr__.
+        object.__setattr__(self, "_session", session)
+        object.__setattr__(self, "_definition", definition)
+        object.__setattr__(self, "_row", dict(row))
+
+    @property
+    def row(self) -> dict:
+        """The underlying row values (a copy is not taken; do not mutate)."""
+        return self._row
+
+    @property
+    def entity_name(self) -> str:
+        """Name of the mapped entity."""
+        return self._definition.entity
+
+    @property
+    def id(self) -> Any:
+        """Primary key value of this object."""
+        return self._row.get(self._definition.id_column)
+
+    def __getattr__(self, name: str) -> Any:
+        row = object.__getattribute__(self, "_row")
+        if name in row:
+            return row[name]
+        definition = object.__getattribute__(self, "_definition")
+        if definition.has_relation(name):
+            session = object.__getattribute__(self, "_session")
+            return session._load_relation(self, definition.relation(name))
+        raise AttributeError(
+            f"{definition.entity} object has no attribute or mapped column "
+            f"{name!r}"
+        )
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Dictionary-style access to a mapped column."""
+        return self._row.get(name, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.entity_name} id={self.id!r}>"
+
+
+class Session:
+    """A unit-of-work session over a simulated connection."""
+
+    def __init__(
+        self, registry: MappingRegistry, connection: SimulatedConnection
+    ) -> None:
+        self.registry = registry
+        self.connection = connection
+        # First-level cache: (entity, primary key) -> EntityObject.
+        self._cache: dict[tuple[str, Any], EntityObject] = {}
+        self.lazy_loads = 0
+        self.cache_hits = 0
+
+    # -- loading ---------------------------------------------------------
+
+    def load_all(self, entity: str) -> list[EntityObject]:
+        """Fetch every row of the entity's table (Hibernate's loadAll)."""
+        definition = self.registry.entity(entity)
+        result = self.connection.execute_query(
+            f"select * from {definition.table}"
+        )
+        objects = []
+        for row in result.rows:
+            obj = self._materialise(definition, row)
+            objects.append(obj)
+        return objects
+
+    def get(self, entity: str, key: Any) -> Optional[EntityObject]:
+        """Fetch one object by primary key, using the first-level cache."""
+        definition = self.registry.entity(entity)
+        cached = self._cache.get((entity, key))
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self.connection.execute_lookup(
+            definition.table, definition.id_column, key
+        )
+        if not result.rows:
+            return None
+        return self._materialise(definition, result.rows[0])
+
+    def execute_query(self, sql: str, params: Iterable[Any] = ()) -> list[dict]:
+        """Run a native SQL query (Hibernate SQL query API); returns row dicts."""
+        result = self.connection.execute_query(sql, tuple(params))
+        return result.rows
+
+    # -- internals -------------------------------------------------------
+
+    def _materialise(
+        self, definition: EntityDefinition, row: dict
+    ) -> EntityObject:
+        key = row.get(definition.id_column)
+        cached = self._cache.get((definition.entity, key))
+        if cached is not None:
+            return cached
+        # Strip the executor's qualified duplicate keys ("alias.column").
+        clean = {k: v for k, v in row.items() if "." not in k}
+        obj = EntityObject(self, definition, clean)
+        if key is not None:
+            self._cache[(definition.entity, key)] = obj
+        return obj
+
+    def _load_relation(
+        self, source: EntityObject, relation
+    ) -> Optional[EntityObject]:
+        """Lazily load a many-to-one target, hitting the cache first."""
+        target_def = self.registry.entity(relation.target_entity)
+        fk_value = source.get(relation.join_column)
+        if fk_value is None:
+            return None
+        cached = self._cache.get((relation.target_entity, fk_value))
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.lazy_loads += 1
+        result = self.connection.execute_lookup(
+            target_def.table, relation.target_key_column, fk_value
+        )
+        if not result.rows:
+            return None
+        return self._materialise(target_def, result.rows[0])
+
+    # -- cache management ------------------------------------------------
+
+    def clear(self) -> None:
+        """Evict the first-level cache and reset counters (new transaction)."""
+        self._cache.clear()
+        self.lazy_loads = 0
+        self.cache_hits = 0
+
+    @property
+    def cache_size(self) -> int:
+        """Number of objects currently held in the first-level cache."""
+        return len(self._cache)
+
+    def definition_for(self, entity: str) -> EntityDefinition:
+        """Expose mapping lookups for the region analysis."""
+        try:
+            return self.registry.entity(entity)
+        except MappingError:
+            raise

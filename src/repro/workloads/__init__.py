@@ -1,0 +1,17 @@
+"""Workloads: schemas, synthetic data generators, and the programs under study.
+
+* :mod:`repro.workloads.tpcds` — the orders/customer schema with TPC-DS row
+  widths used in Experiments 1-3, plus a deterministic data generator.
+* :mod:`repro.workloads.programs` — the P0/P1/P2 program variants of the
+  motivating example (Figure 3) as runnable callables and as Python source
+  for the optimizer.
+* :mod:`repro.workloads.wilos` — a Wilos-like schema and data generator for
+  Experiment 4 (Figures 14-16).
+* :mod:`repro.workloads.wilos_programs` — the six cost-based-choice patterns
+  A-F with original / heuristic / SQL / prefetch variants.
+* :mod:`repro.workloads.generator` — shared deterministic value generators.
+"""
+
+from repro.workloads.generator import DeterministicGenerator
+
+__all__ = ["DeterministicGenerator"]

@@ -1,0 +1,54 @@
+"""Deterministic synthetic-value generation shared by the workload builders.
+
+Experiments must be reproducible run to run, so all "randomness" comes from a
+small linear-congruential generator seeded explicitly — no global state and no
+dependence on Python's hash randomisation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class DeterministicGenerator:
+    """A tiny seeded pseudo-random generator (LCG) for synthetic data."""
+
+    _MODULUS = 2**31 - 1
+    _MULTIPLIER = 48271
+
+    def __init__(self, seed: int = 42) -> None:
+        if seed <= 0:
+            seed = 42
+        self._state = seed % self._MODULUS or 1
+
+    def next_int(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        self._state = (self._state * self._MULTIPLIER) % self._MODULUS
+        span = high - low + 1
+        return low + self._state % span
+
+    def next_float(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform float in [low, high)."""
+        self._state = (self._state * self._MULTIPLIER) % self._MODULUS
+        fraction = self._state / self._MODULUS
+        return low + fraction * (high - low)
+
+    def choice(self, options: Sequence):
+        """Pick one element of ``options`` uniformly."""
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return options[self.next_int(0, len(options) - 1)]
+
+    def string(self, prefix: str, width: int = 12) -> str:
+        """A deterministic string value of roughly ``width`` characters."""
+        value = self.next_int(0, 10**8)
+        body = f"{prefix}{value:08d}"
+        if len(body) < width:
+            body = body + "x" * (width - len(body))
+        return body[:width]
+
+    def boolean(self, probability_true: float = 0.5) -> bool:
+        """A boolean that is True with the given probability."""
+        return self.next_float() < probability_true

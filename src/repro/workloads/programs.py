@@ -1,0 +1,147 @@
+"""The motivating example programs P0, P1, P2 (Figure 3 of the paper).
+
+Each variant is provided twice:
+
+* as a runnable callable taking an :class:`repro.appsim.runtime.AppRuntime`
+  (used to measure actual virtual execution time in Experiments 1-3), and
+* as Python source text (``P0_SOURCE`` etc.) that the COBRA optimizer parses
+  with the ``ast`` module, region-analyses, and rewrites.
+
+All three variants compute exactly the same result — a list of
+``my_func(o_id, c_birth_year)`` values over the join of orders and customer —
+so the experiments can assert equivalence before comparing times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.appsim.runtime import AppRuntime
+
+
+def my_func(o_id: Any, c_birth_year: Any) -> tuple:
+    """The opaque per-tuple business function from the paper's example."""
+    return (o_id, c_birth_year)
+
+
+# -- P0: Hibernate ORM with the N+1 select problem ------------------------
+
+
+def p0_orm(rt: AppRuntime) -> List[tuple]:
+    """Figure 3a — load all orders, lazily load each order's customer."""
+    result = []
+    for o in rt.orm.load_all("Order"):
+        cust = o.customer
+        val = my_func(o.o_id, cust.c_birth_year)
+        result.append(val)
+        rt.work(3)
+    return sorted(result)
+
+
+P0_SOURCE = '''
+def process_orders(rt):
+    result = []
+    for o in rt.orm.load_all("Order"):
+        cust = o.customer
+        val = my_func(o.o_id, cust.c_birth_year)
+        result.append(val)
+    return result
+'''
+
+
+# -- P1: single SQL join query (push computation to the database) ---------
+
+JOIN_SQL = (
+    "select * from orders o join customer c "
+    "on o.o_customer_sk = c.c_customer_sk"
+)
+
+
+def p1_sql_join(rt: AppRuntime) -> List[tuple]:
+    """Figure 3b — one join query, loop over the join result."""
+    result = []
+    for r in rt.execute_query(JOIN_SQL):
+        val = my_func(r["o_id"], r["c_birth_year"])
+        result.append(val)
+        rt.work(2)
+    return sorted(result)
+
+
+P1_SOURCE = f'''
+def process_orders(rt):
+    result = []
+    join_res = rt.execute_query("{JOIN_SQL}")
+    for r in join_res:
+        val = my_func(r["o_id"], r["c_birth_year"])
+        result.append(val)
+    return result
+'''
+
+
+# -- P2: prefetch both relations and join at the application --------------
+
+
+def p2_prefetch(rt: AppRuntime) -> List[tuple]:
+    """Figure 3c — prefetch customer, cache by key, loop over orders."""
+    result = []
+    customers = rt.execute_query("select * from customer")
+    rt.cache.cache_by_column(customers, "c_customer_sk")
+    for o in rt.execute_query("select * from orders"):
+        cust = rt.lookup(o["o_customer_sk"], "c_customer_sk")
+        val = my_func(o["o_id"], cust["c_birth_year"])
+        result.append(val)
+        rt.work(3)
+    return sorted(result)
+
+
+P2_SOURCE = '''
+def process_orders(rt):
+    result = []
+    customers = rt.execute_query("select * from customer")
+    rt.cache.cache_by_column(customers, "c_customer_sk")
+    for o in rt.execute_query("select * from orders"):
+        cust = rt.lookup(o["o_customer_sk"], "c_customer_sk")
+        val = my_func(o["o_id"], cust["c_birth_year"])
+        result.append(val)
+    return result
+'''
+
+
+#: All three variants by label, in the order the paper plots them.
+VARIANTS = {
+    "Hibernate(P0)": p0_orm,
+    "SQL Query(P1)": p1_sql_join,
+    "Prefetching(P2)": p2_prefetch,
+}
+
+#: Source text for the optimizer, keyed the same way.
+VARIANT_SOURCES = {
+    "Hibernate(P0)": P0_SOURCE,
+    "SQL Query(P1)": P1_SOURCE,
+    "Prefetching(P2)": P2_SOURCE,
+}
+
+
+# -- the aggregation example from Figure 7 --------------------------------
+
+M0_SOURCE = '''
+def my_sum(rt):
+    total = 0
+    c_sum = {}
+    for t in rt.execute_query("select month, sale_amt from sales order by month"):
+        total = total + t["sale_amt"]
+        c_sum[t["month"]] = total
+    return (total, c_sum)
+'''
+
+
+def m0_aggregations(rt: AppRuntime) -> tuple:
+    """Figure 7 — dependent aggregations (sum and cumulative sum) in a loop."""
+    total = 0
+    c_sum = {}
+    query = "select month, sale_amt from sales order by month"
+    for t in rt.execute_query(query):
+        total = total + t["sale_amt"]
+        c_sum[t["month"]] = total
+        rt.work(2)
+    return (total, c_sum)

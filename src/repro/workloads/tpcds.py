@@ -1,0 +1,196 @@
+"""The orders/customer workload used in Experiments 1-3 (Figure 13).
+
+The paper sizes each row of Order and Customer "according to the TPC-DS
+benchmark specification".  TPC-DS's ``catalog_sales`` rows are roughly 226
+bytes wide and ``customer`` rows roughly 132 bytes wide; we use a compact
+schema whose declared column widths sum to those figures so network-transfer
+accounting matches the paper's setup.
+
+``build_orders_database`` creates the schema, generates ``num_orders`` order
+rows and ``num_customers`` customer rows deterministically (each order's
+``o_customer_sk`` references a uniformly chosen customer), loads statistics,
+and returns a ready :class:`repro.db.database.Database`.
+``build_runtime`` additionally wires the Hibernate-like ORM mapping
+(Order.customer many-to-one) and returns an :class:`AppRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.appsim.runtime import AppRuntime
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, ForeignKey
+from repro.net.network import NetworkConditions
+from repro.orm.mapping import EntityDefinition, Field, ManyToOne, MappingRegistry
+from repro.workloads.generator import DeterministicGenerator
+
+#: Default Customer cardinality in Experiments 1 and 2.
+DEFAULT_NUM_CUSTOMERS = 73_000
+
+#: Row widths (bytes) approximating the TPC-DS specification.
+ORDER_ROW_WIDTH = 226
+CUSTOMER_ROW_WIDTH = 132
+
+
+def customer_columns() -> list[Column]:
+    """Columns of the ``customer`` table (sums to CUSTOMER_ROW_WIDTH bytes)."""
+    return [
+        Column("c_customer_sk", ColumnType.INT, width=8),
+        Column("c_customer_id", ColumnType.STRING, width=16),
+        Column("c_first_name", ColumnType.STRING, width=20),
+        Column("c_last_name", ColumnType.STRING, width=30),
+        Column("c_birth_year", ColumnType.INT, width=8),
+        Column("c_birth_country", ColumnType.STRING, width=20),
+        Column("c_email_address", ColumnType.STRING, width=30),
+    ]
+
+
+def orders_columns() -> list[Column]:
+    """Columns of the ``orders`` table (sums to ORDER_ROW_WIDTH bytes)."""
+    return [
+        Column("o_id", ColumnType.INT, width=8),
+        Column("o_customer_sk", ColumnType.INT, width=8),
+        Column("o_order_date", ColumnType.STRING, width=10),
+        Column("o_status", ColumnType.STRING, width=8),
+        Column("o_item_sk", ColumnType.INT, width=8),
+        Column("o_quantity", ColumnType.INT, width=8),
+        Column("o_wholesale_cost", ColumnType.FLOAT, width=8),
+        Column("o_list_price", ColumnType.FLOAT, width=8),
+        Column("o_sales_price", ColumnType.FLOAT, width=8),
+        Column("o_ext_ship_cost", ColumnType.FLOAT, width=8),
+        Column("o_net_paid", ColumnType.FLOAT, width=8),
+        Column("o_net_profit", ColumnType.FLOAT, width=8),
+        Column("o_comment", ColumnType.STRING, width=128),
+    ]
+
+
+def build_orders_database(
+    num_orders: int,
+    num_customers: int = DEFAULT_NUM_CUSTOMERS,
+    seed: int = 7,
+) -> Database:
+    """Create and populate the orders/customer database."""
+    database = Database()
+    database.create_table(
+        "customer", customer_columns(), primary_key="c_customer_sk"
+    )
+    database.create_table(
+        "orders",
+        orders_columns(),
+        primary_key="o_id",
+        foreign_keys=[ForeignKey("o_customer_sk", "customer", "c_customer_sk")],
+    )
+    generator = DeterministicGenerator(seed)
+    database.insert(
+        "customer",
+        (
+            _customer_row(i, generator)
+            for i in range(1, num_customers + 1)
+        ),
+    )
+    database.insert(
+        "orders",
+        (
+            _order_row(i, num_customers, generator)
+            for i in range(1, num_orders + 1)
+        ),
+    )
+    database.analyze()
+    return database
+
+
+def build_registry() -> MappingRegistry:
+    """The Hibernate-like mapping from Figure 2: Order -> orders, Customer -> customer."""
+    registry = MappingRegistry()
+    registry.register(
+        EntityDefinition(
+            entity="Customer",
+            table="customer",
+            id_column="c_customer_sk",
+            fields=[
+                Field("c_customer_sk", "c_customer_sk"),
+                Field("c_first_name", "c_first_name"),
+                Field("c_last_name", "c_last_name"),
+                Field("c_birth_year", "c_birth_year"),
+            ],
+        )
+    )
+    registry.register(
+        EntityDefinition(
+            entity="Order",
+            table="orders",
+            id_column="o_id",
+            fields=[
+                Field("o_id", "o_id"),
+                Field("o_customer_sk", "o_customer_sk"),
+                Field("o_net_paid", "o_net_paid"),
+            ],
+            relations=[
+                ManyToOne(
+                    name="customer",
+                    target_entity="Customer",
+                    join_column="o_customer_sk",
+                    target_key_column="c_customer_sk",
+                )
+            ],
+        )
+    )
+    return registry
+
+
+def build_runtime(
+    num_orders: int,
+    num_customers: int = DEFAULT_NUM_CUSTOMERS,
+    network: Optional[NetworkConditions] = None,
+    seed: int = 7,
+) -> AppRuntime:
+    """Database + ORM mapping + network, ready to run P0/P1/P2."""
+    from repro.net.network import FAST_LOCAL
+
+    database = build_orders_database(num_orders, num_customers, seed)
+    return AppRuntime(
+        database=database,
+        network=network or FAST_LOCAL,
+        registry=build_registry(),
+    )
+
+
+# -- row generators ------------------------------------------------------
+
+
+def _customer_row(key: int, generator: DeterministicGenerator) -> dict:
+    return {
+        "c_customer_sk": key,
+        "c_customer_id": f"CUST{key:010d}",
+        "c_first_name": generator.string("fn", 20),
+        "c_last_name": generator.string("ln", 30),
+        "c_birth_year": generator.next_int(1930, 2005),
+        "c_birth_country": generator.choice(
+            ["INDIA", "USA", "GERMANY", "BRAZIL", "JAPAN"]
+        ),
+        "c_email_address": generator.string("mail", 30),
+    }
+
+
+def _order_row(
+    key: int, num_customers: int, generator: DeterministicGenerator
+) -> dict:
+    wholesale = generator.next_float(1.0, 100.0)
+    quantity = generator.next_int(1, 100)
+    return {
+        "o_id": key,
+        "o_customer_sk": generator.next_int(1, max(1, num_customers)),
+        "o_order_date": f"2002-{generator.next_int(1, 12):02d}-"
+        f"{generator.next_int(1, 28):02d}",
+        "o_status": generator.choice(["OPEN", "SHIPPED", "CLOSED"]),
+        "o_item_sk": generator.next_int(1, 10_000),
+        "o_quantity": quantity,
+        "o_wholesale_cost": round(wholesale, 2),
+        "o_list_price": round(wholesale * 1.4, 2),
+        "o_sales_price": round(wholesale * 1.2, 2),
+        "o_ext_ship_cost": round(generator.next_float(0.0, 25.0), 2),
+        "o_net_paid": round(wholesale * 1.2 * quantity, 2),
+        "o_net_profit": round(wholesale * 0.2 * quantity, 2),
+        "o_comment": generator.string("comment", 136),
+    }

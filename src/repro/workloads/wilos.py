@@ -1,0 +1,313 @@
+"""A Wilos-like schema and data generator for Experiment 4 (Figures 14-16).
+
+Wilos is an open-source process-orchestration application built on Hibernate
+and Spring; the paper identifies 32 code fragments in it where cost-based
+rewriting applies, grouped into six patterns A-F.  The application itself
+cannot be shipped here, so this module provides a synthetic schema with the
+same flavour (projects, activities, task descriptors, participants, roles,
+iterations, process breakdown elements) and a deterministic data generator
+following the paper's setup: many-to-one mapping ratio 10:1, predicate
+selectivity 20%, largest relation scaled to 1 million rows (configurable;
+benchmarks default to a smaller scale and report the analytical numbers at
+full scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appsim.runtime import AppRuntime
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, ForeignKey
+from repro.net.network import FAST_LOCAL, NetworkConditions
+from repro.workloads.generator import DeterministicGenerator
+
+#: Many-to-one mapping ratio used by the paper's data generator.
+MAPPING_RATIO = 10
+
+#: Selectivity of synthetic predicates (20% in the paper).
+PREDICATE_SELECTIVITY = 0.2
+
+#: Scale used by the paper (largest relation row count).
+PAPER_SCALE = 1_000_000
+
+#: Default scale for locally-run experiments (largest relation row count).
+DEFAULT_SCALE = 20_000
+
+
+@dataclass(frozen=True)
+class WilosScale:
+    """Row counts of every table, derived from the largest-relation scale."""
+
+    concrete_task: int
+    activity: int
+    participant: int
+    role: int
+    project: int
+    iteration: int
+    breakdown_element: int
+    descriptor: int
+    process: int
+
+    @classmethod
+    def from_largest(cls, scale: int) -> "WilosScale":
+        scale = max(scale, 100)
+        return cls(
+            concrete_task=scale,
+            activity=max(scale // MAPPING_RATIO, 10),
+            participant=max(scale // MAPPING_RATIO, 10),
+            role=max(scale // (MAPPING_RATIO**2), 5),
+            project=max(scale // (MAPPING_RATIO**2), 5),
+            iteration=max(scale // (2 * MAPPING_RATIO), 10),
+            breakdown_element=max(scale // MAPPING_RATIO, 10),
+            descriptor=max(scale // MAPPING_RATIO, 10),
+            process=max(scale // (MAPPING_RATIO**2), 5),
+        )
+
+
+def build_wilos_database(
+    scale: int = DEFAULT_SCALE, seed: int = 11
+) -> Database:
+    """Create and populate the Wilos-like database at the given scale."""
+    sizes = WilosScale.from_largest(scale)
+    database = Database()
+    _create_tables(database)
+    generator = DeterministicGenerator(seed)
+
+    database.insert(
+        "role",
+        (
+            {
+                "role_id": i,
+                "name": f"role-{i}",
+                "category": generator.choice(["dev", "test", "manage"]),
+            }
+            for i in range(1, sizes.role + 1)
+        ),
+    )
+    database.insert(
+        "project",
+        (
+            {
+                "project_id": i,
+                "name": f"project-{i}",
+                "is_finished": int(generator.boolean(PREDICATE_SELECTIVITY)),
+                "lead_id": generator.next_int(1, sizes.participant),
+            }
+            for i in range(1, sizes.project + 1)
+        ),
+    )
+    database.insert(
+        "process",
+        (
+            {"process_id": i, "name": f"process-{i}"}
+            for i in range(1, sizes.process + 1)
+        ),
+    )
+    database.insert(
+        "participant",
+        (
+            {
+                "participant_id": i,
+                "name": generator.string("member", 20),
+                "role_id": generator.next_int(1, sizes.role),
+            }
+            for i in range(1, sizes.participant + 1)
+        ),
+    )
+    database.insert(
+        "activity",
+        (
+            {
+                "activity_id": i,
+                "name": f"activity-{i}",
+                "project_id": generator.next_int(1, sizes.project),
+                "state": generator.choice(["created", "started", "finished"]),
+                "visited": 0,
+            }
+            for i in range(1, sizes.activity + 1)
+        ),
+    )
+    database.insert(
+        "iteration",
+        (
+            {
+                "iteration_id": i,
+                "project_id": generator.next_int(1, sizes.project),
+                "is_finished": int(generator.boolean(PREDICATE_SELECTIVITY)),
+                "points": generator.next_int(1, 40),
+            }
+            for i in range(1, sizes.iteration + 1)
+        ),
+    )
+    database.insert(
+        "concrete_task",
+        (
+            {
+                "task_id": i,
+                "name": generator.string("task", 24),
+                "activity_id": generator.next_int(1, sizes.activity),
+                "participant_id": generator.next_int(1, sizes.participant),
+                "state": generator.choice(
+                    ["created", "ready", "started", "finished"]
+                ),
+                "points": generator.next_int(1, 20),
+                "duration": round(generator.next_float(0.5, 40.0), 2),
+            }
+            for i in range(1, sizes.concrete_task + 1)
+        ),
+    )
+    database.insert(
+        "breakdown_element",
+        _breakdown_rows(sizes.breakdown_element, generator),
+    )
+    database.insert(
+        "descriptor",
+        (
+            {
+                "descriptor_id": i,
+                "process_id": generator.next_int(1, sizes.process),
+                "name": generator.string("descriptor", 24),
+                "state": generator.choice(["draft", "active", "done"]),
+                "points": generator.next_int(1, 30),
+            }
+            for i in range(1, sizes.descriptor + 1)
+        ),
+    )
+    database.analyze()
+    return database
+
+
+def build_wilos_runtime(
+    scale: int = DEFAULT_SCALE,
+    network: NetworkConditions = FAST_LOCAL,
+    seed: int = 11,
+) -> AppRuntime:
+    """A ready-to-run runtime over the Wilos-like database."""
+    database = build_wilos_database(scale, seed)
+    return AppRuntime(database=database, network=network)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _create_tables(database: Database) -> None:
+    database.create_table(
+        "role",
+        [
+            Column("role_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+            Column("category", ColumnType.STRING, width=12),
+        ],
+        primary_key="role_id",
+    )
+    database.create_table(
+        "project",
+        [
+            Column("project_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+            Column("is_finished", ColumnType.INT),
+            Column("lead_id", ColumnType.INT),
+        ],
+        primary_key="project_id",
+    )
+    database.create_table(
+        "process",
+        [
+            Column("process_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+        ],
+        primary_key="process_id",
+    )
+    database.create_table(
+        "participant",
+        [
+            Column("participant_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+            Column("role_id", ColumnType.INT),
+        ],
+        primary_key="participant_id",
+        foreign_keys=[ForeignKey("role_id", "role", "role_id")],
+    )
+    database.create_table(
+        "activity",
+        [
+            Column("activity_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+            Column("project_id", ColumnType.INT),
+            Column("state", ColumnType.STRING, width=12),
+            Column("visited", ColumnType.INT),
+        ],
+        primary_key="activity_id",
+        foreign_keys=[ForeignKey("project_id", "project", "project_id")],
+    )
+    database.create_table(
+        "iteration",
+        [
+            Column("iteration_id", ColumnType.INT),
+            Column("project_id", ColumnType.INT),
+            Column("is_finished", ColumnType.INT),
+            Column("points", ColumnType.INT),
+        ],
+        primary_key="iteration_id",
+        foreign_keys=[ForeignKey("project_id", "project", "project_id")],
+    )
+    database.create_table(
+        "concrete_task",
+        [
+            Column("task_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=28),
+            Column("activity_id", ColumnType.INT),
+            Column("participant_id", ColumnType.INT),
+            Column("state", ColumnType.STRING, width=12),
+            Column("points", ColumnType.INT),
+            Column("duration", ColumnType.FLOAT),
+        ],
+        primary_key="task_id",
+        foreign_keys=[
+            ForeignKey("activity_id", "activity", "activity_id"),
+            ForeignKey("participant_id", "participant", "participant_id"),
+        ],
+    )
+    database.create_table(
+        "breakdown_element",
+        [
+            Column("element_id", ColumnType.INT),
+            Column("parent_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=24),
+            Column("kind", ColumnType.STRING, width=12),
+        ],
+        primary_key="element_id",
+    )
+    database.create_table(
+        "descriptor",
+        [
+            Column("descriptor_id", ColumnType.INT),
+            Column("process_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=28),
+            Column("state", ColumnType.STRING, width=12),
+            Column("points", ColumnType.INT),
+        ],
+        primary_key="descriptor_id",
+        foreign_keys=[ForeignKey("process_id", "process", "process_id")],
+    )
+
+
+def _breakdown_rows(count: int, generator: DeterministicGenerator):
+    """A shallow forest: elements 1..count/10 are roots, others have parents.
+
+    The tree is at most a few levels deep so the recursive pattern-E workload
+    terminates quickly while still exercising repeated filtered queries.
+    """
+    roots = max(count // MAPPING_RATIO, 1)
+    for i in range(1, count + 1):
+        if i <= roots:
+            parent = 0
+        else:
+            parent = generator.next_int(1, min(i - 1, roots * 2))
+        yield {
+            "element_id": i,
+            "parent_id": parent,
+            "name": f"element-{i}",
+            "kind": generator.choice(["phase", "iteration", "activity"]),
+        }

@@ -1,0 +1,314 @@
+"""The six Wilos cost-based-rewriting patterns A-F (Figure 14 of the paper).
+
+Each :class:`WilosPattern` packages, for one pattern:
+
+* the original program source (what a developer wrote against the ORM/SQL
+  API), which the COBRA and heuristic optimizers consume,
+* a *driver* that exercises the program the way the enclosing application
+  would (a single call for patterns A-C, repeated/recursive calls for
+  patterns D-F, which is what the amortization factor models),
+* the strategies the paper says the heuristic and COBRA choose, used by the
+  experiment's sanity checks,
+* the Figure 16 fragment list (file name and line number in the real Wilos
+  source) for the per-pattern occurrence counts of Figure 14.
+
+All program variants of a pattern compute the same result, so the Experiment
+4 harness asserts result equivalence before comparing execution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.appsim.runtime import AppRuntime
+
+#: Number of repeated invocations used by the drivers of patterns D, E and F.
+REPEATED_CALLS = 50
+
+
+@dataclass(frozen=True)
+class WilosFragment:
+    """One code fragment from Figure 16 (Appendix A)."""
+
+    index: int
+    pattern_id: str
+    location: str
+
+
+@dataclass
+class WilosPattern:
+    """One of the six cost-based-choice categories of Figure 14."""
+
+    pattern_id: str
+    title: str
+    choice_description: str
+    cases: int
+    source: str
+    function_name: str
+    driver: Callable[[AppRuntime, Callable], Any]
+    fragments: list[WilosFragment] = field(default_factory=list)
+
+
+# -- Pattern A: nested loops with intermittent updates ------------------------
+
+PATTERN_A_SOURCE = '''
+def sync_task_states(rt):
+    changed = []
+    for a in rt.execute_query("select * from activity"):
+        rt.execute_update("update activity set visited = 1 where activity_id = ?", (a["activity_id"],))
+        for t in rt.execute_query("select * from concrete_task"):
+            if t["activity_id"] == a["activity_id"]:
+                changed.append((a["activity_id"], t["task_id"]))
+    return changed
+'''
+
+
+def _drive_single_call(rt: AppRuntime, function: Callable) -> Any:
+    result = function(rt)
+    return _normalise(result)
+
+
+# -- Pattern B: multiple aggregations inside a loop ----------------------------
+
+PATTERN_B_SOURCE = '''
+def iteration_summary(rt):
+    finished = 0
+    points = []
+    for it in rt.execute_query("select * from iteration"):
+        finished = finished + it["is_finished"]
+        points.append(it["points"])
+    return (finished, points)
+'''
+
+
+# -- Pattern C: nested loops join ----------------------------------------------
+
+PATTERN_C_SOURCE = '''
+def participant_roles(rt):
+    result = []
+    for p in rt.execute_query("select * from participant"):
+        for r in rt.execute_query("select * from role"):
+            if p["role_id"] == r["role_id"]:
+                result.append((p["participant_id"], r["name"]))
+    return result
+'''
+
+
+# -- Pattern D: a function called inside a loop, rewritable with SQL -----------
+
+PATTERN_D_SOURCE = '''
+def activity_task_count(rt, activity_id):
+    count = 0
+    for t in rt.execute_query("select * from concrete_task where activity_id = ?", (activity_id,)):
+        count = count + 1
+    return count
+'''
+
+
+def _drive_pattern_d(rt: AppRuntime, function: Callable) -> Any:
+    counts = []
+    for activity_id in range(1, REPEATED_CALLS + 1):
+        counts.append((activity_id, function(rt, activity_id)))
+    return counts
+
+
+# -- Pattern E: a recursive function filtering a collection per call -----------
+
+PATTERN_E_SOURCE = '''
+def collect_descendants(rt, parent_id, acc):
+    for e in rt.execute_query("select * from breakdown_element where parent_id = ?", (parent_id,)):
+        acc.append(e["element_id"])
+        collect_descendants(rt, e["element_id"], acc)
+    return acc
+'''
+
+
+def _drive_pattern_e(rt: AppRuntime, function: Callable) -> Any:
+    collected = []
+    for root in range(1, REPEATED_CALLS + 1):
+        collected.append((root, sorted(function(rt, root, []))))
+    return collected
+
+
+# -- Pattern F: different parts of a collection used by different callees ------
+
+PATTERN_F_SOURCE = '''
+def process_report(rt, process_id):
+    names = []
+    for d in rt.execute_query("select descriptor_id, name from descriptor where process_id = ?", (process_id,)):
+        names.append(d["name"])
+    states = []
+    for d in rt.execute_query("select descriptor_id, state from descriptor where process_id = ?", (process_id,)):
+        states.append(d["state"])
+    return (names, states)
+'''
+
+
+def _drive_pattern_f(rt: AppRuntime, function: Callable) -> Any:
+    reports = []
+    for process_id in range(1, min(REPEATED_CALLS, 50) + 1):
+        names, states = function(rt, process_id)
+        reports.append((process_id, sorted(names), sorted(states)))
+    return reports
+
+
+# -- Figure 16: fragment registry ----------------------------------------------
+
+_FRAGMENT_LOCATIONS: dict[str, list[str]] = {
+    "A": [
+        "ProjectService (1139)",
+        "TaskDescriptorService (198)",
+        "ConcreteWorkBreakdownElementService (144)",
+    ],
+    "B": ["IterationService (139)", "PhaseService (185)"],
+    "C": [
+        "ConcreteRoleAffectationService (60)",
+        "ConcreteTaskDescriptorService (312)",
+        "ConcreteTaskDescriptorService (1276)",
+        "ConcreteTaskDescriptorService (1302)",
+        "ConcreteWorkBreakdownElementService (63)",
+        "ConcreteWorkProductDescriptorService (445)",
+        "ParticipantService (129)",
+        "RoleService (15)",
+        "ActivityService (407)",
+    ],
+    "D": [
+        "IterationService (293)",
+        "PhaseService (307)",
+        "ActivityService (229)",
+        "RoleDescriptorService (276)",
+        "TaskDescriptorService (140)",
+        "TaskDescriptorService (142)",
+        "WorkProductDescriptorService (310)",
+    ],
+    "E": [
+        "ProjectService (346)",
+        "ProjectService (567)",
+        "ProjectService (647)",
+        "ProjectService (704)",
+        "ProcessService (1212)",
+        "ProcessService (1253)",
+        "ProcessService (1593)",
+        "ProcessService (1631)",
+        "ProcessService (1740)",
+    ],
+    "F": ["ProcessService (406)", "ProcessService (921)"],
+}
+
+
+def fragments_for(pattern_id: str) -> list[WilosFragment]:
+    """The Figure 16 fragments belonging to one pattern."""
+    locations = _FRAGMENT_LOCATIONS[pattern_id]
+    offset = sum(
+        len(_FRAGMENT_LOCATIONS[p]) for p in sorted(_FRAGMENT_LOCATIONS) if p < pattern_id
+    )
+    return [
+        WilosFragment(index=offset + i + 1, pattern_id=pattern_id, location=loc)
+        for i, loc in enumerate(locations)
+    ]
+
+
+def all_fragments() -> list[WilosFragment]:
+    """All 32 fragments of Figure 16, in order."""
+    fragments: list[WilosFragment] = []
+    for pattern_id in sorted(_FRAGMENT_LOCATIONS):
+        fragments.extend(fragments_for(pattern_id))
+    return fragments
+
+
+# -- the pattern registry --------------------------------------------------------
+
+
+def build_patterns() -> dict[str, WilosPattern]:
+    """All six patterns, keyed by pattern id."""
+    patterns = {
+        "A": WilosPattern(
+            pattern_id="A",
+            title="Nested loops with intermittent updates",
+            choice_description=(
+                "Inner loop can be translated to SQL for better performance "
+                "vs overall performance may degrade due to iterative queries"
+            ),
+            cases=3,
+            source=PATTERN_A_SOURCE,
+            function_name="sync_task_states",
+            driver=_drive_single_call,
+        ),
+        "B": WilosPattern(
+            pattern_id="B",
+            title="Multiple aggregations inside loop",
+            choice_description=(
+                "Faster aggregation/fetch only result by translation to SQL "
+                "vs multiple queries (NRT) instead of one"
+            ),
+            cases=2,
+            source=PATTERN_B_SOURCE,
+            function_name="iteration_summary",
+            driver=_drive_single_call,
+        ),
+        "C": WilosPattern(
+            pattern_id="C",
+            title="Nested loops join",
+            choice_description=(
+                "Better join algorithm at the database and fetch (large) "
+                "result of SQL join vs cache tables at application and join "
+                "locally"
+            ),
+            cases=9,
+            source=PATTERN_C_SOURCE,
+            function_name="participant_roles",
+            driver=_drive_single_call,
+        ),
+        "D": WilosPattern(
+            pattern_id="D",
+            title="Function called inside a loop can be rewritten using SQL",
+            choice_description=(
+                "Overall performance may degrade due to iterative queries if "
+                "the caller loop cannot be translated"
+            ),
+            cases=7,
+            source=PATTERN_D_SOURCE,
+            function_name="activity_task_count",
+            driver=_drive_pattern_d,
+        ),
+        "E": WilosPattern(
+            pattern_id="E",
+            title="Collection filtered differently across calls of a "
+            "recursive function",
+            choice_description=(
+                "Multiple point look-up queries vs prefetch the whole table "
+                "once and filter from cache"
+            ),
+            cases=9,
+            source=PATTERN_E_SOURCE,
+            function_name="collect_descendants",
+            driver=_drive_pattern_e,
+        ),
+        "F": WilosPattern(
+            pattern_id="F",
+            title="Different parts of a collection used across different "
+            "callee functions",
+            choice_description=(
+                "Multiple select/project queries to fetch only required data "
+                "vs prefetch all data with one query"
+            ),
+            cases=2,
+            source=PATTERN_F_SOURCE,
+            function_name="process_report",
+            driver=_drive_pattern_f,
+        ),
+    }
+    for pattern_id, pattern in patterns.items():
+        pattern.fragments = fragments_for(pattern_id)
+    return patterns
+
+
+def _normalise(result: Any) -> Any:
+    """Order-insensitive normalisation of program results for equivalence checks."""
+    if isinstance(result, list):
+        try:
+            return sorted(result)
+        except TypeError:
+            return result
+    return result

@@ -1,0 +1,172 @@
+"""Unit tests for the Section VI cost model and the cost catalog."""
+
+import json
+
+import pytest
+
+from repro.core.catalog import (
+    CatalogError,
+    catalog_for_network,
+    from_dict,
+    load_catalog,
+    save_catalog,
+    to_dict,
+)
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.region_analysis import analyze_program
+from repro.core.regions import BasicBlockRegion, LoopRegion
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE
+
+
+@pytest.fixture()
+def slow_model(orders_database):
+    return CostModel(orders_database, CostParameters.for_network(SLOW_REMOTE))
+
+
+@pytest.fixture()
+def fast_model(orders_database):
+    return CostModel(orders_database, CostParameters.for_network(FAST_LOCAL))
+
+
+class TestCostParameters:
+    def test_for_network_copies_network_terms(self):
+        params = CostParameters.for_network(SLOW_REMOTE)
+        assert params.network_round_trip == SLOW_REMOTE.round_trip_seconds
+        assert params.bandwidth_bytes_per_sec == SLOW_REMOTE.bandwidth_bytes_per_sec
+
+    def test_default_statement_cost_is_the_paper_value(self):
+        assert CostParameters().statement_cost == pytest.approx(30e-9)
+
+    def test_with_amortization(self):
+        params = CostParameters().with_amortization(50)
+        assert params.amortization_factor == 50
+        # original is unchanged (frozen dataclass semantics)
+        assert CostParameters().amortization_factor == 1.0
+
+
+class TestQueryCosts:
+    def test_query_cost_formula_components(self, slow_model, orders_database):
+        estimate = orders_database.estimate_sql("select * from orders")
+        cost = slow_model.query_cost("select * from orders")
+        transfer = estimate.byte_size / SLOW_REMOTE.bandwidth_bytes_per_sec
+        lower_bound = SLOW_REMOTE.round_trip_seconds + transfer
+        assert cost >= lower_bound
+        assert cost == pytest.approx(
+            SLOW_REMOTE.round_trip_seconds
+            + estimate.first_row_time
+            + max(transfer, estimate.last_row_time - estimate.first_row_time)
+        )
+
+    def test_query_cost_higher_on_slow_network(self, slow_model, fast_model):
+        sql = "select * from orders"
+        assert slow_model.query_cost(sql) > fast_model.query_cost(sql)
+
+    def test_point_lookup_cheaper_than_full_scan(self, slow_model):
+        full = slow_model.query_cost("select * from customer")
+        point = slow_model.point_lookup_cost("customer", "c_customer_sk")
+        assert point < full
+
+    def test_prefetch_cost_divided_by_af(self, orders_database):
+        base = CostParameters.for_network(SLOW_REMOTE)
+        model_af1 = CostModel(orders_database, base.with_amortization(1))
+        model_af50 = CostModel(orders_database, base.with_amortization(50))
+        af1 = model_af1.prefetch_cost("customer", None)
+        af50 = model_af50.prefetch_cost("customer", None)
+        assert af1 == pytest.approx(model_af1.query_cost("select * from customer"))
+        assert af50 == pytest.approx(af1 / 50)
+
+    def test_estimates_are_cached(self, slow_model):
+        slow_model.query_cost("select * from orders")
+        assert "select * from orders" in slow_model._estimate_cache
+        slow_model.clear_cache()
+        assert not slow_model._estimate_cache
+
+
+class TestRegionCosts:
+    def _p0_loop(self, registry) -> LoopRegion:
+        info = analyze_program(P0_SOURCE, registry=registry)
+        return info.cursor_loops()[0]
+
+    def test_block_cost_includes_statement_and_queries(
+        self, slow_model, registry
+    ):
+        loop = self._p0_loop(registry)
+        blocks = [
+            r for r in loop.body.walk() if isinstance(r, BasicBlockRegion)
+        ]
+        lazy_block = next(b for b in blocks if b.has_query())
+        plain_block = next(b for b in blocks if not b.has_query())
+        assert slow_model.block_cost(plain_block) == pytest.approx(
+            slow_model.parameters.statement_cost
+        )
+        assert slow_model.block_cost(lazy_block) > SLOW_REMOTE.round_trip_seconds
+
+    def test_loop_iterations_from_query_cardinality(self, slow_model, registry):
+        loop = self._p0_loop(registry)
+        assert slow_model.loop_iterations(loop) == pytest.approx(300)
+
+    def test_loop_cost_scales_with_body(self, slow_model, registry):
+        loop = self._p0_loop(registry)
+        cheap = slow_model.loop_cost(loop, body_cost=0.0)
+        expensive = slow_model.loop_cost(loop, body_cost=1.0)
+        assert expensive > cheap + 299
+
+    def test_conditional_cost_formula(self, fast_model):
+        cost = fast_model.conditional_cost(2.0, 4.0, predicate_cost=1.0)
+        assert cost == pytest.approx(0.5 * 2.0 + 0.5 * 4.0 + 1.0)
+
+    def test_sequence_cost_is_sum(self, fast_model):
+        assert fast_model.sequence_cost([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_lookup_group_iterations_use_group_size(self, fast_model, registry):
+        source = """
+def f(rt, key):
+    total = 0
+    rt.prefetch_group('orders', 'o_customer_sk', 'orders.o_customer_sk')
+    for o in rt.lookup_group(key, 'orders.o_customer_sk'):
+        total = total + o["o_net_paid"]
+    return total
+"""
+        info = analyze_program(source, registry=registry)
+        loop = [r for r in info.region.walk() if isinstance(r, LoopRegion)][0]
+        iterations = fast_model.loop_iterations(loop)
+        # 300 orders over 60 customers: average group size 5.
+        assert iterations == pytest.approx(300 / 60, rel=0.3)
+
+
+class TestCostCatalog:
+    def test_round_trip_through_file(self, tmp_path):
+        params = catalog_for_network("slow-remote", amortization_factor=50)
+        path = save_catalog(params, tmp_path / "catalog.json")
+        loaded = load_catalog(path)
+        assert loaded == params
+
+    def test_from_dict_with_network_preset(self):
+        params = from_dict({"network": "fast-local", "statement_cost": 1e-8})
+        assert params.bandwidth_bytes_per_sec == FAST_LOCAL.bandwidth_bytes_per_sec
+        assert params.statement_cost == 1e-8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CatalogError, match="unknown cost catalog fields"):
+            from_dict({"no_such_field": 1})
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(CatalogError, match="unknown network preset"):
+            from_dict({"network": "carrier-pigeon"})
+        with pytest.raises(CatalogError):
+            catalog_for_network("carrier-pigeon")
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CatalogError, match="JSON object"):
+            load_catalog(path)
+        with pytest.raises(CatalogError):
+            load_catalog(tmp_path / "missing.json")
+
+    def test_to_dict_contains_all_fields(self):
+        data = to_dict(CostParameters())
+        assert json.dumps(data)
+        assert "network_round_trip" in data and "amortization_factor" in data

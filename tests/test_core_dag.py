@@ -1,0 +1,129 @@
+"""Unit tests for the Region AND-OR DAG (memo, dedup, alternatives)."""
+
+import pytest
+
+from repro.core.dag import RegionDag
+from repro.core.region_analysis import analyze_program
+from repro.core.rules import make_context, region_from_source
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE, P1_SOURCE
+
+
+def build_dag(source, registry=None):
+    info = analyze_program(source, registry=registry)
+    dag = RegionDag()
+    dag.build(info.region)
+    return info, dag
+
+
+class TestInitialDag:
+    def test_root_group_exists(self, registry):
+        _, dag = build_dag(P0_SOURCE, registry)
+        assert dag.root is not None
+        assert dag.root.alternatives[0].kind == "function"
+
+    def test_every_group_starts_with_one_alternative(self, registry):
+        _, dag = build_dag(P0_SOURCE, registry)
+        assert all(len(g.alternatives) == 1 for g in dag.iter_groups())
+
+    def test_group_and_node_counts(self, registry):
+        _, dag = build_dag(P0_SOURCE, registry)
+        assert dag.group_count == dag.node_count
+        assert dag.group_count >= 6  # function, seq, blocks, loop, body
+
+    def test_identical_statements_share_a_group(self):
+        source = """
+def f(rt):
+    x = compute()
+    y = 1
+    x = compute()
+    return x
+"""
+        _, dag = build_dag(source)
+        # The two identical `x = compute()` statements map to the same block
+        # node (Volcano-style sharing), so groups < statements.
+        block_nodes = [n for n in dag.iter_nodes() if n.kind == "block"]
+        sources = [n.payload.source for n in block_nodes]
+        assert len(sources) == len(set(sources))
+
+
+class TestAlternatives:
+    def test_add_alternative_creates_new_nodes(self, registry):
+        info, dag = build_dag(P0_SOURCE, registry)
+        loop_group = next(
+            g
+            for g in dag.iter_groups()
+            if any(n.kind == "loop" for n in g.alternatives)
+        )
+        context = make_context(info)
+        replacement = region_from_source(
+            "result.extend(rt.execute_query('select * from orders'))", context
+        )
+        node = dag.add_alternative(loop_group, replacement, strategy="sql-translation")
+        assert node is not None
+        assert node.strategy == "sql-translation"
+        assert len(loop_group.alternatives) == 2
+
+    def test_duplicate_alternative_not_added_twice(self, registry):
+        info, dag = build_dag(P0_SOURCE, registry)
+        loop_group = next(
+            g
+            for g in dag.iter_groups()
+            if any(n.kind == "loop" for n in g.alternatives)
+        )
+        context = make_context(info)
+        replacement = region_from_source(
+            "result.extend(rt.execute_query('select * from orders'))", context
+        )
+        first = dag.add_alternative(loop_group, replacement, strategy="s")
+        second = dag.add_alternative(loop_group, replacement, strategy="s")
+        assert first is not None
+        assert second is None
+        assert len(loop_group.alternatives) == 2
+
+    def test_alternative_sharing_reuses_existing_blocks(self, registry):
+        # The P1 rewrite contains `result = []`, which already exists in P0's
+        # DAG (the paper's Figure 6c shows P0.B2 shared by all alternatives).
+        info, dag = build_dag(P0_SOURCE, registry)
+        groups_before = dag.group_count
+        context = make_context(info)
+        alternative = region_from_source(
+            "result = []\n"
+            "rows = rt.execute_query('select * from orders')",
+            context,
+        )
+        dag.add_alternative(dag.root, alternative, strategy="x")
+        block_sources = [
+            n.payload.source for n in dag.iter_nodes() if n.kind == "block"
+        ]
+        assert block_sources.count("result = []") == 1
+        assert dag.group_count > groups_before
+
+    def test_alternatives_at_root(self, registry):
+        _, dag = build_dag(P1_SOURCE, registry)
+        assert len(dag.alternatives_at_root()) == 1
+
+    def test_alternatives_at_root_requires_build(self):
+        with pytest.raises(Exception):
+            RegionDag().alternatives_at_root()
+
+
+class TestTermination:
+    def test_reinserting_the_same_program_is_stable(self, registry):
+        info, dag = build_dag(P0_SOURCE, registry)
+        nodes_before = dag.node_count
+        dag.insert_region(info.region)
+        assert dag.node_count == nodes_before
+
+    def test_cyclic_alternative_insertion_terminates(self, registry):
+        # Adding A as an alternative of B and B as an alternative of A must
+        # not blow up: duplicate detection stops the process.
+        info, dag = build_dag(P0_SOURCE, registry)
+        context = make_context(info)
+        region_a = region_from_source("x = 1\ny = 2", context)
+        region_b = region_from_source("y = 2\nx = 1", context)
+        group = dag.insert_region(region_a)
+        for _ in range(5):
+            dag.add_alternative(group, region_b, strategy="swap")
+            dag.add_alternative(group, region_a, strategy="swap")
+        assert len(group.alternatives) <= 3

@@ -1,0 +1,197 @@
+"""Unit and integration tests for the COBRA optimizer and plan extraction."""
+
+import pytest
+
+from repro.core.catalog import catalog_for_network
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.dag import RegionDag
+from repro.core.heuristic import HeuristicOptimizer
+from repro.core.optimizer import CobraOptimizer
+from repro.core.plans import (
+    DagCostCalculator,
+    HEURISTIC_RANK,
+    PlanExtractor,
+    cost_based_chooser,
+    heuristic_chooser,
+)
+from repro.core.region_analysis import analyze_program
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import M0_SOURCE, P0_SOURCE
+from repro.workloads.wilos_programs import build_patterns
+
+
+def optimizer_for(database, network, registry=None, af=1.0):
+    params = CostParameters.for_network(network).with_amortization(af)
+    return CobraOptimizer(database, params, registry=registry)
+
+
+class TestOptimizationResult:
+    def test_p0_generates_join_and_prefetch_alternatives(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        assert result.alternatives_added >= 2
+        strategies = {
+            node.strategy for node in result.dag.iter_nodes()
+        }
+        assert {"sql-join", "prefetch"} <= strategies
+
+    def test_best_cost_not_worse_than_original(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        assert result.best_cost <= result.original_cost
+        assert result.estimated_speedup >= 1.0
+
+    def test_rewritten_source_is_valid_python(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        compiled = compile(result.rewritten_source, "<rewritten>", "exec")
+        assert compiled is not None
+        assert "def process_orders(" in result.rewritten_source
+
+    def test_choice_depends_on_cardinalities(
+        self, orders_database, large_customer_database, registry, slow_params
+    ):
+        # Many orders per customer: prefetching the small customer table wins.
+        many_orders = CobraOptimizer(
+            orders_database, slow_params, registry=registry
+        ).optimize(P0_SOURCE)
+        assert many_orders.primary_choice() == "prefetch"
+        # Few orders, many customers: the join query wins.
+        few_orders = CobraOptimizer(
+            large_customer_database, slow_params, registry=registry
+        ).optimize(P0_SOURCE)
+        assert few_orders.primary_choice() == "sql-join"
+
+    def test_dependent_aggregation_keeps_original(self, orders_database, slow_params):
+        # Figure 7/10: pushing only `sum` to SQL adds a query; COBRA must
+        # reject it (Section V-B).
+        optimizer = CobraOptimizer(orders_database, slow_params)
+        # M0 queries a `sales` table that does not exist in this database, so
+        # register statistics for it first.
+        from repro.db.schema import Column, ColumnType
+        from repro.db.statistics import TableStatistics
+
+        database = tpcds.build_orders_database(10, 5)
+        database.create_table(
+            "sales",
+            [
+                Column("month", ColumnType.INT),
+                Column("sale_amt", ColumnType.FLOAT),
+            ],
+        )
+        database.insert(
+            "sales", [{"month": m % 12, "sale_amt": float(m)} for m in range(100)]
+        )
+        database.analyze()
+        optimizer = CobraOptimizer(database, slow_params)
+        result = optimizer.optimize(M0_SOURCE)
+        assert result.primary_choice() == "original"
+        strategies = {node.strategy for node in result.dag.iter_nodes()}
+        assert "sql-aggregate-extra" in strategies
+
+    def test_optimization_is_fast(self, orders_database, registry, fast_params):
+        optimizer = CobraOptimizer(orders_database, fast_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        assert result.optimization_seconds < 1.0
+
+    def test_estimate_cost_matches_original_cost(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        standalone = optimizer.estimate_cost(P0_SOURCE)
+        assert standalone == pytest.approx(result.original_cost, rel=1e-6)
+
+    def test_no_rules_means_original_plan(self, orders_database, registry, slow_params):
+        optimizer = CobraOptimizer(
+            orders_database, slow_params, registry=registry, fir_rules=()
+        )
+        result = optimizer.optimize(P0_SOURCE)
+        assert result.alternatives_added == 0
+        assert result.primary_choice() == "original"
+        assert result.best_cost == pytest.approx(result.original_cost)
+
+
+class TestNetworkSensitivity:
+    def test_cost_gap_larger_on_slow_network(self, orders_database, registry):
+        slow = optimizer_for(orders_database, SLOW_REMOTE, registry).optimize(
+            P0_SOURCE
+        )
+        fast = optimizer_for(orders_database, FAST_LOCAL, registry).optimize(
+            P0_SOURCE
+        )
+        assert slow.original_cost > fast.original_cost
+        assert slow.best_cost > fast.best_cost
+        assert (slow.original_cost - slow.best_cost) > (
+            fast.original_cost - fast.best_cost
+        )
+
+
+class TestHeuristicOptimizer:
+    def test_heuristic_always_pushes_to_sql(self, orders_database, registry, slow_params):
+        heuristic = HeuristicOptimizer(
+            orders_database, slow_params, registry=registry
+        )
+        outcome = heuristic.rewrite(P0_SOURCE)
+        assert outcome.chosen_strategies == {"sql-join"}
+        assert "join customer" in outcome.rewritten_source
+
+    def test_heuristic_never_prefetches(self, wilos_database, fast_params):
+        pattern = build_patterns()["E"]
+        heuristic = HeuristicOptimizer(wilos_database, fast_params)
+        outcome = heuristic.rewrite(
+            pattern.source, function_name=pattern.function_name
+        )
+        assert "prefetch" not in " ".join(outcome.chosen_strategies)
+
+    def test_heuristic_rank_ordering(self):
+        assert HEURISTIC_RANK["sql-join"] < HEURISTIC_RANK["original"]
+        assert HEURISTIC_RANK["original"] < HEURISTIC_RANK["prefetch"]
+
+    def test_cobra_not_worse_than_heuristic_in_estimated_cost(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        heuristic_plan = optimizer.extract_heuristic_plan(result)
+        assert result.best_cost <= heuristic_plan.cost + 1e-9
+
+
+class TestPlanExtraction:
+    def test_original_chooser_reproduces_source_shape(self, registry, orders_database):
+        info = analyze_program(P0_SOURCE, registry=registry)
+        dag = RegionDag()
+        dag.build(info.region)
+        extractor = PlanExtractor(dag, lambda group, alts: alts[0])
+        region = extractor.extract()
+        source = region.to_source()
+        assert "for o in rt.orm.load_all('Order')" in source
+        assert "cust = o.customer" in source
+
+    def test_cost_calculator_group_cost_is_min_of_alternatives(
+        self, orders_database, registry, slow_params
+    ):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        calculator = DagCostCalculator(
+            result.dag, CostModel(orders_database, slow_params)
+        )
+        for group in result.dag.iter_groups():
+            if len(group.alternatives) < 2:
+                continue
+            group_cost = calculator.group_cost(group)
+            node_costs = [calculator.node_cost(n) for n in group.alternatives]
+            assert group_cost == pytest.approx(min(node_costs))
+
+    def test_strategies_recorded_per_group(self, orders_database, registry, slow_params):
+        optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+        result = optimizer.optimize(P0_SOURCE)
+        assert result.strategies
+        assert any(s != "original" for s in result.strategies.values())

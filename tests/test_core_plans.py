@@ -1,0 +1,144 @@
+"""Unit tests for plan costing/extraction policies and the reporting module."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.dag import RegionDag
+from repro.core.optimizer import CobraOptimizer
+from repro.core.plans import (
+    DagCostCalculator,
+    HEURISTIC_RANK,
+    INFINITE_COST,
+    Plan,
+    PlanExtractor,
+    cost_based_chooser,
+    heuristic_chooser,
+)
+from repro.core.region_analysis import analyze_program
+from repro.experiments.harness import ResultTable
+from repro.experiments.reporting import to_csv, to_markdown, to_series, write_report
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE
+from repro.workloads.wilos_programs import PATTERN_B_SOURCE
+
+
+@pytest.fixture()
+def expanded(orders_database, registry, slow_params):
+    optimizer = CobraOptimizer(orders_database, slow_params, registry=registry)
+    result = optimizer.optimize(P0_SOURCE)
+    calculator = DagCostCalculator(
+        result.dag, CostModel(orders_database, slow_params)
+    )
+    return result, calculator
+
+
+class TestChoosers:
+    def test_cost_based_chooser_picks_minimum(self, expanded):
+        result, calculator = expanded
+        chooser = cost_based_chooser(calculator)
+        multi = [g for g in result.dag.iter_groups() if len(g.alternatives) > 1]
+        assert multi
+        for group in multi:
+            chosen = chooser(group, list(group.alternatives))
+            chosen_cost = calculator.node_cost(chosen)
+            assert all(
+                chosen_cost <= calculator.node_cost(n) + 1e-12
+                for n in group.alternatives
+            )
+
+    def test_heuristic_chooser_follows_rank(self, expanded):
+        result, _ = expanded
+        chooser = heuristic_chooser()
+        loop_group = next(
+            g
+            for g in result.dag.iter_groups()
+            if {"sql-join", "prefetch"}
+            <= {n.strategy for n in g.alternatives}
+        )
+        chosen = chooser(loop_group, list(loop_group.alternatives))
+        assert chosen.strategy == "sql-join"
+
+    def test_rank_table_is_consistent(self):
+        assert HEURISTIC_RANK["sql-join"] < HEURISTIC_RANK["sql-aggregate"]
+        assert HEURISTIC_RANK["sql-aggregate-extra"] < HEURISTIC_RANK["original"]
+        assert HEURISTIC_RANK["original"] < HEURISTIC_RANK["prefetch"]
+
+
+class TestSelfReferentialAlternatives:
+    """Pattern B's 'extra aggregate query' embeds the original loop region."""
+
+    @pytest.fixture()
+    def pattern_b(self, wilos_database, fast_params):
+        optimizer = CobraOptimizer(wilos_database, fast_params)
+        result = optimizer.optimize(PATTERN_B_SOURCE, function_name="iteration_summary")
+        calculator = DagCostCalculator(
+            result.dag, CostModel(wilos_database, fast_params)
+        )
+        return result, calculator
+
+    def test_costing_terminates_and_is_finite(self, pattern_b):
+        result, calculator = pattern_b
+        cost = calculator.group_cost(result.dag.root)
+        assert cost < INFINITE_COST
+
+    def test_heuristic_extraction_terminates(self, pattern_b):
+        result, _ = pattern_b
+        extractor = PlanExtractor(result.dag, heuristic_chooser())
+        region = extractor.extract()
+        source = region.to_source()
+        # The heuristic keeps the loop *and* adds the extra aggregate query.
+        assert "for it in" in source
+        assert "count(is_finished)" in source or "sum(is_finished)" in source
+        assert "sql-aggregate-extra" in set(extractor.strategies.values())
+
+    def test_cobra_extraction_skips_the_extra_query(self, pattern_b):
+        result, calculator = pattern_b
+        extractor = PlanExtractor(result.dag, cost_based_chooser(calculator))
+        source = extractor.extract().to_source()
+        assert "sum(is_finished)" not in source
+
+
+class TestPlanObject:
+    def test_chosen_strategies_excludes_original(self):
+        plan = Plan(
+            region=None,
+            cost=1.0,
+            strategies={"a": "original", "b": "prefetch", "c": "sql-join"},
+        )
+        assert plan.chosen_strategies == {"prefetch", "sql-join"}
+
+
+class TestReporting:
+    @pytest.fixture()
+    def table(self):
+        table = ResultTable("Demo table", ["x", "time"])
+        table.add_row(1, 0.5)
+        table.add_row(10, 2.25)
+        table.add_note("a note")
+        return table
+
+    def test_markdown(self, table):
+        text = to_markdown(table)
+        assert text.startswith("### Demo table")
+        assert "| x | time |" in text
+        assert "| 10 | 2.25 |" in text
+        assert "*a note*" in text
+
+    def test_csv(self, table):
+        text = to_csv(table)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,time"
+        assert lines[2] == "10,2.25"
+
+    def test_series(self, table):
+        series = to_series(table)
+        assert series == {"x": [1, 10], "time": [0.5, 2.25]}
+
+    def test_write_report_formats(self, table, tmp_path):
+        for fmt in ("text", "markdown", "csv"):
+            path = write_report([table, table], tmp_path / f"report.{fmt}", fmt=fmt)
+            content = path.read_text()
+            assert "Demo table" in content or "x,time" in content
+        with pytest.raises(ValueError, match="unknown report format"):
+            write_report([table], tmp_path / "bad.out", fmt="xml")

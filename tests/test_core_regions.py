@@ -1,0 +1,163 @@
+"""Unit tests for program regions and region analysis."""
+
+import ast
+
+import pytest
+
+from repro.core.region_analysis import AnalysisError, analyze_program
+from repro.core.regions import (
+    BasicBlockRegion,
+    ConditionalRegion,
+    FunctionRegion,
+    LoopRegion,
+    SequentialRegion,
+    count_regions,
+    iter_cursor_loops,
+)
+from repro.workloads.programs import M0_SOURCE, P0_SOURCE, P2_SOURCE
+from repro.workloads import tpcds
+
+
+SIMPLE = """
+def f(rt):
+    total = 0
+    for row in rt.execute_query("select * from t"):
+        if row["x"] > 2:
+            total = total + row["x"]
+    return total
+"""
+
+
+class TestRegionTreeConstruction:
+    def test_function_region_structure(self):
+        info = analyze_program(SIMPLE)
+        assert isinstance(info.region, FunctionRegion)
+        assert info.region.name == "f"
+        assert info.parameters == ["rt"]
+
+    def test_region_kinds_counted(self):
+        info = analyze_program(SIMPLE)
+        counts = count_regions(info.region)
+        assert counts["function"] == 1
+        assert counts["loop"] == 1
+        assert counts["cond"] == 1
+        assert counts["block"] >= 3
+
+    def test_paper_example_p0_regions(self, registry):
+        info = analyze_program(P0_SOURCE, registry=registry)
+        counts = count_regions(info.region)
+        # Figure 5: one outer sequential region, one loop, basic blocks inside.
+        assert counts["loop"] == 1
+        assert counts["seq"] >= 1
+
+    def test_cursor_loop_detection_sql(self):
+        info = analyze_program(SIMPLE)
+        loops = info.cursor_loops()
+        assert len(loops) == 1
+        assert loops[0].query.kind == "sql"
+        assert loops[0].query.sql == "select * from t"
+
+    def test_cursor_loop_detection_orm(self, registry):
+        info = analyze_program(P0_SOURCE, registry=registry)
+        loop = info.cursor_loops()[0]
+        assert loop.query.kind == "load_all"
+        assert loop.query.entity == "Order"
+        assert loop.query.table == "orders"
+        assert loop.is_cursor_loop
+
+    def test_lazy_load_detected_in_loop_body(self, registry):
+        info = analyze_program(P0_SOURCE, registry=registry)
+        loop = info.cursor_loops()[0]
+        lazy = [
+            q
+            for block in loop.body.walk()
+            if isinstance(block, BasicBlockRegion)
+            for q in block.queries
+            if q.kind == "lazy_load"
+        ]
+        assert len(lazy) == 1
+        assert lazy[0].table == "customer"
+        assert lazy[0].key_column == "c_customer_sk"
+        assert lazy[0].source_column == "o_customer_sk"
+
+    def test_prefetch_and_lookup_detected(self, registry):
+        info = analyze_program(P2_SOURCE, registry=registry)
+        kinds = [
+            q.kind
+            for region in info.region.walk()
+            if isinstance(region, BasicBlockRegion)
+            for q in region.queries
+        ]
+        assert "prefetch" in kinds
+        loop = info.cursor_loops()[0]
+        loop_kinds = [
+            q.kind
+            for region in loop.body.walk()
+            if isinstance(region, BasicBlockRegion)
+            for q in region.queries
+        ]
+        assert "lookup" in loop_kinds
+
+    def test_while_loop_is_not_a_cursor_loop(self):
+        source = """
+def f(rt):
+    n = 0
+    while n < 10:
+        n = n + 1
+    return n
+"""
+        info = analyze_program(source)
+        loops = [r for r in info.region.walk() if isinstance(r, LoopRegion)]
+        assert len(loops) == 1
+        assert not loops[0].is_cursor_loop
+
+    def test_missing_function_raises(self):
+        with pytest.raises(AnalysisError, match="no function"):
+            analyze_program("x = 1")
+
+    def test_named_function_selection(self):
+        source = "def a(rt):\n    return 1\n\ndef b(rt):\n    return 2\n"
+        assert analyze_program(source, function_name="b").name == "b"
+        with pytest.raises(AnalysisError):
+            analyze_program(source, function_name="c")
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            analyze_program("def f(:\n  pass")
+
+
+class TestRegionSourceRoundTrip:
+    def test_to_source_is_executable(self):
+        info = analyze_program(SIMPLE)
+        source = info.region.to_source()
+        namespace = {}
+        exec(compile(source, "<region>", "exec"), namespace)
+        assert "f" in namespace
+
+    def test_statement_counts(self):
+        info = analyze_program(SIMPLE)
+        assert info.region.statement_count() >= 4
+
+    def test_conditional_with_else(self):
+        source = """
+def g(rt):
+    if rt:
+        x = 1
+    else:
+        x = 2
+    return x
+"""
+        info = analyze_program(source)
+        cond = [r for r in info.region.walk() if isinstance(r, ConditionalRegion)]
+        assert len(cond) == 1
+        assert cond[0].else_region is not None
+        assert "else:" in cond[0].to_source()
+
+    def test_iter_cursor_loops_helper(self, registry):
+        info = analyze_program(P0_SOURCE, registry=registry)
+        assert len(list(iter_cursor_loops(info.region))) == 1
+
+    def test_m0_dependent_aggregation_program(self):
+        info = analyze_program(M0_SOURCE)
+        loop = info.cursor_loops()[0]
+        assert "order by month" in loop.query.sql

@@ -1,0 +1,84 @@
+"""Unit tests for relational algebra plan nodes."""
+
+import pytest
+
+from repro.db import algebra
+from repro.db.expressions import ColumnRef, Literal, BinaryOp, equals
+
+
+def join_plan() -> algebra.PlanNode:
+    return algebra.Join(
+        algebra.Select(algebra.Scan("orders", "o"), equals("o_status", "OPEN")),
+        algebra.Scan("customer", "c"),
+        BinaryOp("=", ColumnRef("o_customer_sk", "o"), ColumnRef("c_customer_sk", "c")),
+    )
+
+
+class TestNodeConstruction:
+    def test_scan_alias_defaults_to_table(self):
+        assert algebra.Scan("orders").effective_alias == "orders"
+        assert algebra.Scan("orders", "o").effective_alias == "o"
+
+    def test_project_requires_outputs(self):
+        with pytest.raises(algebra.AlgebraError):
+            algebra.Project(algebra.Scan("t"), ())
+
+    def test_project_output_names(self):
+        plan = algebra.Project(
+            algebra.Scan("t"),
+            (
+                algebra.OutputColumn(ColumnRef("a"), "a"),
+                algebra.OutputColumn(ColumnRef("b"), "total"),
+            ),
+        )
+        assert plan.output_names == ["a", "total"]
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(algebra.AlgebraError):
+            algebra.AggregateSpec("median", ColumnRef("x"), "m")
+        with pytest.raises(algebra.AlgebraError):
+            algebra.AggregateSpec("sum", None, "s")
+        spec = algebra.AggregateSpec("count", None, "n")
+        assert spec.function == "count"
+
+    def test_aggregate_requires_keys_or_aggregates(self):
+        with pytest.raises(algebra.AlgebraError):
+            algebra.Aggregate(algebra.Scan("t"), (), ())
+
+    def test_sort_requires_keys(self):
+        with pytest.raises(algebra.AlgebraError):
+            algebra.Sort(algebra.Scan("t"), ())
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(algebra.AlgebraError):
+            algebra.Limit(algebra.Scan("t"), -1)
+
+
+class TestTreeQueries:
+    def test_base_tables(self):
+        assert join_plan().base_tables() == {"orders", "customer"}
+
+    def test_height(self):
+        assert algebra.Scan("t").height() == 1
+        assert join_plan().height() == 3
+
+    def test_walk_visits_every_node(self):
+        kinds = [type(node).__name__ for node in algebra.walk(join_plan())]
+        assert kinds[0] == "Join"
+        assert "Scan" in kinds and "Select" in kinds
+        assert len(kinds) == 4
+
+    def test_find_scans_left_to_right(self):
+        scans = algebra.find_scans(join_plan())
+        assert [s.table for s in scans] == ["orders", "customer"]
+
+    def test_has_operator(self):
+        assert algebra.has_operator(join_plan(), algebra.Select)
+        assert not algebra.has_operator(join_plan(), algebra.Aggregate)
+
+    def test_children_of_leaf_is_empty(self):
+        assert algebra.Scan("t").children() == ()
+
+    def test_repr_is_readable(self):
+        text = repr(join_plan())
+        assert "Join" in text and "orders" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the Database facade."""
+
+import pytest
+
+from repro.db.database import Database, QueryResult
+from repro.db.schema import Column, ColumnType
+
+
+class TestDDLAndDML:
+    def test_create_table_registers_schema(self, simple_database):
+        assert simple_database.schema.has_table("employee")
+        assert simple_database.row_count("employee") == 6
+
+    def test_table_lookup_error(self, simple_database):
+        with pytest.raises(KeyError, match="no table named"):
+            simple_database.table("ghost")
+
+    def test_insert_returns_count(self):
+        database = Database()
+        database.create_table("t", [Column("a", ColumnType.INT)])
+        assert database.insert("t", [{"a": 1}, {"a": 2}]) == 2
+
+
+class TestQueries:
+    def test_execute_sql_returns_query_result(self, simple_database):
+        result = simple_database.execute_sql("select * from employee")
+        assert isinstance(result, QueryResult)
+        assert result.cardinality == 6
+        assert result.byte_size == 6 * result.row_width
+        assert len(list(result)) == 6
+
+    def test_execute_sql_with_parameters(self, simple_database):
+        result = simple_database.execute_sql(
+            "select * from employee where dept_id = ?", (1,)
+        )
+        assert sorted(r["name"] for r in result.rows) == ["ann", "bob"]
+
+    def test_execute_sql_join(self, simple_database):
+        result = simple_database.execute_sql(
+            "select * from employee e join department d on e.dept_id = d.dept_id"
+        )
+        assert result.cardinality == 5
+
+    def test_query_counter_increments(self, simple_database):
+        simple_database.reset_counters()
+        simple_database.execute_sql("select * from employee")
+        simple_database.execute_sql("select * from department")
+        assert simple_database.queries_executed == 2
+        simple_database.reset_counters()
+        assert simple_database.queries_executed == 0
+
+    def test_estimates_expose_cost_model_inputs(self, simple_database):
+        estimate = simple_database.estimate_sql("select * from employee")
+        assert estimate.cardinality == 6
+        assert estimate.row_width > 0
+        assert 0 <= estimate.first_row_time <= estimate.last_row_time
+        assert estimate.byte_size == estimate.cardinality * estimate.row_width
+
+    def test_estimate_of_aggregate_is_single_row(self, simple_database):
+        estimate = simple_database.estimate_sql("select count(*) from employee")
+        assert estimate.cardinality == 1
+
+
+class TestUpdates:
+    def test_update_with_where_parameter(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update employee set salary = 99 where emp_id = ?", (1,)
+        )
+        assert changed == 1
+        row = simple_database.execute_sql(
+            "select * from employee where emp_id = 1"
+        ).rows[0]
+        assert row["salary"] == 99
+
+    def test_update_without_where_touches_all_rows(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update department set budget = 1"
+        )
+        assert changed == 3
+
+    def test_update_with_literal_where(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update employee set age = 30 where name = 'ann'"
+        )
+        assert changed == 1
+
+    def test_unsupported_update_raises(self, simple_database):
+        with pytest.raises(ValueError, match="unsupported UPDATE"):
+            simple_database.execute_update_sql("update t set a = a + 1")
+
+    def test_missing_parameter_raises(self, simple_database):
+        with pytest.raises(ValueError, match="missing parameter"):
+            simple_database.execute_update_sql(
+                "update employee set salary = ? where emp_id = 1"
+            )

@@ -1,0 +1,138 @@
+"""Unit tests for row expressions."""
+
+import pytest
+
+from repro.db.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    ExpressionError,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    conjunction,
+    equals,
+)
+
+ROW = {"a": 3, "b": 10, "name": "Ann", "o.o_id": 7, "maybe": None}
+
+
+class TestLiteralsAndColumns:
+    def test_literal_evaluation(self):
+        assert Literal(42).evaluate(ROW) == 42
+        assert Literal("x").evaluate(ROW) == "x"
+
+    def test_literal_sql_rendering(self):
+        assert Literal(42).to_sql() == "42"
+        assert Literal("it's").to_sql() == "'it''s'"
+        assert Literal(None).to_sql() == "NULL"
+        assert Literal(True).to_sql() == "TRUE"
+
+    def test_column_ref_bare(self):
+        assert ColumnRef("a").evaluate(ROW) == 3
+
+    def test_column_ref_qualified(self):
+        assert ColumnRef("o_id", "o").evaluate(ROW) == 7
+
+    def test_column_ref_qualified_falls_back_to_bare(self):
+        assert ColumnRef("a", "t").evaluate(ROW) == 3
+
+    def test_column_ref_suffix_resolution(self):
+        assert ColumnRef("o_id").evaluate(ROW) == 7
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError, match="not found"):
+            ColumnRef("zzz").evaluate(ROW)
+
+    def test_ambiguous_suffix_raises(self):
+        row = {"x.a": 1, "y.a": 2}
+        with pytest.raises(ExpressionError, match="ambiguous"):
+            ColumnRef("a").evaluate(row)
+
+    def test_referenced_columns(self):
+        assert ColumnRef("o_id", "o").referenced_columns() == {"o.o_id"}
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 13), ("-", -7), ("*", 30), ("/", 0.3), ("%", 3)],
+    )
+    def test_arithmetic(self, op, expected):
+        result = BinaryOp(op, ColumnRef("a"), ColumnRef("b")).evaluate(ROW)
+        assert result == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), (">=", False)],
+    )
+    def test_comparisons(self, op, expected):
+        assert BinaryOp(op, ColumnRef("a"), ColumnRef("b")).evaluate(ROW) is expected
+
+    def test_null_comparison_is_false(self):
+        assert BinaryOp("=", ColumnRef("maybe"), Literal(1)).evaluate(ROW) is False
+
+    def test_null_arithmetic_is_none(self):
+        assert BinaryOp("+", ColumnRef("maybe"), Literal(1)).evaluate(ROW) is None
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("**", Literal(1), Literal(2))
+
+    def test_boolean_and_or(self):
+        true_expr = BinaryOp("<", ColumnRef("a"), ColumnRef("b"))
+        false_expr = BinaryOp(">", ColumnRef("a"), ColumnRef("b"))
+        assert BooleanOp("and", (true_expr, false_expr)).evaluate(ROW) is False
+        assert BooleanOp("or", (true_expr, false_expr)).evaluate(ROW) is True
+
+    def test_boolean_requires_two_operands(self):
+        with pytest.raises(ExpressionError):
+            BooleanOp("and", (Literal(True),))
+
+    def test_not(self):
+        assert Not(Literal(False)).evaluate(ROW) is True
+
+    def test_is_null(self):
+        assert IsNull(ColumnRef("maybe")).evaluate(ROW) is True
+        assert IsNull(ColumnRef("maybe"), negated=True).evaluate(ROW) is False
+
+    def test_in_list(self):
+        assert InList(ColumnRef("a"), (1, 3, 5)).evaluate(ROW) is True
+        assert InList(ColumnRef("a"), (2, 4)).evaluate(ROW) is False
+
+    def test_function_call(self):
+        assert FunctionCall("upper", (ColumnRef("name"),)).evaluate(ROW) == "ANN"
+        assert FunctionCall("length", (ColumnRef("name"),)).evaluate(ROW) == 3
+        assert (
+            FunctionCall("coalesce", (ColumnRef("maybe"), Literal(9))).evaluate(ROW)
+            == 9
+        )
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExpressionError, match="unknown scalar function"):
+            FunctionCall("median", (ColumnRef("a"),)).evaluate(ROW)
+
+
+class TestHelpers:
+    def test_conjunction_empty(self):
+        assert conjunction([]) is None
+
+    def test_conjunction_single(self):
+        expr = equals("a", 3)
+        assert conjunction([expr]) is expr
+
+    def test_conjunction_many(self):
+        combined = conjunction([equals("a", 3), equals("b", 10)])
+        assert combined.evaluate(ROW) is True
+        assert "AND" in combined.to_sql()
+
+    def test_equals_builder(self):
+        assert equals("a", 3).evaluate(ROW) is True
+        assert equals("o_id", 7, qualifier="o").to_sql() == "o.o_id = 7"
+
+    def test_sql_rendering_of_compound(self):
+        expr = BooleanOp("or", (equals("a", 1), Not(equals("b", 2))))
+        sql = expr.to_sql()
+        assert "OR" in sql and "NOT" in sql

@@ -1,0 +1,107 @@
+"""Unit tests for the schema/catalog layer."""
+
+import pytest
+
+from repro.db.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Schema,
+    SchemaError,
+    TableSchema,
+)
+
+
+def make_table() -> TableSchema:
+    return TableSchema(
+        "orders",
+        [
+            Column("o_id", ColumnType.INT),
+            Column("o_customer_sk", ColumnType.INT),
+            Column("o_comment", ColumnType.STRING, width=100),
+        ],
+        primary_key="o_id",
+        foreign_keys=[ForeignKey("o_customer_sk", "customer", "c_customer_sk")],
+    )
+
+
+class TestColumn:
+    def test_default_width_comes_from_type(self):
+        assert Column("x", ColumnType.INT).byte_width == 8
+        assert Column("s", ColumnType.STRING).byte_width == 32
+        assert Column("b", ColumnType.BOOL).byte_width == 1
+
+    def test_explicit_width_overrides_type_default(self):
+        assert Column("s", ColumnType.STRING, width=100).byte_width == 100
+
+    def test_every_type_has_a_width(self):
+        for ctype in ColumnType:
+            assert ctype.default_width > 0
+
+
+class TestTableSchema:
+    def test_row_width_is_sum_of_column_widths(self):
+        table = make_table()
+        assert table.row_width == 8 + 8 + 100
+
+    def test_width_of_projection(self):
+        table = make_table()
+        assert table.width_of(["o_id", "o_comment"]) == 108
+
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("o_id").name == "o_id"
+        assert table.has_column("o_comment")
+        assert not table.has_column("missing")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_table().column("missing")
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", [Column("a"), Column("a")])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            TableSchema("t", [Column("a")], primary_key="b")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError, match="foreign key"):
+            TableSchema(
+                "t",
+                [Column("a")],
+                foreign_keys=[ForeignKey("b", "other", "x")],
+            )
+
+    def test_foreign_key_to(self):
+        table = make_table()
+        fk = table.foreign_key_to("customer")
+        assert fk is not None and fk.column == "o_customer_sk"
+        assert table.foreign_key_to("unknown") is None
+
+    def test_column_names_in_declaration_order(self):
+        assert make_table().column_names == ["o_id", "o_customer_sk", "o_comment"]
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        table = schema.add(make_table())
+        assert schema.table("orders") is table
+        assert schema.has_table("orders")
+        assert schema.table_names() == ["orders"]
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        schema.add(make_table())
+        with pytest.raises(SchemaError, match="already exists"):
+            schema.add(make_table())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError, match="no table"):
+            Schema().table("nope")

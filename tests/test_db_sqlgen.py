@@ -1,0 +1,117 @@
+"""Unit tests for SQL generation (round trips through the parser)."""
+
+import pytest
+
+from repro.db import algebra
+from repro.db.expressions import BinaryOp, ColumnRef, equals
+from repro.db.sqlgen import SQLGenerationError, to_sql
+from repro.db.sqlparser import parse_sql
+
+
+class TestRendering:
+    def test_scan(self):
+        assert to_sql(algebra.Scan("orders")) == "select * from orders"
+
+    def test_scan_with_alias(self):
+        assert to_sql(algebra.Scan("orders", "o")) == "select * from orders o"
+
+    def test_select(self):
+        plan = algebra.Select(algebra.Scan("t"), equals("a", 1))
+        assert to_sql(plan) == "select * from t where a = 1"
+
+    def test_projection(self):
+        plan = algebra.Project(
+            algebra.Scan("sales"),
+            (
+                algebra.OutputColumn(ColumnRef("month"), "month"),
+                algebra.OutputColumn(ColumnRef("sale_amt"), "sale_amt"),
+            ),
+        )
+        assert to_sql(plan) == "select month, sale_amt from sales"
+
+    def test_join(self):
+        plan = algebra.Join(
+            algebra.Scan("orders", "o"),
+            algebra.Scan("customer", "c"),
+            BinaryOp(
+                "=", ColumnRef("o_customer_sk", "o"), ColumnRef("c_customer_sk", "c")
+            ),
+        )
+        sql = to_sql(plan)
+        assert sql == (
+            "select * from orders o join customer c "
+            "on o.o_customer_sk = c.c_customer_sk"
+        )
+
+    def test_join_with_filtered_left_side(self):
+        plan = algebra.Join(
+            algebra.Select(algebra.Scan("orders"), equals("o_status", "OPEN")),
+            algebra.Scan("customer"),
+            BinaryOp(
+                "=",
+                ColumnRef("o_customer_sk", "orders"),
+                ColumnRef("c_customer_sk", "customer"),
+            ),
+        )
+        sql = to_sql(plan)
+        assert "where o_status = 'OPEN'" in sql
+        assert "join customer" in sql
+
+    def test_aggregate(self):
+        plan = algebra.Aggregate(
+            algebra.Scan("sales"),
+            (),
+            (algebra.AggregateSpec("sum", ColumnRef("sale_amt"), "sum_sale_amt"),),
+        )
+        assert to_sql(plan) == "select sum(sale_amt) from sales"
+
+    def test_grouped_aggregate(self):
+        plan = algebra.Aggregate(
+            algebra.Scan("sales"),
+            (ColumnRef("month"),),
+            (algebra.AggregateSpec("count", None, "n"),),
+        )
+        sql = to_sql(plan)
+        assert "group by month" in sql and "count(*) as n" in sql
+
+    def test_sort_and_limit(self):
+        plan = algebra.Limit(
+            algebra.Sort(
+                algebra.Scan("t"),
+                (algebra.SortKey(ColumnRef("a"), ascending=False),),
+            ),
+            10,
+        )
+        assert to_sql(plan) == "select * from t order by a desc limit 10"
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select * from orders",
+            "select * from orders o",
+            "select month, sale_amt from sales order by month",
+            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
+            "select sum(sale_amt) from sales",
+            "select * from t where a = 1 and b > 2",
+            "select * from t where c_customer_sk = ?",
+            "select count(*) from concrete_task where activity_id = ?",
+        ],
+    )
+    def test_parse_render_parse_is_stable(self, sql):
+        first = to_sql(parse_sql(sql))
+        second = to_sql(parse_sql(first))
+        assert first == second
+
+    def test_unsupported_shape_raises(self):
+        # A projection on top of another projection cannot be rendered as one
+        # SELECT statement.
+        inner = algebra.Project(
+            algebra.Scan("t"), (algebra.OutputColumn(ColumnRef("a"), "a"),)
+        )
+        outer = algebra.Project(
+            inner, (algebra.OutputColumn(ColumnRef("a"), "a"),)
+        )
+        with pytest.raises(SQLGenerationError):
+            to_sql(outer)

@@ -1,0 +1,106 @@
+"""Unit tests for row storage."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
+from repro.db.table import Table
+
+
+@pytest.fixture()
+def people() -> Table:
+    schema = TableSchema(
+        "people",
+        [
+            Column("person_id", ColumnType.INT),
+            Column("name", ColumnType.STRING, width=16),
+            Column("city", ColumnType.STRING, width=16),
+        ],
+        primary_key="person_id",
+    )
+    table = Table(schema)
+    table.insert_many(
+        [
+            {"person_id": 1, "name": "ann", "city": "pune"},
+            {"person_id": 2, "name": "bob", "city": "mumbai"},
+            {"person_id": 3, "name": "carol", "city": "pune"},
+        ]
+    )
+    return table
+
+
+class TestInsert:
+    def test_insert_fills_missing_columns_with_none(self, people):
+        stored = people.insert({"person_id": 4})
+        assert stored["name"] is None and stored["city"] is None
+
+    def test_insert_rejects_unknown_columns(self, people):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            people.insert({"person_id": 5, "height": 180})
+
+    def test_insert_many_returns_count(self, people):
+        added = people.insert_many(
+            [{"person_id": 10 + i, "name": f"p{i}"} for i in range(4)]
+        )
+        assert added == 4
+        assert len(people) == 7
+
+    def test_len_and_iter(self, people):
+        assert len(people) == 3
+        assert sum(1 for _ in people) == 3
+
+
+class TestLookup:
+    def test_primary_key_lookup_returns_copy(self, people):
+        row = people.lookup_pk(2)
+        assert row["name"] == "bob"
+        row["name"] = "mutated"
+        assert people.lookup_pk(2)["name"] == "bob"
+
+    def test_primary_key_miss_returns_none(self, people):
+        assert people.lookup_pk(99) is None
+
+    def test_lookup_without_pk_index_raises(self):
+        schema = TableSchema("t", [Column("a")])
+        with pytest.raises(SchemaError, match="no primary key"):
+            Table(schema).lookup_pk(1)
+
+    def test_scan_yields_copies(self, people):
+        for row in people.scan():
+            row["name"] = "x"
+        assert people.lookup_pk(1)["name"] == "ann"
+
+
+class TestMaintenance:
+    def test_distinct_count(self, people):
+        assert people.distinct_count("city") == 2
+        assert people.distinct_count("person_id") == 3
+
+    def test_distinct_count_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.distinct_count("unknown")
+
+    def test_clear(self, people):
+        people.clear()
+        assert len(people) == 0
+        assert people.lookup_pk(1) is None
+
+    def test_row_width_follows_schema(self, people):
+        assert people.row_width == 8 + 16 + 16
+
+    def test_update_rows(self, people):
+        changed = people.update_rows(
+            lambda row: row["city"] == "pune", {"city": "pnq"}
+        )
+        assert changed == 2
+        assert people.lookup_pk(1)["city"] == "pnq"
+        assert people.lookup_pk(2)["city"] == "mumbai"
+
+    def test_update_rows_with_callable_value(self, people):
+        people.update_rows(
+            lambda row: True, {"name": lambda row: row["name"].upper()}
+        )
+        assert people.lookup_pk(3)["name"] == "CAROL"
+
+    def test_update_rows_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.update_rows(lambda row: True, {"missing": 1})

@@ -1,0 +1,103 @@
+"""Tests for the ski-rental dynamic prefetching extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.appsim.dynamic_prefetch import DynamicPrefetcher, dynamic_lookup_program
+from repro.net.network import SLOW_REMOTE
+from repro.workloads import tpcds
+
+
+@pytest.fixture()
+def runtime():
+    return tpcds.build_runtime(num_orders=100, num_customers=200, network=SLOW_REMOTE)
+
+
+class TestDynamicPrefetcher:
+    def test_few_accesses_stay_with_point_lookups(self, runtime):
+        runtime.reset()
+        prefetcher = DynamicPrefetcher(runtime, "customer", "c_customer_sk")
+        for key in (1, 2):
+            row = prefetcher.lookup(key)
+            assert row["c_customer_sk"] == key
+        assert not prefetcher.has_prefetched
+        assert prefetcher.stats.point_lookups == 2
+
+    def test_many_accesses_trigger_prefetch(self, runtime):
+        runtime.reset()
+        prefetcher = DynamicPrefetcher(runtime, "customer", "c_customer_sk")
+        for key in range(1, 101):
+            prefetcher.lookup((key % 200) + 1)
+        assert prefetcher.has_prefetched
+        assert prefetcher.stats.cache_hits > 0
+        assert prefetcher.stats.prefetch_trigger_access is not None
+
+    def test_lookup_returns_same_rows_as_direct_query(self, runtime):
+        runtime.reset()
+        prefetcher = DynamicPrefetcher(runtime, "customer", "c_customer_sk")
+        keys = [(i % 200) + 1 for i in range(60)]
+        rows = [prefetcher.lookup(key) for key in keys]
+        expected = [
+            runtime.database.execute_sql(
+                "select * from customer where c_customer_sk = ?", (key,)
+            ).rows[0]["c_customer_sk"]
+            for key in keys
+        ]
+        assert [row["c_customer_sk"] for row in rows] == expected
+
+    def test_missing_key_returns_none_before_prefetch(self, runtime):
+        runtime.reset()
+        prefetcher = DynamicPrefetcher(runtime, "customer", "c_customer_sk")
+        assert prefetcher.lookup(10_000) is None
+
+    def test_group_lookups(self, runtime):
+        runtime.reset()
+        prefetcher = DynamicPrefetcher(runtime, "orders", "o_customer_sk")
+        group = prefetcher.lookup_group(1)
+        assert all(row["o_customer_sk"] == 1 for row in group)
+        # Force the prefetch and check grouped cache answers match.
+        for key in range(1, 80):
+            prefetcher.lookup_group((key % 200) + 1)
+        assert prefetcher.has_prefetched
+        cached = prefetcher.lookup_group(1)
+        assert len(cached) == len(group)
+
+    def test_invalid_threshold_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            DynamicPrefetcher(runtime, "customer", "c_customer_sk", 0)
+
+
+class TestSkiRentalBound:
+    @given(accesses=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=10, deadline=None)
+    def test_total_cost_within_twice_offline_optimum(self, accesses):
+        """The classical 2-competitive bound, measured on the virtual clock."""
+        runtime = tpcds.build_runtime(
+            num_orders=50, num_customers=150, network=SLOW_REMOTE
+        )
+        keys = [(i % 150) + 1 for i in range(accesses)]
+
+        def dynamic(rt):
+            return dynamic_lookup_program(rt, "customer", "c_customer_sk", keys)[0]
+
+        def never_prefetch(rt):
+            return [
+                rt.execute_query(
+                    "select * from customer where c_customer_sk = ?", (key,)
+                )[0]
+                for key in keys
+            ]
+
+        def always_prefetch(rt):
+            rt.prefetch("customer", "c_customer_sk", "pf")
+            return [rt.lookup(key, "pf") for key in keys]
+
+        dynamic_time = runtime.measure(dynamic).elapsed_seconds
+        never_time = runtime.measure(never_prefetch).elapsed_seconds
+        always_time = runtime.measure(always_prefetch).elapsed_seconds
+        offline_optimum = min(never_time, always_time)
+        # Deterministic ski rental is 2-competitive up to the granularity of a
+        # single "rent": the last point lookup may overshoot the break-even
+        # threshold by at most one lookup's cost.
+        single_lookup = never_time / accesses
+        assert dynamic_time <= 2.0 * offline_optimum + single_lookup + 1e-6

@@ -1,0 +1,76 @@
+"""Smoke tests for the example scripts.
+
+The examples are user-facing documentation; these tests keep them importable
+and exercise their fast code paths so they do not rot as the library evolves.
+The full scripts (which build larger databases) are meant to be run directly.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_there_are_at_least_three_examples(self):
+        assert len(EXAMPLE_FILES) >= 3
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert "quickstart" in names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_examples_parse_and_define_main(self, path):
+        module_ast = ast.parse(path.read_text())
+        functions = {
+            node.name
+            for node in module_ast.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+        # Every example is guarded so importing it does not run the workload.
+        guards = [
+            node
+            for node in module_ast.body
+            if isinstance(node, ast.If)
+            and "__main__" in ast.unparse(node.test)
+        ]
+        assert guards, f"{path.name} is missing an if __name__ == '__main__' guard"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_examples_import_cleanly(self, path):
+        module = load_example(path)
+        assert callable(module.main)
+
+    def test_quickstart_optimize_for_runs_small(self, capsys):
+        quickstart = load_example(EXAMPLES_DIR / "quickstart.py")
+        quickstart.optimize_for("slow-remote", num_orders=60, num_customers=30)
+        output = capsys.readouterr().out
+        assert "chosen strategy" in output
+        assert "measured: original" in output
+
+    def test_cost_model_tour_region_section_runs(self, capsys):
+        tour = load_example(EXAMPLES_DIR / "cost_model_tour.py")
+        tour.show_regions_and_fir()
+        output = capsys.readouterr().out
+        assert "fold expression" in output
+        assert "dependent aggregations: True" in output
+
+    def test_wilos_patterns_example_single_pattern(self, capsys):
+        from repro.experiments.figure15 import run_pattern
+        from repro.workloads.wilos import build_wilos_runtime
+        from repro.workloads.wilos_programs import build_patterns
+
+        runtime = build_wilos_runtime(scale=400)
+        outcome = run_pattern(build_patterns()["B"], runtime)
+        assert outcome.results_equivalent()

@@ -1,0 +1,180 @@
+"""Tests for the experiment harness and the figure reproductions (small scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_af_sweep,
+    run_dedup_ablation,
+    run_network_sensitivity,
+    run_rule_ablation,
+)
+from repro.experiments.figure13 import (
+    build_stats_only_database,
+    estimate_point,
+    measure_point,
+    run_figure13a,
+)
+from repro.experiments.figure15 import run_figure14, run_figure15, run_figure16
+from repro.experiments.harness import ResultTable, compile_program
+from repro.experiments.opt_time import run_optimization_time
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text and "2.50" in text and "a note" in text
+        assert table.as_dicts() == [{"a": 1, "b": 2.5}]
+        assert table.column("a") == [1]
+
+    def test_row_length_validated(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_compile_program_missing_function(self):
+        with pytest.raises(ValueError, match="does not define"):
+            compile_program("x = 1", "f")
+
+
+class TestFigure13:
+    def test_measured_point_reports_all_variants(self):
+        point = measure_point(100, 50, FAST_LOCAL)
+        assert point.p0_seconds > 0
+        assert point.p1_seconds > 0
+        assert point.p2_seconds > 0
+        assert point.cobra_choice in {
+            "Hibernate(P0)",
+            "SQL Query(P1)",
+            "Prefetching(P2)",
+        }
+        assert point.cobra_seconds in {
+            point.p0_seconds,
+            point.p1_seconds,
+            point.p2_seconds,
+        }
+
+    def test_analytical_point_at_paper_scale(self):
+        point = estimate_point(1_000_000, 73_000, SLOW_REMOTE)
+        # Paper (Figure 13a, 1M orders): P2 (3467s) beats P1 (6047s).
+        assert point.p2_seconds < point.p1_seconds
+        assert point.cobra_choice == "Prefetching(P2)"
+        # The shape: both in the thousands of seconds on the slow network.
+        assert 1_000 < point.p2_seconds < 20_000
+        assert 1_000 < point.p1_seconds < 20_000
+
+    def test_analytical_crossover_with_orders(self):
+        low = estimate_point(1_000, 73_000, SLOW_REMOTE)
+        high = estimate_point(1_000_000, 73_000, SLOW_REMOTE)
+        assert low.cobra_choice == "SQL Query(P1)"
+        assert high.cobra_choice == "Prefetching(P2)"
+
+    def test_figure13c_p1_constant_p2_grows(self):
+        small = estimate_point(10_000, 100, SLOW_REMOTE)
+        large = estimate_point(10_000, 100_000, SLOW_REMOTE)
+        assert small.p1_seconds == pytest.approx(large.p1_seconds, rel=0.05)
+        assert large.p2_seconds > small.p2_seconds * 2
+
+    def test_run_figure13a_small(self):
+        table = run_figure13a(
+            scale_divisor=1,
+            include_analytical=False,
+            order_counts=(100, 800),
+            num_customers=200,
+        )
+        assert len(table.rows) == 2
+        assert "COBRA" in table.columns
+
+    def test_stats_only_database_has_no_rows_but_estimates(self):
+        database = build_stats_only_database(5_000, 500)
+        assert database.row_count("orders") == 0
+        assert database.estimate_sql("select * from orders").cardinality == 5_000
+
+
+class TestFigure14And16:
+    def test_figure14_has_six_rows_totalling_32(self):
+        table = run_figure14()
+        assert len(table.rows) == 6
+        assert sum(table.column("#")) == 32
+
+    def test_figure16_lists_32_fragments(self):
+        table = run_figure16()
+        assert len(table.rows) == 32
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_figure15(scale=800)
+
+    def test_all_six_patterns_present(self, table):
+        assert [row[0] for row in table.rows] == [f"P {p}" for p in "ABCDEF"]
+
+    def test_all_variants_equivalent(self, table):
+        assert all(table.column("results_equal"))
+
+    def test_cobra_never_much_worse_than_original(self, table):
+        for fraction in table.column("cobra_af50_fraction"):
+            assert fraction <= 1.1
+        for fraction in table.column("cobra_af1_fraction"):
+            assert fraction <= 1.1
+
+    def test_cobra_beats_heuristic_somewhere(self, table):
+        rows = table.as_dicts()
+        improvements = [
+            row["heuristic_fraction"] - row["cobra_af50_fraction"] for row in rows
+        ]
+        assert max(improvements) > 0.5
+
+    def test_pattern_b_heuristic_is_worse_than_original(self, table):
+        row = next(r for r in table.as_dicts() if r["program"] == "P B")
+        assert row["heuristic_fraction"] > 1.0
+        assert row["cobra_af50_choice"] == "original"
+
+
+class TestOptimizationTimeAndAblations:
+    def test_optimization_time_below_a_second(self):
+        table = run_optimization_time(scale=500)
+        assert len(table.rows) == 7
+        assert all(t < 1.0 for t in table.column("optimization_seconds"))
+
+    def test_af_sweep_moves_towards_prefetch(self):
+        table = run_af_sweep(factors=(1, 50), scale=800)
+        choices = table.column("chosen_strategy")
+        assert choices[-1] == "prefetch"
+
+    def test_rule_ablation_no_rules_keeps_original(self):
+        table = run_rule_ablation(scale=500)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["no rules (original only)"][1] == "original"
+        all_cost = rows["all rules"][2]
+        assert all(all_cost <= row[2] + 1e-9 for row in table.rows)
+
+    def test_network_sensitivity_shows_a_choice_at_every_point(self):
+        table = run_network_sensitivity(bandwidth_factors=(1, 64, 4096))
+        assert len(table.rows) == 3
+        assert all(
+            choice in {"sql-join", "prefetch", "original"}
+            for choice in table.column("chosen")
+        )
+
+    def test_dedup_ablation_nodes_not_more_than_insertions(self):
+        table = run_dedup_ablation(scale=500)
+        for row in table.as_dicts():
+            assert row["nodes (with dedup)"] <= row["insertions (without dedup)"]
+
+
+class TestDynamicPrefetchAblation:
+    def test_dynamic_tracks_the_better_static_policy(self):
+        from repro.experiments.ablations import run_dynamic_prefetch_ablation
+
+        table = run_dynamic_prefetch_ablation(
+            access_counts=(1, 100), num_customers=200
+        )
+        first, last = table.as_dicts()
+        assert not first["dynamic_prefetched"]
+        assert last["dynamic_prefetched"]
+        assert last["dynamic_s"] < last["never_prefetch_s"]

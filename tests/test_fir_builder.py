@@ -1,0 +1,214 @@
+"""Unit tests for F-IR expressions, dependence analysis, and fold construction."""
+
+import ast
+
+import pytest
+
+from repro.core.region_analysis import analyze_program
+from repro.fir import expressions as fir
+from repro.fir.builder import build_fold
+from repro.fir.dependence import analyze_loop_body
+from repro.workloads import tpcds
+from repro.workloads.programs import M0_SOURCE, P0_SOURCE
+
+
+def fold_for(source, registry=None, loop_index=0):
+    info = analyze_program(source, registry=registry)
+    loops = info.cursor_loops()
+    return build_fold(loops[loop_index], info.context)
+
+
+class TestFIRExpressions:
+    def test_describe_fold_with_tuple(self):
+        fold = fir.Fold(
+            function=fir.TupleExpr(
+                (
+                    fir.BinOp("+", fir.ParamVar("sum"), fir.ColumnOf("Q", "x")),
+                    fir.MapPut(
+                        fir.ParamVar("m"), fir.ColumnOf("Q", "k"), fir.ParamVar("sum")
+                    ),
+                )
+            ),
+            initial=fir.TupleExpr((fir.Const(0), fir.Const({}))),
+            query=fir.QueryExpr("select * from t"),
+        )
+        text = fold.describe()
+        assert "fold(" in text and "tuple(" in text and "<sum>" in text
+
+    def test_tuple_requires_items(self):
+        with pytest.raises(fir.FIRError):
+            fir.TupleExpr(())
+
+    def test_project_and_walk(self):
+        tup = fir.TupleExpr((fir.Const(1), fir.Const(2)))
+        project = fir.ProjectExpr(tup, 1)
+        assert "project1" in project.describe()
+        assert fir.contains_node(project, fir.TupleExpr)
+        assert len(fir.find_nodes(project, fir.Const)) == 2
+
+    def test_inner_lookup_query_describe(self):
+        node = fir.InnerLookupQuery(
+            "customer", "c_customer_sk", fir.ColumnOf("Q", "o_customer_sk")
+        )
+        text = node.describe()
+        assert "σ" in text and "customer" in text
+
+
+class TestDependenceAnalysis:
+    def _facts(self, body_source: str):
+        module = ast.parse(body_source)
+        return analyze_loop_body(module.body, loop_variable="row")
+
+    def test_accumulator_and_local_classification(self):
+        info = self._facts("tmp = row['x'] * 2\ntotal = total + tmp\n")
+        assert info.is_foldable
+        assert "total" in info.accumulators
+        assert "tmp" in info.locals_
+
+    def test_append_is_an_accumulation(self):
+        info = self._facts("result.append(row)\n")
+        assert "result" in info.accumulators
+
+    def test_break_is_unsupported(self):
+        info = self._facts("break\n")
+        assert not info.is_foldable
+
+    def test_database_write_is_external_effect(self):
+        info = self._facts("rt.execute_update('update t set a = 1')\n")
+        assert info.has_external_effects
+        assert not info.is_foldable
+
+    def test_print_is_external_effect(self):
+        info = self._facts("print(row)\n")
+        assert not info.is_foldable
+
+    def test_guarded_accumulation_allowed(self):
+        info = self._facts("if row['x'] > 1:\n    total = total + 1\n")
+        assert info.is_foldable
+
+
+class TestFoldConstruction:
+    def test_p0_lookup_binding(self, registry):
+        fold = fold_for(P0_SOURCE, registry)
+        assert fold is not None
+        assert fold.query_sql == "select * from orders"
+        assert len(fold.bindings) == 1
+        binding = fold.bindings[0]
+        assert binding.kind == "lazy_load"
+        assert binding.table == "customer"
+        assert binding.key_column == "c_customer_sk"
+        assert len(fold.accumulators) == 1
+        assert fold.accumulators[0].kind == "collection_insert"
+
+    def test_m0_dependent_aggregations(self):
+        fold = fold_for(M0_SOURCE)
+        assert fold is not None
+        kinds = {a.variable: a.kind for a in fold.accumulators}
+        assert kinds == {"total": "scalar", "c_sum": "map_put"}
+        assert fold.has_dependent_aggregations
+        # The formal expression uses the tuple extension of Section V-B.
+        assert isinstance(fold.fold.function, fir.TupleExpr)
+        assert isinstance(fold.fold.initial, fir.TupleExpr)
+
+    def test_simple_sum_fold(self):
+        source = """
+def f(rt):
+    total = 0
+    for t in rt.execute_query("select * from sales"):
+        total = total + t["amount"]
+    return total
+"""
+        fold = fold_for(source)
+        assert fold is not None
+        spec = fold.accumulators[0]
+        assert spec.kind == "scalar" and spec.operator == "+"
+        assert not fold.has_dependent_aggregations
+        assert "fold(" in fold.fold.describe()
+
+    def test_guard_recorded(self):
+        source = """
+def f(rt):
+    names = []
+    for t in rt.execute_query("select * from employee"):
+        if t["salary"] > 100:
+            names.append(t["name"])
+    return names
+"""
+        fold = fold_for(source)
+        assert fold is not None
+        assert fold.accumulators[0].guard is not None
+
+    def test_update_in_loop_prevents_fold(self):
+        source = """
+def f(rt):
+    n = 0
+    for t in rt.execute_query("select * from activity"):
+        rt.execute_update("update activity set visited = 1 where activity_id = ?", (t["activity_id"],))
+        n = n + 1
+    return n
+"""
+        assert fold_for(source) is None
+
+    def test_non_cursor_loop_not_folded(self):
+        source = """
+def f(rt):
+    total = 0
+    for i in range(10):
+        total = total + i
+    return total
+"""
+        info = analyze_program(source)
+        loops = [r for r in info.region.walk() if r.kind == "loop"]
+        assert build_fold(loops[0], info.context) is None
+
+    def test_loop_without_accumulators_not_folded(self):
+        source = """
+def f(rt):
+    for t in rt.execute_query("select * from t"):
+        x = t["a"]
+    return None
+"""
+        assert fold_for(source) is None
+
+    def test_nested_cursor_loop_recognised_as_join(self):
+        source = """
+def f(rt):
+    result = []
+    for p in rt.execute_query("select * from participant"):
+        for r in rt.execute_query("select * from role"):
+            if p["role_id"] == r["role_id"]:
+                result.append((p["participant_id"], r["name"]))
+    return result
+"""
+        fold = fold_for(source)
+        assert fold is not None
+        assert len(fold.nested_joins) == 1
+        nested = fold.nested_joins[0]
+        assert nested.inner_variable == "r"
+        assert nested.join_condition is not None
+
+    def test_sql_lookup_binding_with_parameter(self):
+        source = """
+def f(rt):
+    result = []
+    for o in rt.execute_query("select * from orders"):
+        rows = rt.execute_query("select * from customer where c_customer_sk = ?", (o["o_customer_sk"],))
+        result.append((o["o_id"], len(rows)))
+    return result
+"""
+        fold = fold_for(source)
+        assert fold is not None
+        assert fold.bindings[0].kind == "sql_lookup"
+        assert fold.bindings[0].table == "customer"
+
+    def test_opaque_call_tolerated_and_recorded(self):
+        source = """
+def walk(rt, parent, acc):
+    for e in rt.execute_query("select * from breakdown_element where parent_id = ?", (parent,)):
+        acc.append(e["element_id"])
+        walk(rt, e["element_id"], acc)
+    return acc
+"""
+        fold = fold_for(source)
+        assert fold is not None
+        assert fold.has_opaque_statements

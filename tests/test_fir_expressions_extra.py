@@ -1,0 +1,88 @@
+"""Additional F-IR expression tests: node behaviour, describe forms, traversal."""
+
+import pytest
+
+from repro.fir import expressions as fir
+
+
+class TestDescribeForms:
+    def test_const_and_var(self):
+        assert fir.Const(3).describe() == "3"
+        assert fir.Var("x").describe() == "x"
+        assert fir.ParamVar("sum").describe() == "<sum>"
+
+    def test_column_and_attr(self):
+        assert fir.ColumnOf("Q", "sale_amt").describe() == "Q.sale_amt"
+        attr = fir.Attr(fir.Var("cust"), "c_birth_year")
+        assert attr.describe() == "cust.c_birth_year"
+
+    def test_binop_and_call(self):
+        expr = fir.BinOp("+", fir.ParamVar("sum"), fir.ColumnOf("Q", "x"))
+        assert expr.describe() == "(<sum> + Q.x)"
+        call = fir.Call("my_func", (fir.ColumnOf("Q", "o_id"), fir.Const(1)))
+        assert call.describe() == "my_func(Q.o_id, 1)"
+
+    def test_insert_and_mapput(self):
+        insert = fir.Insert(fir.ParamVar("result"), fir.Var("val"))
+        assert insert.describe() == "insert(<result>, val)"
+        put = fir.MapPut(fir.ParamVar("m"), fir.ColumnOf("Q", "k"), fir.Var("v"))
+        assert put.describe() == "put(<m>, Q.k, v)"
+
+    def test_cond_exec(self):
+        node = fir.CondExec(
+            fir.BinOp(">", fir.ColumnOf("Q", "x"), fir.Const(1)),
+            fir.Insert(fir.ParamVar("r"), fir.Var("t")),
+        )
+        assert node.describe().startswith("?(")
+
+    def test_query_prefetch_lookup_seq(self):
+        assert "select" in fir.QueryExpr("select * from t").describe()
+        assert fir.Prefetch("customer", "c_customer_sk").describe() == (
+            "prefetch(customer, c_customer_sk)"
+        )
+        lookup = fir.CacheLookup("customer.c_customer_sk", fir.ColumnOf("Q", "k"))
+        assert "lookup(" in lookup.describe()
+        seq = fir.SeqExpr((fir.Const(1), fir.Const(2)))
+        assert seq.describe() == "seq(1, 2)"
+
+    def test_fold_project_nesting(self):
+        fold = fir.Fold(
+            function=fir.BinOp("+", fir.ParamVar("s"), fir.ColumnOf("Q", "x")),
+            initial=fir.Const(0),
+            query=fir.QueryExpr("select x from t"),
+        )
+        projected = fir.ProjectExpr(fold, 0)
+        assert projected.describe().startswith("project0(fold(")
+
+
+class TestTraversal:
+    def test_walk_visits_children_in_preorder(self):
+        expr = fir.BinOp(
+            "+",
+            fir.ParamVar("s"),
+            fir.Call("f", (fir.ColumnOf("Q", "a"), fir.Const(2))),
+        )
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds[0] == "BinOp"
+        assert kinds.count("Const") == 1 and kinds.count("ColumnOf") == 1
+
+    def test_contains_and_find(self):
+        fold = fir.Fold(
+            function=fir.TupleExpr(
+                (
+                    fir.BinOp("+", fir.ParamVar("s"), fir.ColumnOf("Q", "x")),
+                    fir.MapPut(fir.ParamVar("m"), fir.ColumnOf("Q", "k"), fir.ParamVar("s")),
+                )
+            ),
+            initial=fir.TupleExpr((fir.Const(0), fir.Const({}))),
+            query=fir.QueryExpr("select * from t"),
+        )
+        assert fir.contains_node(fold, fir.MapPut)
+        assert not fir.contains_node(fold, fir.InnerLookupQuery)
+        assert len(fir.find_nodes(fold, fir.ParamVar)) == 3
+        assert len(fir.find_nodes(fold, fir.QueryExpr)) == 1
+
+    def test_children_of_leaves_are_empty(self):
+        for leaf in (fir.Const(1), fir.Var("x"), fir.ColumnOf("Q", "a"),
+                     fir.QueryExpr("select 1 from t"), fir.Prefetch("t", "k")):
+            assert leaf.children() == ()

@@ -1,0 +1,140 @@
+"""End-to-end integration tests: source in → optimized source out → execution.
+
+These tests exercise the full pipeline the paper describes: region analysis,
+Region DAG construction, F-IR transformation, cost-based choice, code
+generation, and finally execution of the generated program against the
+simulated runtime — asserting both semantic equivalence with the original
+program and the expected performance relationship.
+"""
+
+import pytest
+
+from repro.core.catalog import CostParameters
+from repro.core.optimizer import CobraOptimizer
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import programs, tpcds
+from repro.workloads.wilos import build_wilos_runtime
+from repro.workloads.wilos_programs import build_patterns
+
+
+def rewrite_and_run(runtime, source, function_name, driver, extra_globals=None):
+    parameters = CostParameters.for_network(runtime.network)
+    optimizer = CobraOptimizer(
+        runtime.database,
+        parameters,
+        registry=runtime.registry if runtime.registry.entities() else None,
+    )
+    result = optimizer.optimize(source, function_name=function_name)
+    namespace = dict(extra_globals or {})
+    exec(compile(result.rewritten_source, "<rewritten>", "exec"), namespace)
+    rewritten = namespace[function_name]
+    rewritten_run = runtime.measure(lambda rt: driver(rt, rewritten))
+    original_namespace = dict(extra_globals or {})
+    exec(compile(source, "<original>", "exec"), original_namespace)
+    original = original_namespace[function_name]
+    original_run = runtime.measure(lambda rt: driver(rt, original))
+    return result, original_run, rewritten_run
+
+
+class TestMotivatingExample:
+    def test_slow_network_rewrite_is_equivalent_and_faster(self):
+        runtime = tpcds.build_runtime(
+            num_orders=400, num_customers=80, network=SLOW_REMOTE
+        )
+        result, original_run, rewritten_run = rewrite_and_run(
+            runtime,
+            programs.P0_SOURCE,
+            "process_orders",
+            lambda rt, fn: sorted(fn(rt)),
+            extra_globals={"my_func": programs.my_func},
+        )
+        assert original_run.result == rewritten_run.result
+        assert rewritten_run.elapsed_seconds < original_run.elapsed_seconds
+        assert result.primary_choice() in {"sql-join", "prefetch"}
+
+    def test_fast_network_rewrite_is_equivalent_and_not_slower(self):
+        runtime = tpcds.build_runtime(
+            num_orders=300, num_customers=60, network=FAST_LOCAL
+        )
+        result, original_run, rewritten_run = rewrite_and_run(
+            runtime,
+            programs.P0_SOURCE,
+            "process_orders",
+            lambda rt, fn: sorted(fn(rt)),
+            extra_globals={"my_func": programs.my_func},
+        )
+        assert original_run.result == rewritten_run.result
+        assert rewritten_run.elapsed_seconds <= original_run.elapsed_seconds
+
+    def test_cobra_choice_matches_best_measured_variant_slow_network(self):
+        runtime = tpcds.build_runtime(
+            num_orders=400, num_customers=80, network=SLOW_REMOTE
+        )
+        measured = {
+            label: runtime.measure(fn).elapsed_seconds
+            for label, fn in programs.VARIANTS.items()
+        }
+        parameters = CostParameters.for_network(SLOW_REMOTE)
+        optimizer = CobraOptimizer(
+            runtime.database, parameters, registry=tpcds.build_registry()
+        )
+        result = optimizer.optimize(programs.P0_SOURCE)
+        label = {
+            "original": "Hibernate(P0)",
+            "sql-join": "SQL Query(P1)",
+            "prefetch": "Prefetching(P2)",
+        }[result.primary_choice()]
+        best_label = min(measured, key=measured.get)
+        # The chosen variant must be within 25% of the best measured variant
+        # (the cost model is an estimate, not an oracle).
+        assert measured[label] <= measured[best_label] * 1.25
+
+
+class TestWilosPatternsEndToEnd:
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        return build_wilos_runtime(scale=800, network=FAST_LOCAL)
+
+    @pytest.mark.parametrize("pattern_id", list("ABCDEF"))
+    def test_rewrite_preserves_results(self, runtime, pattern_id):
+        pattern = build_patterns()[pattern_id]
+        result, original_run, rewritten_run = rewrite_and_run(
+            runtime,
+            pattern.source,
+            pattern.function_name,
+            pattern.driver,
+        )
+        assert original_run.result == rewritten_run.result
+
+    @pytest.mark.parametrize("pattern_id", list("ABCDEF"))
+    def test_rewrite_not_slower_than_original(self, runtime, pattern_id):
+        pattern = build_patterns()[pattern_id]
+        _, original_run, rewritten_run = rewrite_and_run(
+            runtime,
+            pattern.source,
+            pattern.function_name,
+            pattern.driver,
+        )
+        # Allow 10% slack for cost-model/measurement mismatch on near-ties.
+        assert (
+            rewritten_run.elapsed_seconds
+            <= original_run.elapsed_seconds * 1.10 + 1e-6
+        )
+
+    def test_pattern_b_extra_aggregate_rejected(self, runtime):
+        pattern = build_patterns()["B"]
+        parameters = CostParameters.for_network(FAST_LOCAL)
+        optimizer = CobraOptimizer(runtime.database, parameters)
+        result = optimizer.optimize(
+            pattern.source, function_name=pattern.function_name
+        )
+        assert result.primary_choice() == "original"
+
+    def test_pattern_e_prefetch_chosen(self, runtime):
+        pattern = build_patterns()["E"]
+        parameters = CostParameters.for_network(FAST_LOCAL).with_amortization(50)
+        optimizer = CobraOptimizer(runtime.database, parameters)
+        result = optimizer.optimize(
+            pattern.source, function_name=pattern.function_name
+        )
+        assert result.primary_choice() == "prefetch"

@@ -1,0 +1,132 @@
+"""Unit tests for the virtual clock, network conditions, and connection."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType
+from repro.net.clock import VirtualClock
+from repro.net.connection import SimulatedConnection
+from repro.net.network import FAST_LOCAL, PRESETS, SLOW_REMOTE, NetworkConditions
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_reset_and_elapsed_since(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        start = clock.now
+        clock.advance(2.0)
+        assert clock.elapsed_since(start) == pytest.approx(2.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestNetworkConditions:
+    def test_presets_match_paper_parameters(self):
+        assert SLOW_REMOTE.bandwidth_bytes_per_sec == pytest.approx(62_500)
+        assert SLOW_REMOTE.round_trip_seconds == pytest.approx(0.5)
+        assert FAST_LOCAL.bandwidth_bytes_per_sec == pytest.approx(7.5e8)
+        assert FAST_LOCAL.round_trip_seconds == pytest.approx(0.0005)
+        assert set(PRESETS) == {"slow-remote", "fast-local"}
+
+    def test_transfer_time(self):
+        assert SLOW_REMOTE.transfer_time(62_500) == pytest.approx(1.0)
+        assert FAST_LOCAL.transfer_time(0) == 0.0
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SLOW_REMOTE.transfer_time(-1)
+
+    def test_round_trips(self):
+        assert SLOW_REMOTE.round_trips(4) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            SLOW_REMOTE.round_trips(-1)
+
+    def test_invalid_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions("x", 0, 0.1)
+        with pytest.raises(ValueError):
+            NetworkConditions("x", 100, -0.1)
+
+    def test_scaled(self):
+        scaled = SLOW_REMOTE.scaled(bandwidth_factor=2, latency_factor=0.5)
+        assert scaled.bandwidth_bytes_per_sec == pytest.approx(125_000)
+        assert scaled.round_trip_seconds == pytest.approx(0.25)
+
+
+def _tiny_database() -> Database:
+    database = Database()
+    database.create_table(
+        "items",
+        [Column("item_id", ColumnType.INT), Column("label", ColumnType.STRING, width=56)],
+        primary_key="item_id",
+    )
+    database.insert("items", [{"item_id": i, "label": f"item{i}"} for i in range(100)])
+    database.analyze()
+    return database
+
+
+class TestSimulatedConnection:
+    def test_query_advances_clock_by_at_least_one_round_trip(self):
+        connection = SimulatedConnection(_tiny_database(), SLOW_REMOTE)
+        connection.execute_query("select * from items")
+        assert connection.elapsed >= SLOW_REMOTE.round_trip_seconds
+
+    def test_transfer_time_scales_with_result_size(self):
+        database = _tiny_database()
+        slow = SimulatedConnection(database, SLOW_REMOTE)
+        slow.execute_query("select * from items")
+        big = slow.elapsed
+        slow_small = SimulatedConnection(database, SLOW_REMOTE)
+        slow_small.execute_query("select * from items where item_id = 1")
+        assert big > slow_small.elapsed
+
+    def test_fast_network_is_faster(self):
+        database = _tiny_database()
+        slow = SimulatedConnection(database, SLOW_REMOTE)
+        fast = SimulatedConnection(database, FAST_LOCAL)
+        slow.execute_query("select * from items")
+        fast.execute_query("select * from items")
+        assert fast.elapsed < slow.elapsed
+
+    def test_stats_accumulate(self):
+        connection = SimulatedConnection(_tiny_database(), FAST_LOCAL)
+        connection.execute_query("select * from items")
+        connection.execute_lookup("items", "item_id", 5)
+        stats = connection.stats
+        assert stats.queries == 2
+        assert stats.round_trips == 2
+        assert stats.rows_transferred == 101
+        assert stats.bytes_transferred > 0
+
+    def test_lookup_returns_matching_row(self):
+        connection = SimulatedConnection(_tiny_database(), FAST_LOCAL)
+        result = connection.execute_lookup("items", "item_id", 7)
+        assert result.rows[0]["label"] == "item7"
+
+    def test_execute_update_counts_a_round_trip(self):
+        connection = SimulatedConnection(_tiny_database(), SLOW_REMOTE)
+        changed = connection.execute_update(
+            "update items set label = 'x' where item_id = ?", (3,)
+        )
+        assert changed == 1
+        assert connection.elapsed == pytest.approx(SLOW_REMOTE.round_trip_seconds)
+
+    def test_reset_clears_clock_and_stats(self):
+        connection = SimulatedConnection(_tiny_database(), FAST_LOCAL)
+        connection.execute_query("select * from items")
+        connection.reset()
+        assert connection.elapsed == 0.0
+        assert connection.stats.queries == 0

@@ -1,0 +1,177 @@
+"""Property-based tests for the database engine (hypothesis).
+
+The executor is checked against brute-force Python implementations of the
+same relational operations on randomly generated tables, and the SQL
+generator is checked to round-trip through the parser.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import algebra
+from repro.db.database import Database
+from repro.db.expressions import BinaryOp, ColumnRef, Literal
+from repro.db.schema import Column, ColumnType
+from repro.db.sqlgen import to_sql
+from repro.db.sqlparser import parse_sql
+
+# -- strategies ---------------------------------------------------------------
+
+row_values = st.integers(min_value=0, max_value=9)
+
+left_rows = st.lists(
+    st.fixed_dictionaries({"k": row_values, "a": row_values}),
+    min_size=0,
+    max_size=30,
+)
+right_rows = st.lists(
+    st.fixed_dictionaries({"k": row_values, "b": row_values}),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_database(left, right) -> Database:
+    database = Database()
+    database.create_table(
+        "left_t", [Column("k", ColumnType.INT), Column("a", ColumnType.INT)]
+    )
+    database.create_table(
+        "right_t", [Column("k", ColumnType.INT), Column("b", ColumnType.INT)]
+    )
+    database.insert("left_t", left)
+    database.insert("right_t", right)
+    database.analyze()
+    return database
+
+
+# -- properties ----------------------------------------------------------------
+
+
+class TestExecutorAgainstBruteForce:
+    @given(rows=left_rows, threshold=row_values)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_matches_python_filter(self, rows, threshold):
+        database = build_database(rows, [])
+        result = database.execute_sql(
+            f"select * from left_t where a > {threshold}"
+        )
+        expected = [r for r in rows if r["a"] > threshold]
+        assert sorted((r["k"], r["a"]) for r in result.rows) == sorted(
+            (r["k"], r["a"]) for r in expected
+        )
+
+    @given(left=left_rows, right=right_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_equi_join_matches_nested_loops(self, left, right):
+        database = build_database(left, right)
+        result = database.execute_sql(
+            "select * from left_t l join right_t r on l.k = r.k"
+        )
+        expected = [
+            (lrow["k"], lrow["a"], rrow["b"])
+            for lrow in left
+            for rrow in right
+            if lrow["k"] == rrow["k"]
+        ]
+        actual = [(r["l.k"], r["l.a"], r["r.b"]) for r in result.rows]
+        assert sorted(actual) == sorted(expected)
+
+    @given(rows=left_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_and_count_match_python(self, rows):
+        database = build_database(rows, [])
+        result = database.execute_sql(
+            "select sum(a), count(*) from left_t"
+        ).rows[0]
+        expected_sum = sum(r["a"] for r in rows) if rows else None
+        assert result["count_all"] == len(rows)
+        if rows:
+            assert result["sum_a"] == expected_sum
+        else:
+            assert result["sum_a"] is None
+
+    @given(rows=left_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_matches_python(self, rows):
+        database = build_database(rows, [])
+        result = database.execute_sql(
+            "select k, count(*) from left_t group by k"
+        )
+        expected: dict[int, int] = {}
+        for row in rows:
+            expected[row["k"]] = expected.get(row["k"], 0) + 1
+        actual = {r["k"]: r["count_all"] for r in result.rows}
+        assert actual == expected
+
+    @given(rows=left_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_produces_sorted_output(self, rows):
+        database = build_database(rows, [])
+        result = database.execute_sql("select * from left_t order by a desc")
+        values = [r["a"] for r in result.rows]
+        assert values == sorted(values, reverse=True)
+
+    @given(rows=left_rows, limit=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_never_exceeds_bound(self, rows, limit):
+        database = build_database(rows, [])
+        result = database.execute_sql(f"select * from left_t limit {limit}")
+        assert result.cardinality == min(limit, len(rows))
+
+
+class TestCardinalityEstimates:
+    @given(left=left_rows, right=right_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_are_non_negative_and_bounded(self, left, right):
+        database = build_database(left, right)
+        for sql in (
+            "select * from left_t",
+            "select * from left_t where a = 3",
+            "select * from left_t l join right_t r on l.k = r.k",
+            "select sum(a) from left_t",
+        ):
+            estimate = database.estimate_sql(sql)
+            assert estimate.cardinality >= 0
+            assert estimate.row_width > 0
+            assert estimate.first_row_time <= estimate.last_row_time
+
+    @given(left=left_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_selection_estimate_never_exceeds_input(self, left):
+        database = build_database(left, [])
+        scan = database.estimate_sql("select * from left_t").cardinality
+        filtered = database.estimate_sql(
+            "select * from left_t where a = 1"
+        ).cardinality
+        assert filtered <= scan + 1e-9
+
+
+class TestSqlRoundTrip:
+    @given(
+        columns=st.lists(
+            st.sampled_from(["k", "a"]), min_size=1, max_size=2, unique=True
+        ),
+        threshold=row_values,
+        descending=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_sql_reparses_to_same_sql(self, columns, threshold, descending):
+        sql = (
+            f"select {', '.join(columns)} from left_t "
+            f"where a >= {threshold} order by k{' desc' if descending else ''}"
+        )
+        rendered = to_sql(parse_sql(sql))
+        assert to_sql(parse_sql(rendered)) == rendered
+
+    @given(left=left_rows, threshold=row_values)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtripped_query_gives_same_rows(self, left, threshold):
+        database = build_database(left, [])
+        sql = f"select * from left_t where a <= {threshold}"
+        direct = database.execute_sql(sql).rows
+        rendered = to_sql(parse_sql(sql))
+        via_roundtrip = database.execute_sql(rendered).rows
+        assert direct == via_roundtrip

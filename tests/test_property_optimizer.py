@@ -1,0 +1,154 @@
+"""Property-based tests for the optimizer, cost model, and virtual clock.
+
+Invariants checked:
+
+* COBRA's chosen cost is never above the original program's cost, for any
+  cardinality mix and network condition;
+* the cost of every query is monotone in the network round-trip time and
+  antitone in bandwidth;
+* prefetch cost is antitone in the amortization factor;
+* the generated program is always equivalent to the original on random data;
+* the virtual clock only moves forward.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.optimizer import CobraOptimizer
+from repro.db.statistics import TableStatistics
+from repro.experiments.figure13 import build_stats_only_database
+from repro.net.clock import VirtualClock
+from repro.net.network import NetworkConditions
+from repro.workloads import programs, tpcds
+
+cardinalities = st.integers(min_value=10, max_value=2_000_000)
+bandwidths = st.floats(min_value=1e4, max_value=1e10)
+latencies = st.floats(min_value=1e-5, max_value=1.0)
+
+
+class TestCostModelProperties:
+    @given(orders=cardinalities, customers=cardinalities, bandwidth=bandwidths, latency=latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_best_cost_never_exceeds_original(
+        self, orders, customers, bandwidth, latency
+    ):
+        database = build_stats_only_database(orders, customers)
+        network = NetworkConditions("random", bandwidth, latency)
+        optimizer = CobraOptimizer(
+            database,
+            CostParameters.for_network(network),
+            registry=tpcds.build_registry(),
+        )
+        result = optimizer.optimize(programs.P0_SOURCE)
+        assert result.best_cost <= result.original_cost + 1e-9
+        assert result.best_cost > 0
+
+    @given(latency=latencies)
+    @settings(max_examples=30, deadline=None)
+    def test_query_cost_monotone_in_latency(self, latency):
+        database = build_stats_only_database(10_000, 1_000)
+        slow = CostModel(
+            database,
+            CostParameters(network_round_trip=latency, bandwidth_bytes_per_sec=1e6),
+        )
+        slower = CostModel(
+            database,
+            CostParameters(
+                network_round_trip=latency * 2, bandwidth_bytes_per_sec=1e6
+            ),
+        )
+        sql = "select * from orders"
+        assert slower.query_cost(sql) >= slow.query_cost(sql)
+
+    @given(bandwidth=bandwidths)
+    @settings(max_examples=30, deadline=None)
+    def test_query_cost_antitone_in_bandwidth(self, bandwidth):
+        database = build_stats_only_database(10_000, 1_000)
+        base = CostModel(
+            database,
+            CostParameters(network_round_trip=0.01, bandwidth_bytes_per_sec=bandwidth),
+        )
+        faster = CostModel(
+            database,
+            CostParameters(
+                network_round_trip=0.01, bandwidth_bytes_per_sec=bandwidth * 2
+            ),
+        )
+        sql = "select * from orders"
+        assert faster.query_cost(sql) <= base.query_cost(sql) + 1e-12
+
+    @given(factor=st.floats(min_value=1.0, max_value=1000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_prefetch_cost_antitone_in_amortization(self, factor):
+        database = build_stats_only_database(10_000, 1_000)
+        base = CostModel(database, CostParameters())
+        amortised = CostModel(
+            database, CostParameters().with_amortization(factor)
+        )
+        assert (
+            amortised.prefetch_cost("customer", None)
+            <= base.prefetch_cost("customer", None) + 1e-12
+        )
+
+    @given(orders=cardinalities)
+    @settings(max_examples=30, deadline=None)
+    def test_costs_scale_with_cardinality(self, orders):
+        small = build_stats_only_database(orders, 1_000)
+        big = build_stats_only_database(orders * 2, 1_000)
+        params = CostParameters()
+        sql = "select * from orders"
+        assert (
+            CostModel(big, params).query_cost(sql)
+            >= CostModel(small, params).query_cost(sql) - 1e-12
+        )
+
+
+class TestGeneratedProgramEquivalence:
+    @given(
+        num_orders=st.integers(min_value=5, max_value=120),
+        num_customers=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=1, max_value=10_000),
+        slow=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rewrite_equivalent_on_random_data(
+        self, num_orders, num_customers, seed, slow
+    ):
+        from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+
+        network = SLOW_REMOTE if slow else FAST_LOCAL
+        runtime = tpcds.build_runtime(
+            num_orders=num_orders,
+            num_customers=num_customers,
+            network=network,
+            seed=seed,
+        )
+        optimizer = CobraOptimizer(
+            runtime.database,
+            CostParameters.for_network(network),
+            registry=tpcds.build_registry(),
+        )
+        result = optimizer.optimize(programs.P0_SOURCE)
+        namespace = {"my_func": programs.my_func}
+        exec(compile(result.rewritten_source, "<gen>", "exec"), namespace)
+        rewritten = namespace["process_orders"]
+        original_run = runtime.measure(programs.p0_orm)
+        rewritten_run = runtime.measure(lambda rt: sorted(rewritten(rt)))
+        assert rewritten_run.result == original_run.result
+
+
+class TestClockProperties:
+    @given(steps=st.lists(st.floats(min_value=0, max_value=100), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotone_and_additive(self, steps):
+        clock = VirtualClock()
+        total = 0.0
+        for step in steps:
+            before = clock.now
+            clock.advance(step)
+            assert clock.now >= before
+            total += step
+        assert clock.now == pytest.approx(total)

@@ -1,0 +1,147 @@
+"""Additional region-analysis tests: data-access classification edge cases."""
+
+import ast
+
+import pytest
+
+from repro.core.region_analysis import (
+    AnalysisContext,
+    analyze_program,
+    classify_data_access,
+)
+from repro.core.regions import BasicBlockRegion, LoopRegion
+from repro.workloads import tpcds
+
+
+def classify(expression: str, registry=None) -> object:
+    context = AnalysisContext(registry=registry, runtime_parameter="rt")
+    node = ast.parse(expression, mode="eval").body
+    return classify_data_access(node, context)
+
+
+class TestClassification:
+    def test_execute_query_literal(self):
+        info = classify('rt.execute_query("select * from t")')
+        assert info.kind == "sql" and info.sql == "select * from t"
+
+    def test_execute_query_nonliteral_sql(self):
+        info = classify("rt.execute_query(sql_variable)")
+        assert info.kind == "sql" and info.sql is None
+
+    def test_load_all_with_registry(self, registry):
+        info = classify('rt.orm.load_all("Order")', registry)
+        assert info.kind == "load_all"
+        assert info.entity == "Order" and info.table == "orders"
+
+    def test_load_all_unknown_entity(self, registry):
+        info = classify('rt.orm.load_all("Ghost")', registry)
+        assert info.kind == "load_all" and info.table is None
+
+    def test_orm_get(self, registry):
+        info = classify('rt.orm.get("Customer", 5)', registry)
+        assert info.kind == "orm_get" and info.table == "customer"
+
+    def test_execute_update(self):
+        info = classify('rt.execute_update("update t set a = 1")')
+        assert info.kind == "update"
+
+    def test_prefetch_variants(self):
+        assert classify('rt.prefetch("customer", "c_customer_sk")').table == "customer"
+        grouped = classify('rt.prefetch_group("orders", "o_customer_sk")')
+        assert grouped.kind == "prefetch" and grouped.table == "orders"
+        query = classify('rt.prefetch_query("select * from t", "k")')
+        assert query.kind == "prefetch" and query.sql == "select * from t"
+
+    def test_cache_by_column(self):
+        info = classify('rt.cache.cache_by_column(rows, "c_customer_sk")')
+        assert info.kind == "prefetch" and info.key_column == "c_customer_sk"
+
+    def test_lookup_variants(self):
+        plain = classify('rt.lookup(key, "c_customer_sk")')
+        assert plain.kind == "lookup" and plain.key_column == "c_customer_sk"
+        qualified = classify('rt.lookup_group(key, "orders.o_customer_sk")')
+        assert qualified.table == "orders"
+        assert qualified.key_column == "o_customer_sk"
+
+    def test_non_data_access_returns_none(self):
+        assert classify("some_function(1, 2)") is None
+        assert classify("rt.work(3)") is None
+        assert classify("obj.method().chain()") is None
+
+
+class TestLoopEntityTracking:
+    def test_lazy_load_only_for_orm_loop_variables(self, registry):
+        source = """
+def f(rt):
+    out = []
+    for o in rt.orm.load_all("Order"):
+        c = o.customer
+        out.append(c.c_birth_year)
+    for r in rt.execute_query("select * from orders"):
+        x = r.customer
+        out.append(x)
+    return out
+"""
+        info = analyze_program(source, registry=registry)
+        loops = [r for r in info.region.walk() if isinstance(r, LoopRegion)]
+        first_kinds = [
+            q.kind
+            for block in loops[0].body.walk()
+            if isinstance(block, BasicBlockRegion)
+            for q in block.queries
+        ]
+        second_kinds = [
+            q.kind
+            for block in loops[1].body.walk()
+            if isinstance(block, BasicBlockRegion)
+            for q in block.queries
+        ]
+        assert "lazy_load" in first_kinds
+        assert "lazy_load" not in second_kinds
+
+    def test_only_mapped_relations_are_lazy_loads(self, registry):
+        source = """
+def f(rt):
+    out = []
+    for o in rt.orm.load_all("Order"):
+        x = o.o_net_paid
+        out.append(x)
+    return out
+"""
+        info = analyze_program(source, registry=registry)
+        loop = info.cursor_loops()[0]
+        kinds = [
+            q.kind
+            for block in loop.body.walk()
+            if isinstance(block, BasicBlockRegion)
+            for q in block.queries
+        ]
+        assert "lazy_load" not in kinds
+
+    def test_query_target_variable_recorded(self):
+        source = """
+def f(rt):
+    rows = rt.execute_query("select * from t")
+    return rows
+"""
+        info = analyze_program(source)
+        block = next(
+            r
+            for r in info.region.walk()
+            if isinstance(r, BasicBlockRegion) and r.queries
+        )
+        assert block.queries[0].target_variable == "rows"
+
+    def test_runtime_parameter_defaults_to_first_argument(self):
+        source = """
+def f(ctx):
+    return ctx.execute_query("select * from t")
+"""
+        info = analyze_program(source)
+        assert info.context.runtime_parameter == "ctx"
+        blocks = [
+            r
+            for r in info.region.walk()
+            if isinstance(r, BasicBlockRegion) and r.queries
+        ]
+        assert blocks and blocks[0].queries[0].kind == "sql"

@@ -1,0 +1,194 @@
+"""Unit tests for the workload generators and the P0/P1/P2 programs."""
+
+import pytest
+
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import programs, tpcds
+from repro.workloads.generator import DeterministicGenerator
+from repro.workloads.wilos import (
+    DEFAULT_SCALE,
+    MAPPING_RATIO,
+    WilosScale,
+    build_wilos_database,
+)
+from repro.workloads.wilos_programs import all_fragments, build_patterns
+
+
+class TestDeterministicGenerator:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicGenerator(7)
+        b = DeterministicGenerator(7)
+        assert [a.next_int(0, 100) for _ in range(10)] == [
+            b.next_int(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicGenerator(7)
+        b = DeterministicGenerator(8)
+        assert [a.next_int(0, 10**6) for _ in range(5)] != [
+            b.next_int(0, 10**6) for _ in range(5)
+        ]
+
+    def test_int_range_respected(self):
+        generator = DeterministicGenerator(3)
+        values = [generator.next_int(5, 9) for _ in range(200)]
+        assert min(values) >= 5 and max(values) <= 9
+        assert set(values) == {5, 6, 7, 8, 9}
+
+    def test_float_range(self):
+        generator = DeterministicGenerator(3)
+        values = [generator.next_float(1.0, 2.0) for _ in range(100)]
+        assert all(1.0 <= v < 2.0 for v in values)
+
+    def test_choice_and_errors(self):
+        generator = DeterministicGenerator(3)
+        assert generator.choice(["x"]) == "x"
+        with pytest.raises(ValueError):
+            generator.choice([])
+        with pytest.raises(ValueError):
+            generator.next_int(5, 4)
+
+    def test_string_width(self):
+        generator = DeterministicGenerator(3)
+        assert len(generator.string("p", 12)) == 12
+
+    def test_boolean_probability(self):
+        generator = DeterministicGenerator(3)
+        values = [generator.boolean(0.2) for _ in range(500)]
+        fraction = sum(values) / len(values)
+        assert 0.1 < fraction < 0.35
+
+
+class TestTpcdsWorkload:
+    def test_row_widths_match_spec(self, orders_database):
+        assert orders_database.schema.table("orders").row_width == tpcds.ORDER_ROW_WIDTH
+        assert (
+            orders_database.schema.table("customer").row_width
+            == tpcds.CUSTOMER_ROW_WIDTH
+        )
+
+    def test_cardinalities(self, orders_database):
+        assert orders_database.row_count("orders") == 300
+        assert orders_database.row_count("customer") == 60
+
+    def test_foreign_keys_reference_existing_customers(self, orders_database):
+        customers = {
+            r["c_customer_sk"] for r in orders_database.table("customer").rows
+        }
+        assert all(
+            r["o_customer_sk"] in customers
+            for r in orders_database.table("orders").rows
+        )
+
+    def test_statistics_are_loaded(self, orders_database):
+        stats = orders_database.statistics.table_stats("orders")
+        assert stats.row_count == 300
+        assert stats.distinct["o_id"] == 300
+
+    def test_generation_is_deterministic(self):
+        a = tpcds.build_orders_database(50, 10, seed=3)
+        b = tpcds.build_orders_database(50, 10, seed=3)
+        assert a.table("orders").rows == b.table("orders").rows
+
+    def test_registry_maps_the_figure2_schema(self, registry):
+        order = registry.entity("Order")
+        assert order.table == "orders"
+        relation = order.relation("customer")
+        assert relation.target_key_column == "c_customer_sk"
+
+
+class TestMotivatingExamplePrograms:
+    def test_all_variants_compute_the_same_result(self, orders_runtime):
+        results = {}
+        for label, function in programs.VARIANTS.items():
+            results[label] = orders_runtime.measure(function).result
+        assert results["Hibernate(P0)"] == results["SQL Query(P1)"]
+        assert results["Hibernate(P0)"] == results["Prefetching(P2)"]
+
+    def test_p0_issues_many_queries_p1_one(self, orders_runtime):
+        p0 = orders_runtime.measure(programs.p0_orm)
+        p1 = orders_runtime.measure(programs.p1_sql_join)
+        p2 = orders_runtime.measure(programs.p2_prefetch)
+        assert p1.queries == 1
+        assert p2.queries == 2
+        assert p0.queries > 10
+
+    def test_slow_network_penalises_p0(self, slow_orders_runtime):
+        p0 = slow_orders_runtime.measure(programs.p0_orm)
+        p1 = slow_orders_runtime.measure(programs.p1_sql_join)
+        assert p0.elapsed_seconds > 5 * p1.elapsed_seconds
+
+    def test_sources_parse(self):
+        import ast
+
+        for source in programs.VARIANT_SOURCES.values():
+            ast.parse(source)
+        ast.parse(programs.M0_SOURCE)
+
+
+class TestWilosWorkload:
+    def test_scale_derivation(self):
+        scale = WilosScale.from_largest(10_000)
+        assert scale.concrete_task == 10_000
+        assert scale.activity == 10_000 // MAPPING_RATIO
+        assert scale.role == 10_000 // MAPPING_RATIO**2
+
+    def test_tables_populated(self, wilos_database):
+        for table in (
+            "role",
+            "project",
+            "participant",
+            "activity",
+            "iteration",
+            "concrete_task",
+            "breakdown_element",
+            "descriptor",
+            "process",
+        ):
+            assert wilos_database.row_count(table) > 0
+        assert wilos_database.row_count("concrete_task") == 800
+
+    def test_mapping_ratio_roughly_ten_to_one(self, wilos_database):
+        tasks = wilos_database.row_count("concrete_task")
+        activities = wilos_database.row_count("activity")
+        assert tasks / activities == pytest.approx(MAPPING_RATIO, rel=0.2)
+
+    def test_foreign_keys_valid(self, wilos_database):
+        roles = {r["role_id"] for r in wilos_database.table("role").rows}
+        assert all(
+            r["role_id"] in roles
+            for r in wilos_database.table("participant").rows
+        )
+
+    def test_breakdown_forest_parents_precede_children(self, wilos_database):
+        for row in wilos_database.table("breakdown_element").rows:
+            assert row["parent_id"] < row["element_id"]
+
+
+class TestWilosPatterns:
+    def test_six_patterns_with_paper_counts(self):
+        patterns = build_patterns()
+        assert sorted(patterns) == list("ABCDEF")
+        counts = {p: patterns[p].cases for p in patterns}
+        assert counts == {"A": 3, "B": 2, "C": 9, "D": 7, "E": 9, "F": 2}
+        assert sum(counts.values()) == 32
+
+    def test_fragment_registry_has_32_entries(self):
+        fragments = all_fragments()
+        assert len(fragments) == 32
+        assert [f.index for f in fragments] == list(range(1, 33))
+        assert fragments[0].location.startswith("ProjectService")
+
+    def test_pattern_sources_parse_and_define_their_function(self):
+        import ast
+
+        for pattern in build_patterns().values():
+            module = ast.parse(pattern.source)
+            names = [
+                n.name for n in module.body if isinstance(n, ast.FunctionDef)
+            ]
+            assert pattern.function_name in names
+
+    def test_pattern_fragments_match_cases(self):
+        for pattern in build_patterns().values():
+            assert len(pattern.fragments) == pattern.cases
