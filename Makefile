@@ -1,0 +1,13 @@
+.PHONY: test bench bench-suite
+
+# Tier-1 verification: the full unit + benchmark test suite.
+test:
+	python -m pytest -x -q
+
+# Engine performance benchmarks; writes BENCH_engine.json in the repo root.
+bench:
+	python benchmarks/bench_engine.py
+
+# The paper-figure benchmark suite (pytest-benchmark timings + tables).
+bench-suite:
+	python -m pytest benchmarks/ -q

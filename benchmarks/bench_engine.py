@@ -1,0 +1,236 @@
+"""Engine performance benchmarks: compiled executor and optimizer wall-clock.
+
+Run directly (``python benchmarks/bench_engine.py`` or ``make bench``).  Two
+benchmark families are timed:
+
+* **Executor microbenchmarks** — scan+filter, hash/index join, and grouped
+  aggregation over a 50k-row orders table, executed once with the interpreted
+  (tree-walking) executor and once with the compiled-expression executor.
+  Row-for-row result equality between the two modes is asserted as part of
+  the run.
+
+* **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
+  Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
+  workloads the opt-time experiment reports.
+
+Results are written to ``BENCH_engine.json`` in the repository root so later
+PRs can track the performance trajectory.  Scale is adjustable via the
+``BENCH_ENGINE_ROWS`` environment variable (default 50 000).
+
+This file is intentionally *not* named ``test_*``: it is a standalone
+harness, not part of the pytest benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.core.catalog import CostParameters  # noqa: E402
+from repro.core.optimizer import CobraOptimizer  # noqa: E402
+from repro.db import algebra  # noqa: E402
+from repro.db.database import Database  # noqa: E402
+from repro.db.executor import Executor  # noqa: E402
+from repro.db.expressions import (  # noqa: E402
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Literal,
+)
+from repro.db.schema import Column, ColumnType  # noqa: E402
+from repro.net.network import FAST_LOCAL  # noqa: E402
+from repro.workloads import tpcds  # noqa: E402
+from repro.workloads.programs import P0_SOURCE  # noqa: E402
+from repro.workloads.wilos import build_wilos_database  # noqa: E402
+from repro.workloads.wilos_programs import build_patterns  # noqa: E402
+
+#: Largest-relation row count for the executor microbenchmarks.
+DEFAULT_ROWS = 50_000
+
+#: Timing repetitions; the best (minimum) run is reported.
+REPEATS = 3
+
+
+def build_benchmark_database(rows: int) -> Database:
+    """A deterministic orders/customers database for the microbenchmarks."""
+    database = Database()
+    database.create_table(
+        "customers",
+        [
+            Column("c_id", ColumnType.INT),
+            Column("c_name", ColumnType.STRING, width=16),
+            Column("c_tier", ColumnType.INT),
+        ],
+        primary_key="c_id",
+    )
+    database.create_table(
+        "orders",
+        [
+            Column("o_id", ColumnType.INT),
+            Column("o_c_id", ColumnType.INT),
+            Column("o_total", ColumnType.FLOAT),
+            Column("o_status", ColumnType.STRING, width=8),
+        ],
+        primary_key="o_id",
+    )
+    customers = max(rows // 10, 1)
+    database.insert(
+        "customers",
+        (
+            {"c_id": i, "c_name": f"customer-{i}", "c_tier": i % 5}
+            for i in range(customers)
+        ),
+    )
+    database.insert(
+        "orders",
+        (
+            {
+                "o_id": i,
+                "o_c_id": i % customers,
+                "o_total": float((i * 7919) % 1000),
+                "o_status": "OPEN" if i % 3 else "DONE",
+            }
+            for i in range(rows)
+        ),
+    )
+    database.analyze()
+    return database
+
+
+def executor_plans() -> dict[str, algebra.PlanNode]:
+    """The microbenchmark plans: scan+filter, equi-joins, grouped aggregate."""
+    scan_filter = algebra.Select(
+        algebra.Scan("orders", "o"),
+        BooleanOp(
+            "and",
+            (
+                BinaryOp(">", ColumnRef("o_total", "o"), Literal(500.0)),
+                BinaryOp("=", ColumnRef("o_status", "o"), Literal("OPEN")),
+            ),
+        ),
+    )
+    join = algebra.Join(
+        algebra.Scan("orders", "o"),
+        algebra.Scan("customers", "c"),
+        BinaryOp("=", ColumnRef("o_c_id", "o"), ColumnRef("c_id", "c")),
+    )
+    # The headline join benchmark projects a few columns, as real queries
+    # do; the compiled engine pipelines the projection through the join.
+    # The full-width join (every bare and qualified column of both sides)
+    # is tracked separately as hash_join_wide.
+    hash_join = algebra.Project(
+        join,
+        (
+            algebra.OutputColumn(ColumnRef("o_id", "o"), "o_id"),
+            algebra.OutputColumn(ColumnRef("c_name", "c"), "c_name"),
+            algebra.OutputColumn(ColumnRef("o_total", "o"), "o_total"),
+        ),
+    )
+    aggregate = algebra.Aggregate(
+        algebra.Scan("orders"),
+        group_by=(ColumnRef("o_c_id"),),
+        aggregates=(
+            algebra.AggregateSpec("sum", ColumnRef("o_total"), "total"),
+            algebra.AggregateSpec("count", None, "n"),
+            algebra.AggregateSpec("avg", ColumnRef("o_total"), "avg_total"),
+        ),
+    )
+    return {
+        "scan_filter": scan_filter,
+        "hash_join": hash_join,
+        "hash_join_wide": join,
+        "aggregate": aggregate,
+    }
+
+
+def _best_time(run: Callable[[], object], repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_executor(rows: int) -> dict:
+    """Time every microbenchmark plan in interpreted and compiled mode."""
+    database = build_benchmark_database(rows)
+    interpreted = Executor(database.tables, compiled=False)
+    compiled = Executor(database.tables, compiled=True)
+    results: dict = {}
+    for name, plan in executor_plans().items():
+        reference = interpreted.execute(plan)
+        fast = compiled.execute(plan)
+        if reference != fast:
+            raise AssertionError(
+                f"compiled and interpreted results differ for {name!r}"
+            )
+        interpreted_s = _best_time(lambda: interpreted.execute(plan))
+        compiled_s = _best_time(lambda: compiled.execute(plan))
+        results[name] = {
+            "output_rows": len(reference),
+            "interpreted_seconds": interpreted_s,
+            "compiled_seconds": compiled_s,
+            "speedup": interpreted_s / compiled_s if compiled_s else None,
+        }
+    return results
+
+
+def bench_optimizer(wilos_scale: int = 2_000) -> dict:
+    """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
+    parameters = CostParameters.for_network(FAST_LOCAL)
+    per_program: dict[str, float] = {}
+
+    orders_db = tpcds.build_orders_database(num_orders=1_000, num_customers=500)
+    registry = tpcds.build_registry()
+
+    def run_p0():
+        optimizer = CobraOptimizer(orders_db, parameters, registry=registry)
+        return optimizer.optimize(P0_SOURCE)
+
+    per_program["p0_process_orders"] = _best_time(run_p0)
+
+    wilos_db = build_wilos_database(scale=wilos_scale)
+    for pattern_id, pattern in build_patterns().items():
+
+        def run_pattern(pattern=pattern):
+            optimizer = CobraOptimizer(wilos_db, parameters)
+            return optimizer.optimize(
+                pattern.source, function_name=pattern.function_name
+            )
+
+        per_program[f"wilos_{pattern_id}"] = _best_time(run_pattern)
+
+    return {
+        "per_program_seconds": per_program,
+        "total_seconds": sum(per_program.values()),
+    }
+
+
+def main() -> dict:
+    rows = int(os.environ.get("BENCH_ENGINE_ROWS", str(DEFAULT_ROWS)))
+    started = time.perf_counter()
+    report = {
+        "benchmark": "engine",
+        "rows": rows,
+        "executor": bench_executor(rows),
+        "optimizer": bench_optimizer(),
+    }
+    report["harness_seconds"] = time.perf_counter() - started
+    out_path = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

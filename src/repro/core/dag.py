@@ -86,6 +86,9 @@ class RegionDag:
         #: structural key -> (AndNode, owning Group)
         self._node_index: dict[tuple, tuple[AndNode, Group]] = {}
         self.root: Optional[Group] = None
+        #: (group, node) memberships created since the last drain; feeds the
+        #: optimizer's dirty worklist so rules fire only on new alternatives.
+        self._new_memberships: list[tuple[Group, AndNode]] = []
 
     # -- construction ------------------------------------------------------
 
@@ -110,7 +113,8 @@ class RegionDag:
         if existing is not None:
             node, owner = existing
             if into is not None and owner is not into:
-                into.add(node)
+                if into.add(node):
+                    self._new_memberships.append((into, node))
             return into or owner
         node = AndNode(
             kind=region.kind,
@@ -121,6 +125,7 @@ class RegionDag:
         group = into or self._new_group(region.label or region.kind)
         group.add(node)
         self._node_index[key] = (node, group)
+        self._new_memberships.append((group, node))
         return group
 
     def add_alternative(
@@ -144,7 +149,8 @@ class RegionDag:
         if existing is not None:
             node, owner = existing
             if owner is not group:
-                group.add(node)
+                if group.add(node):
+                    self._new_memberships.append((group, node))
                 return node
             return None
         node = AndNode(
@@ -160,7 +166,20 @@ class RegionDag:
         if not added:
             return None
         self._node_index[key] = (node, group)
+        self._new_memberships.append((group, node))
         return node
+
+    def drain_new_memberships(self) -> list[tuple[Group, AndNode]]:
+        """Return and clear the (group, node) pairs added since last drain.
+
+        A pair appears when a brand-new AND node is created *or* when an
+        existing node is shared into an additional group — in both cases the
+        optimizer's worklist must apply the transformation rules to the node
+        in the context of that group.
+        """
+        drained = self._new_memberships
+        self._new_memberships = []
+        return drained
 
     # -- inspection --------------------------------------------------------
 

@@ -20,6 +20,7 @@ program and of the original program, and the strategy chosen for every region.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -31,6 +32,7 @@ from repro.core.plans import (
     PlanExtractor,
     cost_based_chooser,
     heuristic_chooser,
+    region_cost,
 )
 from repro.core.region_analysis import ProgramInfo, analyze_program
 from repro.core.regions import Region
@@ -134,7 +136,9 @@ class CobraOptimizer:
 
         cost_model = CostModel(self.database, self.parameters)
         calculator = DagCostCalculator(dag, cost_model)
-        original_cost = self._original_cost(dag, calculator)
+        # The original program is the region tree as analysed; price it
+        # directly instead of re-extracting it from the DAG.
+        original_cost = region_cost(program.region, cost_model)
         best_cost = calculator.group_cost(dag.root)
         extractor = PlanExtractor(dag, cost_based_chooser(calculator))
         region = extractor.extract()
@@ -179,27 +183,39 @@ class CobraOptimizer:
         program = analyze_program(
             source, registry=self.registry, function_name=function_name
         )
-        dag = RegionDag()
-        dag.build(program.region)
         cost_model = CostModel(self.database, self.parameters)
-        calculator = DagCostCalculator(dag, cost_model)
-        return calculator.group_cost(dag.root)
+        return region_cost(program.region, cost_model)
 
     # -- expansion -------------------------------------------------------------
 
     def _expand(self, dag: RegionDag, context: TransformationContext) -> int:
-        """Apply rules to a fixpoint (bounded by ``max_passes``)."""
+        """Apply rules to a fixpoint with a dirty worklist.
+
+        Instead of re-scanning every DAG node on every pass, the worklist
+        holds exactly the (group, node) memberships that have not had the
+        rules applied yet: the seed nodes from building the DAG, plus every
+        alternative (and shared sub-region) a rule application adds.  Rules
+        are pure functions of the node payload, so re-firing them on an
+        unchanged node can only reproduce duplicates the memo rejects —
+        skipping the re-scan leaves the reachable fixpoint identical.
+
+        Each membership carries a generation: seed nodes are generation 0 and
+        alternatives produced by a generation-``g`` node are generation
+        ``g + 1``.  Memberships at generation ``max_passes`` or deeper are not
+        expanded, bounding rule composition depth exactly as the old
+        ``max_passes`` whole-DAG passes did.
+        """
         total_added = 0
-        for _ in range(self.max_passes):
-            added_this_pass = 0
-            for group in list(dag.iter_groups()):
-                for node in list(group.alternatives):
-                    added_this_pass += self._apply_rules_to_node(
-                        dag, group, node, context
-                    )
-            total_added += added_this_pass
-            if added_this_pass == 0:
-                break
+        worklist = deque(
+            (group, node, 0) for group, node in dag.drain_new_memberships()
+        )
+        while worklist:
+            group, node, generation = worklist.popleft()
+            if generation >= self.max_passes:
+                continue
+            total_added += self._apply_rules_to_node(dag, group, node, context)
+            for new_group, new_node in dag.drain_new_memberships():
+                worklist.append((new_group, new_node, generation + 1))
         return total_added
 
     def _apply_rules_to_node(
@@ -230,24 +246,6 @@ class CobraOptimizer:
 
     # -- costing helpers --------------------------------------------------------
 
-    def _original_cost(
-        self, dag: RegionDag, calculator: DagCostCalculator
-    ) -> float:
-        """Cost of the program as originally written."""
-
-        def choose_original(group, alternatives):
-            for node in alternatives:
-                if node.strategy == "original":
-                    return node
-            return alternatives[0]
-
-        extractor = PlanExtractor(dag, choose_original)
-        region = extractor.extract()
-        return self._plan_cost(region, calculator)
-
     def _plan_cost(self, region: Region, calculator: DagCostCalculator) -> float:
         """Cost a concrete region tree with the same model (no alternatives)."""
-        fresh = RegionDag()
-        fresh.build(region)
-        fresh_calculator = DagCostCalculator(fresh, calculator.cost_model)
-        return fresh_calculator.group_cost(fresh.root)
+        return region_cost(region, calculator.cost_model)

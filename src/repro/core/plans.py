@@ -53,12 +53,26 @@ class Plan:
 
 
 class DagCostCalculator:
-    """Memoised cost computation over a Region DAG."""
+    """Memoised cost computation over a Region DAG.
 
-    def __init__(self, dag: RegionDag, cost_model: CostModel) -> None:
+    Memoisation happens at two levels: per group (the minimum over its
+    alternatives) and per basic block (leaf AND nodes, whose cost is
+    independent of the costing context and therefore always safe to reuse —
+    it prices the block's query estimates, which dominate costing time).
+    ``memoize=False`` disables both caches; the memoised and unmemoised
+    calculators must return identical costs (covered by the cost-memoization
+    tests), the flag only exists for that comparison and for debugging.
+    """
+
+    def __init__(
+        self, dag: RegionDag, cost_model: CostModel, *, memoize: bool = True
+    ) -> None:
         self.dag = dag
         self.cost_model = cost_model
+        self._memoize = memoize
         self._group_costs: dict[int, float] = {}
+        #: id(AndNode) -> cost, for context-independent (block) nodes only.
+        self._block_costs: dict[int, float] = {}
 
     # -- group / node costs --------------------------------------------------
 
@@ -76,7 +90,8 @@ class DagCostCalculator:
         active = active | {group.group_id}
         costs = [self.node_cost(node, active) for node in group.alternatives]
         best = min(costs) if costs else INFINITE_COST
-        self._group_costs[group.group_id] = best
+        if self._memoize:
+            self._group_costs[group.group_id] = best
         return best
 
     def node_cost(self, node: AndNode, active: Optional[set] = None) -> float:
@@ -84,7 +99,13 @@ class DagCostCalculator:
         active = active or set()
         model = self.cost_model
         if node.kind == "block":
-            return model.block_cost(node.payload)  # type: ignore[arg-type]
+            cached = self._block_costs.get(id(node))
+            if cached is not None:
+                return cached
+            cost = model.block_cost(node.payload)  # type: ignore[arg-type]
+            if self._memoize:
+                self._block_costs[id(node)] = cost
+            return cost
         child_costs = [self.group_cost(child, active) for child in node.children]
         if any(cost == INFINITE_COST for cost in child_costs):
             return INFINITE_COST
@@ -120,6 +141,7 @@ class DagCostCalculator:
     def clear(self) -> None:
         """Forget memoised costs (after the DAG or cost model changes)."""
         self._group_costs.clear()
+        self._block_costs.clear()
 
 
 #: A chooser maps (group, candidate alternatives) to the chosen AND node.
@@ -197,6 +219,37 @@ def _original_alternative(group: Group) -> Optional[AndNode]:
         if node.strategy == "original":
             return node
     return None
+
+
+def region_cost(region: Region, cost_model: CostModel) -> float:
+    """Cost a concrete region tree directly, without building a Region DAG.
+
+    Applies exactly the per-operator formulas of
+    :meth:`DagCostCalculator.node_cost`; used to price already-extracted
+    plans (and the original program), where the DAG's alternative bookkeeping
+    and duplicate detection would be pure overhead.
+    """
+    if isinstance(region, BasicBlockRegion):
+        return cost_model.block_cost(region)
+    if isinstance(region, SequentialRegion):
+        return cost_model.sequence_cost(
+            [region_cost(sub, cost_model) for sub in region.regions]
+        )
+    if isinstance(region, LoopRegion):
+        return cost_model.loop_cost(region, region_cost(region.body, cost_model))
+    if isinstance(region, ConditionalRegion):
+        then_cost = region_cost(region.then_region, cost_model)
+        else_cost = (
+            region_cost(region.else_region, cost_model)
+            if region.else_region is not None
+            else 0.0
+        )
+        return cost_model.conditional_cost(then_cost, else_cost)
+    if isinstance(region, FunctionRegion):
+        return region_cost(region.body, cost_model)
+    return cost_model.sequence_cost(
+        [region_cost(sub, cost_model) for sub in region.sub_regions()]
+    )
 
 
 def cost_based_chooser(calculator: DagCostCalculator) -> Chooser:

@@ -69,12 +69,17 @@ class QueryEstimate:
 class Database:
     """An in-memory database: schema, tables, statistics, SQL execution."""
 
-    def __init__(self, server_row_cost: float = DEFAULT_SERVER_ROW_COST) -> None:
+    def __init__(
+        self,
+        server_row_cost: float = DEFAULT_SERVER_ROW_COST,
+        *,
+        compiled_execution: bool = True,
+    ) -> None:
         self.schema = Schema()
         self.tables: dict[str, Table] = {}
         self.statistics = StatisticsCatalog(self.schema)
         self.server_row_cost = server_row_cost
-        self._executor = Executor(self.tables)
+        self._executor = Executor(self.tables, compiled=compiled_execution)
         self.queries_executed = 0
 
     # -- DDL / DML -------------------------------------------------------

@@ -1,18 +1,61 @@
 """Execution of relational algebra plans against in-memory tables.
 
-The executor is a straightforward interpreter over :mod:`repro.db.algebra`
-trees.  Rows flow as dictionaries.  Join outputs carry both qualified keys
-(``alias.column``) and, when unambiguous, bare column keys, so that
-downstream expressions written either way evaluate correctly — the same
-convention the SQL parser and the ORM rely on.
+The executor runs :mod:`repro.db.algebra` trees over rows flowing as
+dictionaries.  Join outputs carry both qualified keys (``alias.column``) and,
+when unambiguous, bare column keys, so that downstream expressions written
+either way evaluate correctly — the same convention the SQL parser and the
+ORM rely on.
+
+Two execution modes are supported:
+
+* **compiled** (the default) — every expression used by an operator
+  (predicate, projection output, join key, sort key, aggregate argument) is
+  lowered *once per operator* to a Python closure via
+  :meth:`repro.db.expressions.Expression.compile`, and the closure is called
+  per row.  Scans precompute their ``alias.column`` key list once instead of
+  formatting qualified keys per row; equi-joins whose build side is a bare
+  table scan use the table's lazy secondary hash index
+  (:meth:`repro.db.table.Table.index_for`) as the build table, so repeated
+  joins on the same key pay the build cost once per table version; ``Select``
+  and ``Limit`` stream their input without materialising intermediates.
+
+  On top of expression compilation the executor performs *scan fusion*: when
+  an operator's input is a base-table scan (possibly under a stack of
+  filters), its expressions are compiled against the **base row layout**
+  (plain ``column -> value`` dicts straight out of the table) using a column
+  resolver, and the qualified ``alias.column`` view is only materialised for
+  rows that actually reach the operator's output.  A filter therefore builds
+  output dicts only for the rows that pass, a grouped aggregate over a scan
+  builds none at all, and an equi-join of two (filtered) scans constructs
+  each output row in a single ``dict(zip(keys, values))`` from the two base
+  rows.  Fused and unfused execution produce identical rows.
+
+* **interpreted** (``Executor(tables, compiled=False)``) — the original
+  tree-walking fallback: ``Expression.evaluate`` per row, per-row qualified
+  key formatting in scans, and no index reuse.  It is kept as the reference
+  implementation for the compiled/interpreted equivalence tests and for the
+  ``benchmarks/bench_engine.py`` speedup measurements, and as the fallback
+  when callers hand the executor expression types the compiler has no
+  lowering for (their ``compile`` falls back to ``evaluate`` transparently).
+
+Both modes produce identical output rows in identical order.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+import operator
+from itertools import chain, islice
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 from repro.db import algebra
-from repro.db.expressions import BinaryOp, ColumnRef, Expression
+from repro.db.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    ColumnResolver,
+    CompiledExpression,
+    Expression,
+)
 from repro.db.table import Row, Table
 
 
@@ -23,8 +66,19 @@ class ExecutionError(Exception):
 class Executor:
     """Executes algebra plans against a mapping of table name -> Table."""
 
-    def __init__(self, tables: Mapping[str, Table]) -> None:
+    #: Compile-cache entries kept before the cache is reset.  Expression
+    #: trees embed query literals, so a long-lived executor serving
+    #: parameterized queries would otherwise accumulate one entry per
+    #: distinct literal forever; compilation is cheap, so a flush is fine.
+    COMPILE_CACHE_LIMIT = 512
+
+    def __init__(
+        self, tables: Mapping[str, Table], *, compiled: bool = True
+    ) -> None:
         self._tables = tables
+        self._compiled = compiled
+        #: expression -> compiled closure, reused across queries.
+        self._compile_cache: dict[Expression, CompiledExpression] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -51,6 +105,74 @@ class Executor:
             return self._limit(plan)
         raise ExecutionError(f"unsupported plan node {type(plan).__name__}")
 
+    # -- expression compilation ------------------------------------------
+
+    def _expr(self, expression: Expression) -> CompiledExpression:
+        """The per-row evaluator for ``expression`` in the current mode."""
+        if not self._compiled:
+            return expression.evaluate
+        try:
+            cached = self._compile_cache.get(expression)
+        except TypeError:  # unhashable literal buried in the tree
+            return expression.compile()
+        if cached is None:
+            cached = expression.compile()
+            if len(self._compile_cache) >= self.COMPILE_CACHE_LIMIT:
+                self._compile_cache.clear()
+            self._compile_cache[expression] = cached
+        return cached
+
+    def _key_getter(self, column: ColumnRef) -> CompiledExpression:
+        """A join-key evaluator that maps unresolvable rows to ``None``."""
+        base = self._expr(column)
+
+        def get(row: Row) -> Any:
+            try:
+                return base(row)
+            except Exception:
+                return None
+
+        return get
+
+    # -- scan fusion -----------------------------------------------------
+
+    @staticmethod
+    def _peel_scan(
+        plan: algebra.PlanNode,
+    ) -> tuple[Optional[algebra.Scan], list[Expression]]:
+        """Peel ``Select`` wrappers off a base-table scan.
+
+        Returns the scan and its predicates in application (inner-to-outer)
+        order, or ``(None, [])`` when the subtree is not a filtered scan.
+        """
+        predicates: list[Expression] = []
+        while isinstance(plan, algebra.Select):
+            predicates.append(plan.predicate)
+            plan = plan.child
+        if isinstance(plan, algebra.Scan):
+            predicates.reverse()
+            return plan, predicates
+        return None, []
+
+    def _fused_scan(self, plan: algebra.PlanNode) -> Optional["_FusedScan"]:
+        """A fused view of ``plan`` when it is a (filtered) base-table scan.
+
+        In fused execution, expressions are compiled against the *base* row
+        layout — for a single scan the qualified keys only duplicate the bare
+        column keys, so base-row evaluation is observably identical — and the
+        ``alias.column`` view is materialised only for rows that survive to
+        the operator's output.
+        """
+        if not self._compiled:
+            return None
+        scan, predicates = self._peel_scan(plan)
+        if scan is None:
+            return None
+        table = self._tables.get(scan.table)
+        if table is None:
+            return None  # let the generic path raise the usual error
+        return _FusedScan(table, scan.effective_alias, predicates)
+
     # -- operators -------------------------------------------------------
 
     def _scan(self, plan: algebra.Scan) -> Iterable[Row]:
@@ -59,32 +181,287 @@ class Executor:
         except KeyError:
             raise ExecutionError(f"unknown table {plan.table!r}") from None
         alias = plan.effective_alias
-        for row in table.rows:
-            out = dict(row)
-            for key, value in row.items():
-                out[f"{alias}.{key}"] = value
-            yield out
+        if not self._compiled:
+            for row in table.rows:
+                out = dict(row)
+                for key, value in row.items():
+                    out[f"{alias}.{key}"] = value
+                yield out
+            return
+        # Fast path: format the qualified keys once for the whole scan and
+        # assemble each output row in a single dict(zip(...)).
+        fused = _FusedScan(table, alias, [])
+        yield from map(fused.materialize, table.rows)
 
     def _select(self, plan: algebra.Select) -> Iterable[Row]:
-        for row in self._execute(plan.child):
-            if plan.predicate.evaluate(row):
-                yield row
+        fused = self._fused_scan(plan)
+        if fused is not None:
+            # Filter base rows; build the alias view only for survivors.
+            return map(fused.materialize, fused.base_rows())
+        return filter(self._expr(plan.predicate), self._execute(plan.child))
 
     def _project(self, plan: algebra.Project) -> Iterable[Row]:
-        for row in self._execute(plan.child):
-            yield {
-                output.name: output.expression.evaluate(row)
-                for output in plan.outputs
-            }
+        if self._compiled and isinstance(plan.child, algebra.Join):
+            fused = self._fused_join_project(plan)
+            if fused is not None:
+                return fused
+        fused_scan = self._fused_scan(plan.child)
+        if fused_scan is not None:
+            # Project straight off base rows; no alias views at all.
+            outputs = [
+                (o.name, fused_scan.compile(o.expression)) for o in plan.outputs
+            ]
+            return (
+                {name: evaluate(row) for name, evaluate in outputs}
+                for row in fused_scan.base_rows()
+            )
+        outputs = [(o.name, self._expr(o.expression)) for o in plan.outputs]
+        return (
+            {name: evaluate(row) for name, evaluate in outputs}
+            for row in self._execute(plan.child)
+        )
 
     def _join(self, plan: algebra.Join) -> Iterable[Row]:
-        left_rows = list(self._execute(plan.left))
-        right_rows = list(self._execute(plan.right))
         equi = _equi_join_columns(plan.condition)
+        if self._compiled and equi is not None:
+            parts = self._fused_join_parts(plan, equi)
+            if parts is not None:
+                return self._fused_join_rows(*parts)
+            if isinstance(plan.right, algebra.Scan):
+                oriented = self._index_join_columns(plan.right, equi)
+                if oriented is not None:
+                    probe_col, index_column = oriented
+                    return self._index_join(plan, probe_col, index_column)
+        return self._materialized_join(plan, equi)
+
+    def _materialized_join(
+        self,
+        plan: algebra.Join,
+        equi: Optional[tuple[ColumnRef, ColumnRef]],
+    ) -> Iterator[Row]:
+        left_rows = list(self._execute(plan.left))
+        if not left_rows:
+            # Empty probe side: skip executing and building the other side.
+            # Still validate its table references so a typo'd table name
+            # raises regardless of what the probe side happens to contain.
+            for scan in algebra.find_scans(plan.right):
+                if scan.table not in self._tables:
+                    raise ExecutionError(f"unknown table {scan.table!r}")
+            return iter(())
+        right_rows = list(self._execute(plan.right))
         if equi is not None:
-            yield from self._hash_join(left_rows, right_rows, plan, equi)
+            return self._hash_join(left_rows, right_rows, plan, equi)
+        return self._nested_loops_join(left_rows, right_rows, plan)
+
+    # -- fused equi-joins -------------------------------------------------
+
+    def _fused_join_parts(
+        self, plan: algebra.Join, equi: tuple[ColumnRef, ColumnRef]
+    ) -> Optional[tuple["_FusedScan", "_FusedScan", ColumnRef, ColumnRef]]:
+        """Resolve a join of two (filtered) scans for fused execution.
+
+        Returns ``(left, right, probe_col, build_col)``, or ``None`` (the
+        generic join takes over) unless both sides fuse and the equi columns
+        can be statically assigned to exactly one orientation.
+        """
+        left = self._fused_scan(plan.left)
+        right = self._fused_scan(plan.right)
+        if left is None or right is None:
+            return None
+        left_col, right_col = equi
+        if left.owns(left_col) and right.owns(right_col):
+            return left, right, left_col, right_col
+        if left.owns(right_col) and right.owns(left_col):
+            return left, right, right_col, left_col
+        return None
+
+    def _fused_join_pairs(
+        self,
+        left: "_FusedScan",
+        right: "_FusedScan",
+        probe_col: ColumnRef,
+        build_col: ColumnRef,
+    ) -> Iterator[tuple[Row, Row]]:
+        """Matching (left base row, right base row) pairs of a fused join.
+
+        The left side streams as the probe; the right side is either the
+        table's cached secondary index (bare scan) or a hash table built
+        from its filtered base rows.  An empty probe side never executes or
+        builds the right side.
+        """
+        probe_rows = left.base_rows()
+        first = next(probe_rows, None)
+        if first is None:
+            return
+        if not right.predicates:
+            # Bare scan build side: reuse the table's secondary hash index.
+            get_bucket = right.table.index_for(build_col.name).get
         else:
-            yield from self._nested_loops_join(left_rows, right_rows, plan)
+            build_key = operator.itemgetter(build_col.name)
+            build: dict[Any, list[Row]] = {}
+            for row in right.base_rows():
+                key = build_key(row)
+                if key is None:
+                    continue
+                bucket = build.get(key)
+                if bucket is None:
+                    build[key] = [row]
+                else:
+                    bucket.append(row)
+            get_bucket = build.get
+        probe_key = operator.itemgetter(probe_col.name)
+        for base in chain((first,), probe_rows):
+            key = probe_key(base)
+            if key is None:
+                continue
+            bucket = get_bucket(key)
+            if not bucket:
+                continue
+            for right_base in bucket:
+                yield base, right_base
+
+    def _fused_join_rows(
+        self,
+        left: "_FusedScan",
+        right: "_FusedScan",
+        probe_col: ColumnRef,
+        build_col: ColumnRef,
+    ) -> Iterator[Row]:
+        """Full-width fused join output (bare + qualified keys, both sides)."""
+        left_keys = left.all_keys
+        left_values = left.values
+        right_values = right.values
+        right_keys = right.all_keys
+        #: id(build base row) -> prebuilt right-side dict, copied per match.
+        templates: dict[int, Row] = {}
+        last_left: Optional[Row] = None
+        lv2: tuple = ()
+        for left_base, right_base in self._fused_join_pairs(
+            left, right, probe_col, build_col
+        ):
+            template = templates.get(id(right_base))
+            if template is None:
+                rv = right_values(right_base)
+                template = dict(zip(right_keys, rv + rv))
+                templates[id(right_base)] = template
+            if left_base is not last_left:
+                lv = left_values(left_base)
+                lv2 = lv + lv
+                last_left = left_base
+            # dict.update overwrites in place, so bare-name collisions keep
+            # the left side's value, exactly like _merge_rows.
+            out = dict(template)
+            out.update(zip(left_keys, lv2))
+            yield out
+
+    def _fused_join_project(
+        self, plan: algebra.Project
+    ) -> Optional[Iterator[Row]]:
+        """Projection fused through an equi-join of two (filtered) scans.
+
+        Output expressions are compiled against (left base row, right base
+        row) pairs, so the merged join row is never materialised.  Applies
+        only when every column reference statically resolves to one side;
+        anything else falls back to the generic project-over-join path.
+        """
+        join: algebra.Join = plan.child  # type: ignore[assignment]
+        equi = _equi_join_columns(join.condition)
+        if equi is None:
+            return None
+        parts = self._fused_join_parts(join, equi)
+        if parts is None:
+            return None
+        left, right, probe_col, build_col = parts
+        unresolved = False
+
+        def pair_resolver(column: ColumnRef) -> Optional[CompiledExpression]:
+            nonlocal unresolved
+            # Prefer the left side: a bare name present on both sides reads
+            # the left value on the merged row (_merge_rows lets left win).
+            if left.owns(column):
+                getter = operator.itemgetter(column.name)
+                return lambda pair: getter(pair[0])
+            if right.owns(column):
+                getter = operator.itemgetter(column.name)
+                return lambda pair: getter(pair[1])
+            unresolved = True
+            return None
+
+        outputs = [
+            (o.name, o.expression.compile(pair_resolver)) for o in plan.outputs
+        ]
+        if unresolved:
+            return None
+        pairs = self._fused_join_pairs(left, right, probe_col, build_col)
+        return (
+            {name: evaluate(pair) for name, evaluate in outputs}
+            for pair in pairs
+        )
+
+    def _index_join_columns(
+        self, scan: algebra.Scan, equi: tuple[ColumnRef, ColumnRef]
+    ) -> Optional[tuple[ColumnRef, str]]:
+        """Orient an equi-join over a right-side base-table scan.
+
+        Returns ``(probe column, indexed column name)`` when exactly one of
+        the two equi-join columns statically belongs to the scanned table;
+        ambiguous conditions (both or neither side matching) fall back to the
+        generic hash join.
+        """
+        table = self._tables.get(scan.table)
+        if table is None:
+            return None
+        alias = scan.effective_alias
+        schema = table.schema
+
+        def belongs(column: ColumnRef) -> bool:
+            if not schema.has_column(column.name):
+                return False
+            return column.qualifier is None or column.qualifier == alias
+
+        left_col, right_col = equi
+        left_belongs = belongs(left_col)
+        right_belongs = belongs(right_col)
+        if right_belongs and not left_belongs:
+            return left_col, right_col.name
+        if left_belongs and not right_belongs:
+            return right_col, left_col.name
+        return None
+
+    def _index_join(
+        self, plan: algebra.Join, probe_col: ColumnRef, index_column: str
+    ) -> Iterable[Row]:
+        """Index-nested-loop join: probe the build table's secondary index."""
+        scan: algebra.Scan = plan.right  # type: ignore[assignment]
+        table = self._tables[scan.table]
+        alias = scan.effective_alias
+        qualified = [
+            (f"{alias}.{name}", name) for name in table.schema.column_names
+        ]
+        probe = self._key_getter(probe_col)
+        index: Optional[dict[Any, list[Row]]] = None
+        #: id(base row) -> its alias view, shared across probe matches.
+        views: dict[int, Row] = {}
+        for left_row in self._execute(plan.left):
+            if index is None:
+                # Deferred so an empty probe side never builds the index.
+                index = table.index_for(index_column)
+                if not index:
+                    return
+            key = probe(left_row)
+            if key is None:
+                continue
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            for base_row in bucket:
+                right_row = views.get(id(base_row))
+                if right_row is None:
+                    right_row = dict(base_row)
+                    for qualified_key, name in qualified:
+                        right_row[qualified_key] = base_row[name]
+                    views[id(base_row)] = right_row
+                yield _merge_rows(left_row, right_row)
 
     def _hash_join(
         self,
@@ -93,18 +470,23 @@ class Executor:
         plan: algebra.Join,
         equi: tuple[ColumnRef, ColumnRef],
     ) -> Iterable[Row]:
-        left_col, right_col = equi
-        # Decide which column belongs to which side by probing a sample row.
-        if left_rows and not _resolves(left_col, left_rows[0]):
-            left_col, right_col = right_col, left_col
+        if not left_rows or not right_rows:
+            return
+        left_col, right_col = _orient_equi_columns(left_rows, right_rows, equi)
+        right_key = self._key_getter(right_col)
         build: dict[Any, list[Row]] = {}
         for row in right_rows:
-            key = _safe_eval(right_col, row)
+            key = right_key(row)
             if key is None:
                 continue
-            build.setdefault(key, []).append(row)
+            bucket = build.get(key)
+            if bucket is None:
+                build[key] = [row]
+            else:
+                bucket.append(row)
+        left_key = self._key_getter(left_col)
         for left_row in left_rows:
-            key = _safe_eval(left_col, left_row)
+            key = left_key(left_row)
             if key is None:
                 continue
             for right_row in build.get(key, ()):
@@ -113,52 +495,192 @@ class Executor:
     def _nested_loops_join(
         self, left_rows: list[Row], right_rows: list[Row], plan: algebra.Join
     ) -> Iterable[Row]:
+        condition = (
+            self._expr(plan.condition) if plan.condition is not None else None
+        )
         for left_row in left_rows:
             for right_row in right_rows:
                 merged = _merge_rows(left_row, right_row)
-                if plan.condition is None or plan.condition.evaluate(merged):
+                if condition is None or condition(merged):
                     yield merged
 
     def _aggregate(self, plan: algebra.Aggregate) -> Iterable[Row]:
-        rows = list(self._execute(plan.child))
-        if plan.group_by:
-            groups: dict[tuple, list[Row]] = {}
-            for row in rows:
-                key = tuple(col.evaluate(row) for col in plan.group_by)
-                groups.setdefault(key, []).append(row)
-            for key, group_rows in groups.items():
-                out: Row = {}
-                for col, value in zip(plan.group_by, key):
-                    out[col.name] = value
-                    out[col.qualified_name] = value
-                for spec in plan.aggregates:
-                    out[spec.name] = _compute_aggregate(spec, group_rows)
-                yield out
+        fused = self._fused_scan(plan.child)
+        if fused is not None:
+            # Group and aggregate straight off base rows; no alias views.
+            compile_expr: Callable[[Expression], CompiledExpression] = (
+                fused.compile
+            )
+            rows_iter: Iterable[Row] = fused.base_rows()
         else:
-            out = {
-                spec.name: _compute_aggregate(spec, rows)
-                for spec in plan.aggregates
-            }
-            yield out
+            compile_expr = self._expr
+            rows_iter = self._execute(plan.child)
+        # Aggregates often share their argument (sum(x) next to avg(x)):
+        # compile each distinct argument once and evaluate it once per group.
+        arg_exprs: list[Expression] = []
+        arg_fns: list[CompiledExpression] = []
+        spec_slots: list[tuple[algebra.AggregateSpec, Optional[int]]] = []
+        for spec in plan.aggregates:
+            if spec.argument is None:  # count(*)
+                spec_slots.append((spec, None))
+                continue
+            for slot, existing in enumerate(arg_exprs):
+                if existing == spec.argument:
+                    break
+            else:
+                slot = len(arg_exprs)
+                arg_exprs.append(spec.argument)
+                arg_fns.append(compile_expr(spec.argument))
+            spec_slots.append((spec, slot))
+
+        def emit_into(out: Row, rows: list[Row]) -> Row:
+            cache: list[Optional[list]] = [None] * len(arg_fns)
+            for spec, slot in spec_slots:
+                if slot is None:
+                    out[spec.name] = len(rows)
+                    continue
+                values = cache[slot]
+                if values is None:
+                    values = [v for v in map(arg_fns[slot], rows) if v is not None]
+                    cache[slot] = values
+                out[spec.name] = _compute_aggregate(spec.function, values)
+            return out
+
+        if not plan.group_by:
+            yield emit_into({}, list(rows_iter))
+            return
+        keys = [compile_expr(column) for column in plan.group_by]
+        if len(keys) == 1:
+            # Scalar group keys: skip the per-row tuple construction.
+            key_fn = keys[0]
+            scalar_groups: dict[Any, list[Row]] = {}
+            for row in rows_iter:
+                key = key_fn(row)
+                bucket = scalar_groups.get(key)
+                if bucket is None:
+                    scalar_groups[key] = [row]
+                else:
+                    bucket.append(row)
+            group_items: Iterable[tuple[tuple, list[Row]]] = (
+                ((key,), rows) for key, rows in scalar_groups.items()
+            )
+        else:
+            groups: dict[tuple, list[Row]] = {}
+            for row in rows_iter:
+                key = tuple(evaluate(row) for evaluate in keys)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [row]
+                else:
+                    bucket.append(row)
+            group_items = groups.items()
+        for key, group_rows in group_items:
+            out: Row = {}
+            for col, value in zip(plan.group_by, key):
+                out[col.name] = value
+                out[col.qualified_name] = value
+            yield emit_into(out, group_rows)
 
     def _sort(self, plan: algebra.Sort) -> Iterable[Row]:
         rows = list(self._execute(plan.child))
         # Sort by the last key first so earlier keys take precedence.
         for key in reversed(plan.keys):
+            evaluate = self._expr(key.column)
             rows.sort(
-                key=lambda row: _sort_key(key.column.evaluate(row)),
+                key=lambda row: _sort_key(evaluate(row)),
                 reverse=not key.ascending,
             )
         return rows
 
     def _limit(self, plan: algebra.Limit) -> Iterable[Row]:
-        for index, row in enumerate(self._execute(plan.child)):
-            if index >= plan.count:
-                break
-            yield row
+        return islice(self._execute(plan.child), plan.count)
+
+
+class _FusedScan:
+    """A (possibly filtered) base-table scan fused into its consumer.
+
+    Exposes the scan's base rows (predicates applied in inner-to-outer
+    order), a column resolver compiling expressions straight against the
+    base row layout, and helpers to materialise the full ``bare +
+    alias.column`` output view only when a row reaches the output.
+    """
+
+    __slots__ = (
+        "table",
+        "alias",
+        "predicates",
+        "columns",
+        "qualified",
+        "all_keys",
+        "resolver",
+        "values",
+    )
+
+    def __init__(
+        self, table: Table, alias: str, predicates: list[Expression]
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.predicates = predicates
+        schema = table.schema
+        self.columns = tuple(schema.column_names)
+        self.qualified = tuple(f"{alias}.{name}" for name in self.columns)
+        self.all_keys = self.columns + self.qualified
+        if len(self.columns) == 1:
+            only = self.columns[0]
+            self.values: Callable[[Row], tuple] = lambda row: (row[only],)
+        else:
+            self.values = operator.itemgetter(*self.columns)
+
+        def resolver(column: ColumnRef) -> Optional[CompiledExpression]:
+            name = column.name
+            if schema.has_column(name) and (
+                column.qualifier is None or column.qualifier == alias
+            ):
+                return operator.itemgetter(name)
+            return None
+
+        self.resolver: ColumnResolver = resolver
+
+    def compile(self, expression: Expression) -> CompiledExpression:
+        return expression.compile(self.resolver)
+
+    def base_rows(self) -> Iterator[Row]:
+        """The scan's base rows with all peeled predicates applied.
+
+        Top-level conjunctions are flattened into one ``filter`` stage per
+        conjunct, which preserves left-to-right short-circuit order while
+        keeping the row loop in C.
+        """
+        rows: Iterable[Row] = self.table.rows
+        for predicate in self.predicates:
+            for conjunct in _flatten_and(predicate):
+                rows = filter(self.compile(conjunct), rows)
+        return iter(rows)
+
+    def materialize(self, base_row: Row) -> Row:
+        """The full output row: bare columns plus the qualified alias view."""
+        values = self.values(base_row)
+        return dict(zip(self.all_keys, values + values))
+
+    def owns(self, column: ColumnRef) -> bool:
+        """True when ``column`` statically refers to this scan's table."""
+        return self.table.schema.has_column(column.name) and (
+            column.qualifier is None or column.qualifier == self.alias
+        )
 
 
 # -- helpers ------------------------------------------------------------
+
+
+def _flatten_and(predicate: Expression) -> list[Expression]:
+    """Split nested AND conjunctions into their leaf conjuncts, in order."""
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        conjuncts: list[Expression] = []
+        for operand in predicate.operands:
+            conjuncts.extend(_flatten_and(operand))
+        return conjuncts
+    return [predicate]
 
 
 def _merge_rows(left: Row, right: Row) -> Row:
@@ -187,6 +709,29 @@ def _equi_join_columns(
     return None
 
 
+def _orient_equi_columns(
+    left_rows: list[Row],
+    right_rows: list[Row],
+    equi: tuple[ColumnRef, ColumnRef],
+) -> tuple[ColumnRef, ColumnRef]:
+    """Assign the equi-join columns to the sides they actually resolve on.
+
+    Samples one row from *each* side (all rows of a side share one shape), so
+    a condition written ``right.col = left.col`` is handled no matter which
+    side's sample resolves the first column.  If neither orientation resolves
+    cleanly the original orientation is kept (the join then matches nothing,
+    as before).
+    """
+    left_col, right_col = equi
+    left_sample = left_rows[0]
+    right_sample = right_rows[0]
+    if _resolves(left_col, left_sample) and _resolves(right_col, right_sample):
+        return left_col, right_col
+    if _resolves(right_col, left_sample) and _resolves(left_col, right_sample):
+        return right_col, left_col
+    return left_col, right_col
+
+
 def _resolves(column: ColumnRef, row: Row) -> bool:
     """Return True if ``column`` can be evaluated against ``row``."""
     try:
@@ -194,13 +739,6 @@ def _resolves(column: ColumnRef, row: Row) -> bool:
         return True
     except Exception:
         return False
-
-
-def _safe_eval(column: ColumnRef, row: Row) -> Any:
-    try:
-        return column.evaluate(row)
-    except Exception:
-        return None
 
 
 def _sort_key(value: Any) -> tuple:
@@ -214,22 +752,18 @@ def _sort_key(value: Any) -> tuple:
     return (2, str(value))
 
 
-def _compute_aggregate(spec: algebra.AggregateSpec, rows: list[Row]) -> Any:
-    """Compute one aggregate over ``rows``."""
-    if spec.function == "count" and spec.argument is None:
-        return len(rows)
-    values = [spec.argument.evaluate(row) for row in rows]
-    values = [v for v in values if v is not None]
-    if spec.function == "count":
+def _compute_aggregate(function: str, values: list) -> Any:
+    """Compute one aggregate over the (non-null) argument ``values``."""
+    if function == "count":
         return len(values)
     if not values:
         return None
-    if spec.function == "sum":
+    if function == "sum":
         return sum(values)
-    if spec.function == "avg":
+    if function == "avg":
         return sum(values) / len(values)
-    if spec.function == "min":
+    if function == "min":
         return min(values)
-    if spec.function == "max":
+    if function == "max":
         return max(values)
-    raise ExecutionError(f"unsupported aggregate {spec.function!r}")
+    raise ExecutionError(f"unsupported aggregate {function!r}")

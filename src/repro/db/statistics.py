@@ -68,12 +68,20 @@ class StatisticsCatalog:
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
         self._stats: dict[str, TableStatistics] = {}
+        # Plan-keyed memo tables.  Plan nodes are immutable value objects
+        # (frozen dataclasses), so structurally identical plans — e.g. the
+        # same SQL text parsed twice by two cost-model instances — hit the
+        # same entry.  Both caches are dropped whenever the underlying table
+        # statistics change.
+        self._cardinality_cache: dict[algebra.PlanNode, float] = {}
+        self._width_cache: dict[algebra.PlanNode, int] = {}
 
     # -- maintenance -----------------------------------------------------
 
     def refresh(self, tables: Mapping[str, Table]) -> None:
         """Recompute statistics from current table contents (ANALYZE)."""
         self._stats.clear()
+        self._invalidate_estimates()
         for name, table in tables.items():
             stats = TableStatistics(
                 row_count=len(table),
@@ -87,6 +95,11 @@ class StatisticsCatalog:
         """Install statistics for ``table`` explicitly (used by tests and by
         the analytical full-scale experiments where data is not materialised)."""
         self._stats[table] = stats
+        self._invalidate_estimates()
+
+    def _invalidate_estimates(self) -> None:
+        self._cardinality_cache.clear()
+        self._width_cache.clear()
 
     def table_stats(self, table: str) -> TableStatistics:
         """Statistics for ``table`` (empty statistics if never analysed)."""
@@ -95,7 +108,17 @@ class StatisticsCatalog:
     # -- estimation ------------------------------------------------------
 
     def estimate_cardinality(self, plan: algebra.PlanNode) -> float:
-        """Estimated number of output rows of ``plan``."""
+        """Estimated number of output rows of ``plan`` (memoised)."""
+        try:
+            cached = self._cardinality_cache.get(plan)
+        except TypeError:  # unhashable literal buried in a predicate
+            return self._estimate_cardinality(plan)
+        if cached is None:
+            cached = self._estimate_cardinality(plan)
+            self._cardinality_cache[plan] = cached
+        return cached
+
+    def _estimate_cardinality(self, plan: algebra.PlanNode) -> float:
         if isinstance(plan, algebra.Scan):
             return float(self.table_stats(plan.table).row_count)
         if isinstance(plan, algebra.Select):
@@ -114,7 +137,17 @@ class StatisticsCatalog:
         raise TypeError(f"cannot estimate cardinality of {type(plan).__name__}")
 
     def estimate_row_width(self, plan: algebra.PlanNode) -> int:
-        """Estimated byte width of one output row of ``plan``."""
+        """Estimated byte width of one output row of ``plan`` (memoised)."""
+        try:
+            cached = self._width_cache.get(plan)
+        except TypeError:
+            return self._estimate_row_width(plan)
+        if cached is None:
+            cached = self._estimate_row_width(plan)
+            self._width_cache[plan] = cached
+        return cached
+
+    def _estimate_row_width(self, plan: algebra.PlanNode) -> int:
         if isinstance(plan, algebra.Scan):
             stats = self.table_stats(plan.table)
             if stats.row_width:

@@ -4,6 +4,14 @@ Rows are stored as plain dictionaries mapping column name to value.  A
 :class:`Table` owns its schema, validates inserted rows, and maintains an
 optional hash index on the primary key for point lookups (used by the ORM
 substrate for lazy loads and by the executor for indexed joins).
+
+Beyond the primary-key index, tables maintain *lazy secondary hash indexes*
+(:meth:`Table.index_for`) mapping a column value to the list of rows holding
+it, and cache per-column distinct counts.  Both are built on first use and
+invalidated whenever the table mutates (insert, update, clear), tracked by a
+monotonically increasing :attr:`Table.version`.  The executor uses secondary
+indexes for index-nested-loop joins and hash-join build sides; the statistics
+catalog uses the cached distinct counts.
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ class Table:
         self._pk_index: Optional[dict[Any, Row]] = (
             {} if schema.primary_key else None
         )
+        #: column name -> {value: [rows]} lazy secondary indexes.
+        self._indexes: dict[str, dict[Any, list[Row]]] = {}
+        #: column name -> cached distinct non-null value count.
+        self._distinct_cache: dict[str, int] = {}
+        #: bumped on every mutation; external caches may key on this.
+        self.version: int = 0
 
     # -- mutation --------------------------------------------------------
 
@@ -46,6 +60,7 @@ class Table:
         if self._pk_index is not None:
             key = stored[self.schema.primary_key]
             self._pk_index[key] = stored
+        self._invalidate_caches()
         return stored
 
     def insert_many(self, rows: Iterable[Row]) -> int:
@@ -61,6 +76,7 @@ class Table:
         self.rows.clear()
         if self._pk_index is not None:
             self._pk_index.clear()
+        self._invalidate_caches()
 
     def update_rows(self, predicate, assignments: dict) -> int:
         """Update rows matching ``predicate`` (a callable on a row dict).
@@ -70,19 +86,48 @@ class Table:
         rows updated.  Used by the application-side programs that contain
         intermittent updates (Wilos pattern A).
         """
+        primary_key = self.schema.primary_key
         updated = 0
-        for row in self.rows:
-            if not predicate(row):
-                continue
-            for column, value in assignments.items():
-                if column not in row:
-                    raise SchemaError(
-                        f"unknown column {column!r} in update on table "
-                        f"{self.schema.name!r}"
-                    )
-                row[column] = value(row) if callable(value) else value
-            updated += 1
+        mutated = False
+        try:
+            for row in self.rows:
+                if not predicate(row):
+                    continue
+                old_key = row[primary_key] if primary_key else None
+                for column, value in assignments.items():
+                    if column not in row:
+                        raise SchemaError(
+                            f"unknown column {column!r} in update on table "
+                            f"{self.schema.name!r}"
+                        )
+                    new_value = value(row) if callable(value) else value
+                    mutated = True
+                    row[column] = new_value
+                if (
+                    self._pk_index is not None
+                    and row[primary_key] != old_key
+                ):
+                    # The update moved the row to a new primary key: drop the
+                    # stale entry (unless another row already claimed it) and
+                    # index the row under its new key.
+                    if self._pk_index.get(old_key) is row:
+                        del self._pk_index[old_key]
+                    self._pk_index[row[primary_key]] = row
+                updated += 1
+        finally:
+            # Invalidate even when an assignment callable raises mid-loop:
+            # any row mutated before the failure must not be served by stale
+            # indexes or distinct counts.
+            if mutated:
+                self._invalidate_caches()
         return updated
+
+    def _invalidate_caches(self) -> None:
+        self.version += 1
+        if self._indexes:
+            self._indexes.clear()
+        if self._distinct_cache:
+            self._distinct_cache.clear()
 
     # -- access ----------------------------------------------------------
 
@@ -106,15 +151,44 @@ class Table:
         row = self._pk_index.get(key)
         return dict(row) if row is not None else None
 
+    def index_for(self, column: str) -> dict[Any, list[Row]]:
+        """Secondary hash index: column value -> rows holding it.
+
+        Built lazily on first use and cached until the table mutates.  NULL
+        values are not indexed (they never match an equi-join key).  The
+        returned rows are the stored dicts; callers must not mutate them.
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            self.schema.column(column)
+            index = {}
+            for row in self.rows:
+                value = row[column]
+                if value is None:
+                    continue
+                bucket = index.get(value)
+                if bucket is None:
+                    index[value] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[column] = index
+        return index
+
     @property
     def row_width(self) -> int:
         """Byte width of a full row according to the schema."""
         return self.schema.row_width
 
     def distinct_count(self, column: str) -> int:
-        """Number of distinct non-null values in ``column``."""
-        self.schema.column(column)
-        return len({row[column] for row in self.rows if row[column] is not None})
+        """Number of distinct non-null values in ``column`` (cached)."""
+        cached = self._distinct_cache.get(column)
+        if cached is None:
+            self.schema.column(column)
+            cached = len(
+                {row[column] for row in self.rows if row[column] is not None}
+            )
+            self._distinct_cache[column] = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.schema.name!r}, rows={len(self.rows)})"

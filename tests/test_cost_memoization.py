@@ -1,0 +1,129 @@
+"""Memoised costing must not change any cost the optimizer computes.
+
+``DagCostCalculator`` memoises per-group minimum costs and per-block leaf
+costs; ``StatisticsCatalog`` memoises plan-keyed cardinality and row-width
+estimates.  These tests expand the real optimizer DAGs for the motivating
+example and every Wilos pattern and verify the memoised calculator returns
+exactly the costs of an unmemoised one, and that repeated statistics
+estimates are stable across cache invalidation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import CostParameters
+from repro.core.cost_model import CostModel
+from repro.core.optimizer import CobraOptimizer
+from repro.core.plans import DagCostCalculator
+from repro.db.sqlparser import parse_sql
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE
+from repro.workloads.wilos_programs import build_patterns
+
+
+def _expanded_dag(database, source, function_name=None, registry=None):
+    parameters = CostParameters.for_network(FAST_LOCAL)
+    optimizer = CobraOptimizer(database, parameters, registry=registry)
+    result = optimizer.optimize(source, function_name=function_name)
+    return result.dag, parameters
+
+
+class TestGroupCostMemoization:
+    def test_p0_costs_identical_with_and_without_memo(self, orders_database):
+        dag, parameters = _expanded_dag(
+            orders_database, P0_SOURCE, registry=tpcds.build_registry()
+        )
+        model = CostModel(orders_database, parameters)
+        memoised = DagCostCalculator(dag, model, memoize=True)
+        plain = DagCostCalculator(dag, model, memoize=False)
+        for group in dag.iter_groups():
+            assert memoised.group_cost(group) == plain.group_cost(group)
+
+    @pytest.mark.parametrize("pattern_id", list("ABCDEF"))
+    def test_wilos_costs_identical_with_and_without_memo(
+        self, wilos_database, pattern_id
+    ):
+        pattern = build_patterns()[pattern_id]
+        dag, parameters = _expanded_dag(
+            wilos_database, pattern.source, function_name=pattern.function_name
+        )
+        model = CostModel(wilos_database, parameters)
+        memoised = DagCostCalculator(dag, model, memoize=True)
+        plain = DagCostCalculator(dag, model, memoize=False)
+        for group in dag.iter_groups():
+            assert memoised.group_cost(group) == plain.group_cost(group)
+
+    def test_best_alternative_stable_under_memoization(self, wilos_database):
+        pattern = build_patterns()["A"]
+        dag, parameters = _expanded_dag(
+            wilos_database, pattern.source, function_name=pattern.function_name
+        )
+        model = CostModel(wilos_database, parameters)
+        memoised = DagCostCalculator(dag, model, memoize=True)
+        plain = DagCostCalculator(dag, model, memoize=False)
+        for group in dag.iter_groups():
+            assert (
+                memoised.best_alternative(group).key
+                == plain.best_alternative(group).key
+            )
+
+    def test_clear_resets_memo(self, orders_database):
+        dag, parameters = _expanded_dag(
+            orders_database, P0_SOURCE, registry=tpcds.build_registry()
+        )
+        model = CostModel(orders_database, parameters)
+        calculator = DagCostCalculator(dag, model)
+        before = calculator.group_cost(dag.root)
+        calculator.clear()
+        assert calculator.group_cost(dag.root) == before
+
+
+class TestStatisticsMemoization:
+    QUERIES = [
+        "select * from orders",
+        "select * from orders where o_customer_sk = 7",
+        "select * from orders o join customer c "
+        "on o.o_customer_sk = c.c_customer_sk",
+        "select o_customer_sk, count(*) from orders group by o_customer_sk",
+    ]
+
+    def test_estimates_stable_across_repeats_and_fresh_parses(
+        self, orders_database
+    ):
+        statistics = orders_database.statistics
+        for sql in self.QUERIES:
+            plan = parse_sql(sql)
+            first = statistics.estimate_cardinality(plan)
+            # Cached (same object) and freshly parsed (equal object) hits.
+            assert statistics.estimate_cardinality(plan) == first
+            assert statistics.estimate_cardinality(parse_sql(sql)) == first
+            width = statistics.estimate_row_width(plan)
+            assert statistics.estimate_row_width(parse_sql(sql)) == width
+
+    def test_refresh_invalidates_plan_estimates(self):
+        database = tpcds.build_orders_database(num_orders=50, num_customers=10)
+        plan = parse_sql("select * from orders")
+        assert database.statistics.estimate_cardinality(plan) == 50.0
+        database.insert(
+            "orders",
+            [{"o_id": 10_000 + i, "o_customer_sk": 1} for i in range(25)],
+        )
+        database.analyze()
+        assert database.statistics.estimate_cardinality(plan) == 75.0
+
+    def test_optimizer_choice_unchanged_by_memoization(self, orders_database):
+        """End-to-end: the chosen plan and costs match across both networks."""
+        registry = tpcds.build_registry()
+        for network in (FAST_LOCAL, SLOW_REMOTE):
+            parameters = CostParameters.for_network(network)
+            first = CobraOptimizer(
+                orders_database, parameters, registry=registry
+            ).optimize(P0_SOURCE)
+            second = CobraOptimizer(
+                orders_database, parameters, registry=registry
+            ).optimize(P0_SOURCE)
+            assert first.best_cost == second.best_cost
+            assert first.original_cost == second.original_cost
+            assert first.chosen_strategies == second.chosen_strategies

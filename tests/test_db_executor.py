@@ -182,3 +182,149 @@ class TestSortLimit:
 
     def test_limit_zero(self, executor):
         assert executor.execute(algebra.Limit(algebra.Scan("employee"), 0)) == []
+
+
+class TestJoinFixes:
+    """Hash-join build skipping and side-resolution robustness."""
+
+    def test_empty_probe_side_skips_right_side_entirely(self, simple_database):
+        executor = Executor(simple_database.tables, compiled=False)
+        scanned = []
+        original_scan = Executor._scan
+
+        def recording_scan(self, plan):
+            scanned.append(plan.table)
+            return original_scan(self, plan)
+
+        Executor._scan = recording_scan
+        try:
+            plan = algebra.Join(
+                algebra.Select(
+                    algebra.Scan("employee", "e"), equals("name", "nobody", "e")
+                ),
+                algebra.Scan("department", "d"),
+                BinaryOp(
+                    "=", ColumnRef("dept_id", "e"), ColumnRef("dept_id", "d")
+                ),
+            )
+            assert executor.execute(plan) == []
+        finally:
+            Executor._scan = original_scan
+        # The probe (left) side produced no rows, so the build (right) side
+        # must never have been executed, let alone hashed.
+        assert scanned == ["employee"]
+
+    def test_empty_probe_never_builds_table_index(self, simple_database):
+        from repro.db.table import Table
+
+        executor = Executor(simple_database.tables, compiled=True)
+        built = []
+        original_index_for = Table.index_for
+
+        def recording_index_for(self, column):
+            built.append((self.schema.name, column))
+            return original_index_for(self, column)
+
+        Table.index_for = recording_index_for
+        try:
+            plan = algebra.Join(
+                algebra.Select(
+                    algebra.Scan("employee", "e"), equals("name", "nobody", "e")
+                ),
+                algebra.Scan("department", "d"),
+                BinaryOp(
+                    "=", ColumnRef("dept_id", "e"), ColumnRef("dept_id", "d")
+                ),
+            )
+            assert executor.execute(plan) == []
+        finally:
+            Table.index_for = original_index_for
+        assert built == []
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_condition_sides_resolve_against_both_samples(
+        self, simple_database, compiled
+    ):
+        # The equi condition names the right side first; orientation must be
+        # derived from both sides' shapes, not just the first left row.
+        executor = Executor(simple_database.tables, compiled=compiled)
+        plan = algebra.Join(
+            algebra.Scan("department", "d"),
+            algebra.Scan("employee", "e"),
+            BinaryOp("=", ColumnRef("dept_id", "e"), ColumnRef("dept_id", "d")),
+        )
+        rows = executor.execute(plan)
+        assert len(rows) == 5
+        assert all(r["e.dept_id"] == r["d.dept_id"] for r in rows)
+
+    def test_index_join_matches_hash_join(self, simple_database):
+        plan = algebra.Join(
+            algebra.Scan("employee", "e"),
+            algebra.Scan("department", "d"),
+            BinaryOp("=", ColumnRef("dept_id", "e"), ColumnRef("dept_id", "d")),
+        )
+        compiled = Executor(simple_database.tables, compiled=True)
+        interpreted = Executor(simple_database.tables, compiled=False)
+        assert compiled.execute(plan) == interpreted.execute(plan)
+
+    def test_index_join_sees_fresh_rows_after_insert(self):
+        from repro.db.database import Database
+        from repro.db.schema import Column, ColumnType
+
+        database = Database()
+        database.create_table(
+            "parent",
+            [Column("pid", ColumnType.INT), Column("label", ColumnType.STRING)],
+            primary_key="pid",
+        )
+        database.create_table(
+            "child",
+            [Column("cid", ColumnType.INT), Column("pid", ColumnType.INT)],
+            primary_key="cid",
+        )
+        database.insert("parent", [{"pid": 1, "label": "a"}])
+        database.insert("child", [{"cid": 1, "pid": 1}])
+        plan = algebra.Join(
+            algebra.Scan("child", "c"),
+            algebra.Scan("parent", "p"),
+            BinaryOp("=", ColumnRef("pid", "c"), ColumnRef("pid", "p")),
+        )
+        executor = Executor(database.tables, compiled=True)
+        assert len(executor.execute(plan)) == 1
+        # A mutation must invalidate the cached secondary index.
+        database.insert("parent", [{"pid": 2, "label": "b"}])
+        database.insert("child", [{"cid": 2, "pid": 2}])
+        assert len(executor.execute(plan)) == 2
+
+
+class TestJoinErrorAndCacheBehaviour:
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_unknown_right_table_raises_even_with_empty_probe(
+        self, simple_database, compiled
+    ):
+        executor = Executor(simple_database.tables, compiled=compiled)
+        plan = algebra.Join(
+            algebra.Select(
+                algebra.Scan("employee", "e"), equals("name", "nobody", "e")
+            ),
+            algebra.Scan("missing", "m"),
+            BinaryOp("=", ColumnRef("dept_id", "e"), ColumnRef("id", "m")),
+        )
+        with pytest.raises(ExecutionError, match="unknown table"):
+            executor.execute(plan)
+
+    def test_compile_cache_is_bounded(self, simple_database):
+        executor = Executor(simple_database.tables, compiled=True)
+        # Predicates above a join are not scan-fused, so each distinct
+        # literal lands in the shared compile cache; it must stay bounded.
+        join = algebra.Join(
+            algebra.Scan("employee", "e"),
+            algebra.Scan("department", "d"),
+            BinaryOp("=", ColumnRef("dept_id", "e"), ColumnRef("dept_id", "d")),
+        )
+        for value in range(Executor.COMPILE_CACHE_LIMIT + 10):
+            plan = algebra.Select(
+                join, BinaryOp("=", ColumnRef("salary", "e"), Literal(value))
+            )
+            executor.execute(plan)
+        assert len(executor._compile_cache) <= Executor.COMPILE_CACHE_LIMIT

@@ -104,3 +104,94 @@ class TestMaintenance:
     def test_update_rows_unknown_column(self, people):
         with pytest.raises(SchemaError):
             people.update_rows(lambda row: True, {"missing": 1})
+
+
+class TestPrimaryKeyReindexOnUpdate:
+    def test_update_changing_pk_moves_index_entry(self, people):
+        people.update_rows(
+            lambda row: row["person_id"] == 2, {"person_id": 20}
+        )
+        assert people.lookup_pk(2) is None
+        moved = people.lookup_pk(20)
+        assert moved is not None and moved["name"] == "bob"
+
+    def test_update_keeping_pk_leaves_index_intact(self, people):
+        people.update_rows(
+            lambda row: row["person_id"] == 2, {"city": "delhi"}
+        )
+        assert people.lookup_pk(2)["city"] == "delhi"
+
+    def test_pk_update_does_not_drop_reclaimed_key(self, people):
+        # 2 -> 20, then 3 -> 2: the key 2 now belongs to carol's row and a
+        # later unrelated update must not evict it.
+        people.update_rows(lambda row: row["person_id"] == 2, {"person_id": 20})
+        people.update_rows(lambda row: row["person_id"] == 3, {"person_id": 2})
+        assert people.lookup_pk(2)["name"] == "carol"
+        assert people.lookup_pk(20)["name"] == "bob"
+        assert people.lookup_pk(3) is None
+
+
+class TestSecondaryIndexesAndCachedStats:
+    def test_index_for_groups_rows_and_skips_nulls(self, people):
+        people.insert({"person_id": 4, "name": "dave", "city": None})
+        index = people.index_for("city")
+        assert sorted(r["name"] for r in index["pune"]) == ["ann", "carol"]
+        assert None not in index
+
+    def test_index_for_unknown_column_raises(self, people):
+        with pytest.raises(SchemaError):
+            people.index_for("height")
+
+    def test_index_invalidated_on_insert(self, people):
+        first = people.index_for("city")
+        assert len(first["pune"]) == 2
+        people.insert({"person_id": 4, "name": "dave", "city": "pune"})
+        assert len(people.index_for("city")["pune"]) == 3
+
+    def test_index_invalidated_on_update(self, people):
+        assert len(people.index_for("city")["pune"]) == 2
+        people.update_rows(lambda row: row["name"] == "bob", {"city": "pune"})
+        assert len(people.index_for("city")["pune"]) == 3
+
+    def test_index_invalidated_on_clear(self, people):
+        people.index_for("city")
+        people.clear()
+        assert people.index_for("city") == {}
+
+    def test_distinct_count_cached_and_invalidated(self, people):
+        assert people.distinct_count("city") == 2
+        people.insert({"person_id": 4, "name": "dave", "city": "delhi"})
+        assert people.distinct_count("city") == 3
+
+    def test_version_bumps_on_every_mutation(self, people):
+        version = people.version
+        people.insert({"person_id": 4, "name": "dave", "city": "pune"})
+        assert people.version > version
+        version = people.version
+        people.update_rows(lambda row: True, {"city": "x"})
+        assert people.version > version
+        version = people.version
+        people.clear()
+        assert people.version > version
+
+
+class TestUpdateFailureInvalidation:
+    def test_partial_update_failure_still_invalidates_caches(self, people):
+        index_before = people.index_for("city")
+        assert len(index_before["pune"]) == 2
+
+        calls = []
+
+        def flaky(row):
+            calls.append(row["person_id"])
+            if len(calls) > 1:
+                raise RuntimeError("boom")
+            return "delhi"
+
+        with pytest.raises(RuntimeError):
+            people.update_rows(lambda row: True, {"city": flaky})
+        # The first row was rewritten before the failure; caches must
+        # reflect it rather than serving the stale pre-update index.
+        assert [r["name"] for r in people.index_for("city")["delhi"]] == ["ann"]
+        assert len(people.index_for("city")["pune"]) == 1
+        assert people.distinct_count("city") == 3
