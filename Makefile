@@ -1,4 +1,4 @@
-.PHONY: test bench bench-suite
+.PHONY: test bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -11,3 +11,12 @@ bench:
 # The paper-figure benchmark suite (pytest-benchmark timings + tables).
 bench-suite:
 	python -m pytest benchmarks/ -q
+
+# Scaled-down benchmark run used by CI; does not overwrite BENCH_engine.json.
+bench-smoke:
+	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
+		python benchmarks/bench_engine.py > /dev/null
+	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
+
+# What CI runs: the full test suite plus a benchmark smoke run.
+ci: test bench-smoke

@@ -9,11 +9,20 @@ benchmark families are timed:
   Row-for-row result equality between the two modes is asserted as part of
   the run.
 
+* **Prepared-statement point lookups** — the N+1 lazy-load query shape
+  (``select * from customers where c_id = ?``) executed over and over with
+  changing parameters, once through the pre-prepared-statement client path
+  (parse to execute + parse to estimate, every call) and once through one
+  :class:`repro.db.database.PreparedStatement` (parse once, plan-keyed
+  estimate cached, index-backed execution).  Result equality between the two
+  paths is asserted.
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
 
-Results are written to ``BENCH_engine.json`` in the repository root so later
+Results are written to ``BENCH_engine.json`` in the repository root (path
+overridable via ``BENCH_ENGINE_OUT``, used by the CI smoke run) so later
 PRs can track the performance trajectory.  Scale is adjustable via the
 ``BENCH_ENGINE_ROWS`` environment variable (default 50 000).
 
@@ -182,6 +191,69 @@ def bench_executor(rows: int) -> dict:
     return results
 
 
+#: Parameterized lookups per timed run of the prepared-statement benchmark.
+LOOKUPS = 2_000
+
+
+def bench_prepared_point_lookup(rows: int) -> dict:
+    """Repeated parameterized point lookups: prepared vs. unprepared.
+
+    The *unprepared* runner reproduces the pre-prepared-statement client
+    stack exactly: every call parses the SQL text to execute it, parses it a
+    second time to estimate it (as ``SimulatedConnection.execute_query``
+    used to), and runs the bound plan through the generic executor.  The
+    *prepared* runner prepares the statement once and replays it with fresh
+    parameters, hitting the cached plan, the plan-keyed estimate, and the
+    index-backed point-lookup fast path.
+    """
+    from repro.db.sqlparser import bind_parameters, parse_sql  # noqa: E402
+
+    database = build_benchmark_database(rows)
+    customers = max(rows // 10, 1)
+    sql = "select * from customers where c_id = ?"
+    keys = [(i * 7919) % customers for i in range(LOOKUPS)]
+
+    def unprepared() -> int:
+        fetched = 0
+        for key in keys:
+            plan = bind_parameters(parse_sql(sql), (key,))
+            result = database.execute_plan(plan, sql=sql)
+            estimate_plan = bind_parameters(parse_sql(sql), (key,))
+            database.estimate_plan(estimate_plan)
+            fetched += len(result.rows)
+        return fetched
+
+    statement = database.prepare(sql)
+
+    def prepared() -> int:
+        fetched = 0
+        for key in keys:
+            result = statement.execute((key,))
+            statement.estimate()
+            fetched += len(result.rows)
+        return fetched
+
+    for key in keys[:25]:
+        reference = database.execute_plan(
+            bind_parameters(parse_sql(sql), (key,)), sql=sql
+        )
+        fast = statement.execute((key,))
+        if reference.rows != fast.rows:
+            raise AssertionError(
+                f"prepared and unprepared lookup results differ for key {key}"
+            )
+
+    unprepared_s = _best_time(unprepared)
+    prepared_s = _best_time(prepared)
+    return {
+        "lookups": len(keys),
+        "table_rows": customers,
+        "unprepared_seconds": unprepared_s,
+        "prepared_seconds": prepared_s,
+        "speedup": unprepared_s / prepared_s if prepared_s else None,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -220,10 +292,13 @@ def main() -> dict:
         "benchmark": "engine",
         "rows": rows,
         "executor": bench_executor(rows),
+        "prepared_point_lookup": bench_prepared_point_lookup(rows),
         "optimizer": bench_optimizer(),
     }
     report["harness_seconds"] = time.perf_counter() - started
-    out_path = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+    out_path = os.environ.get(
+        "BENCH_ENGINE_OUT", os.path.join(_REPO_ROOT, "BENCH_engine.json")
+    )
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,7 +1,8 @@
 """Quickstart: optimize the paper's motivating example end to end.
 
 This example walks the full COBRA pipeline on program P0 (Figure 3a of the
-paper): build a database, point the optimizer at the program source, look at
+paper) through the unified :class:`repro.api.Engine` facade: build an engine
+over the orders workload, point the optimizer at the program source, look at
 the alternatives and the cost-based choice under two network conditions, and
 finally execute the generated program to confirm it computes the same result
 faster.
@@ -13,22 +14,20 @@ Run with::
 
 from __future__ import annotations
 
-from repro.appsim.runtime import AppRuntime
-from repro.core.catalog import catalog_for_network
-from repro.core.optimizer import CobraOptimizer
-from repro.net.network import FAST_LOCAL, SLOW_REMOTE
-from repro.workloads import programs, tpcds
+from repro.api import Engine
+from repro.workloads import programs
 
 
 def optimize_for(network_name: str, num_orders: int, num_customers: int) -> None:
     print(f"\n=== {network_name}: {num_orders} orders, {num_customers} customers ===")
-    database = tpcds.build_orders_database(num_orders, num_customers)
-    parameters = catalog_for_network(network_name)
-    optimizer = CobraOptimizer(
-        database, parameters, registry=tpcds.build_registry()
+    engine = (
+        Engine.builder()
+        .orders_workload(num_orders=num_orders, num_customers=num_customers)
+        .network(network_name)
+        .build()
     )
 
-    result = optimizer.optimize(programs.P0_SOURCE)
+    result = engine.optimize(programs.P0_SOURCE)
     print(f"alternatives generated : {result.alternatives_added}")
     print(f"original estimated cost: {result.original_cost:10.3f} s")
     print(f"best estimated cost    : {result.best_cost:10.3f} s")
@@ -37,10 +36,7 @@ def optimize_for(network_name: str, num_orders: int, num_customers: int) -> None
     print(result.rewritten_source)
 
     # Execute the generated program and the original, and compare.
-    network = SLOW_REMOTE if network_name == "slow-remote" else FAST_LOCAL
-    runtime = AppRuntime(
-        database=database, network=network, registry=tpcds.build_registry()
-    )
+    runtime = engine.runtime()
     namespace = {"my_func": programs.my_func}
     exec(compile(result.rewritten_source, "<rewritten>", "exec"), namespace)
     rewritten = namespace["process_orders"]

@@ -2,6 +2,8 @@
 
 The public API re-exports the pieces a downstream user needs most often:
 
+* :class:`repro.api.Engine` and :func:`repro.api.connect` — the unified
+  client facade (database + network + ORM + optimizer in one place),
 * :class:`repro.core.optimizer.CobraOptimizer` — the cost-based rewriter,
 * :class:`repro.core.cost_model.CostModel` and
   :class:`repro.core.cost_model.CostParameters` — the Section VI cost model,
@@ -16,6 +18,7 @@ See ``examples/quickstart.py`` for an end-to-end walk-through.
 
 __version__ = "1.0.0"
 
+from repro.api import Engine, connect
 from repro.appsim.runtime import AppRuntime, RunMeasurement
 from repro.db.database import Database
 from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
@@ -23,9 +26,11 @@ from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
 __all__ = [
     "AppRuntime",
     "Database",
+    "Engine",
     "FAST_LOCAL",
     "NetworkConditions",
     "RunMeasurement",
     "SLOW_REMOTE",
     "__version__",
+    "connect",
 ]

@@ -1,0 +1,21 @@
+"""The public client API of the reproduction.
+
+:mod:`repro.api` is the single entry point application code, experiments,
+and the CLI use to stand up a complete environment:
+
+* :class:`Engine` — the facade bundling database, network profile, ORM
+  mapping registry, and COBRA cost parameters;
+* :class:`EngineBuilder` (via ``Engine.builder()``) — fluent construction;
+* :func:`connect` — one-call construction, DBAPI style.
+
+See ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+from repro.api.engine import Engine, EngineBuilder, EngineConfigError, connect
+
+__all__ = [
+    "Engine",
+    "EngineBuilder",
+    "EngineConfigError",
+    "connect",
+]

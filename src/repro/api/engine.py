@@ -1,0 +1,324 @@
+"""The unified client-facing engine facade.
+
+Everything a database application (or an experiment harness) needs — the
+in-memory :class:`~repro.db.database.Database`, a network profile, an ORM
+:class:`~repro.orm.mapping.MappingRegistry`, and the COBRA cost parameters —
+is wired in one place by :class:`EngineBuilder` and served by
+:class:`Engine`:
+
+    from repro.api import Engine
+
+    engine = (
+        Engine.builder()
+        .orders_workload(num_orders=5_000, num_customers=500)
+        .network("slow-remote")
+        .build()
+    )
+
+    # DBAPI-style access over the simulated network:
+    with engine.cursor() as cursor:
+        cursor.execute("select * from orders where o_id = ?", (17,))
+        row = cursor.fetchone()
+
+    # ORM session, application runtime, and the optimizer:
+    session = engine.session()
+    runtime = engine.runtime()
+    result = engine.optimize(program_source)
+
+Engines are cheap veneers: the heavyweight state (tables, statistics, the
+prepared-statement cache) lives in the database object, so multiple
+connections, cursors, sessions, and optimizers created from one engine all
+share the same server, exactly like clients of a real database.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.appsim.runtime import DEFAULT_STATEMENT_COST, AppRuntime
+from repro.core.catalog import catalog_for_network, load_catalog
+from repro.core.cost_model import CostParameters
+from repro.core.heuristic import HeuristicOptimizer, HeuristicResult
+from repro.core.optimizer import CobraOptimizer, OptimizationResult
+from repro.db.database import Database, PreparedStatement, StatementCacheStats
+from repro.net.connection import Cursor, SimulatedConnection
+from repro.net.network import PRESETS, NetworkConditions
+from repro.orm.mapping import MappingRegistry
+from repro.orm.session import Session
+
+
+class EngineConfigError(Exception):
+    """Raised when an engine is configured inconsistently."""
+
+
+def _resolve_network(
+    network: Union[str, NetworkConditions]
+) -> NetworkConditions:
+    if isinstance(network, NetworkConditions):
+        return network
+    preset = PRESETS.get(network)
+    if preset is None:
+        raise EngineConfigError(
+            f"unknown network preset {network!r}; presets are "
+            f"{sorted(PRESETS)}"
+        )
+    return preset
+
+
+class EngineBuilder:
+    """Fluent builder assembling an :class:`Engine` step by step.
+
+    Every setter returns the builder, so configurations read as one chain.
+    ``build()`` fills in anything left unset: a fresh empty database, the
+    fast-local network, and cost parameters derived from the chosen network.
+    """
+
+    def __init__(self) -> None:
+        self._database: Optional[Database] = None
+        self._network: Union[str, NetworkConditions] = "fast-local"
+        self._registry: Optional[MappingRegistry] = None
+        self._parameters: Optional[CostParameters] = None
+        self._amortization: float = 1.0
+        self._statement_cost: float = DEFAULT_STATEMENT_COST
+        self._region_rules: Optional[Sequence] = None
+        self._fir_rules: Optional[Sequence] = None
+
+    # -- data sources ----------------------------------------------------
+
+    def database(self, database: Database) -> "EngineBuilder":
+        """Use an existing database instance."""
+        self._database = database
+        return self
+
+    def orders_workload(
+        self,
+        num_orders: int = 2_000,
+        num_customers: Optional[int] = None,
+        seed: int = 7,
+    ) -> "EngineBuilder":
+        """Build the TPC-DS-like orders/customer workload database.
+
+        Also installs the orders ORM mapping registry unless one was set
+        explicitly.
+        """
+        from repro.workloads import tpcds
+
+        if num_customers is None:
+            num_customers = max(num_orders // 10, 10)
+        self._database = tpcds.build_orders_database(
+            num_orders, num_customers, seed
+        )
+        if self._registry is None:
+            self._registry = tpcds.build_registry()
+        return self
+
+    def wilos_workload(self, scale: int = 2_000) -> "EngineBuilder":
+        """Build the Wilos-like project-management workload database."""
+        from repro.workloads.wilos import build_wilos_database
+
+        self._database = build_wilos_database(scale=scale)
+        return self
+
+    # -- environment -----------------------------------------------------
+
+    def network(
+        self, network: Union[str, NetworkConditions]
+    ) -> "EngineBuilder":
+        """Network conditions: a preset name or explicit parameters."""
+        self._network = network
+        return self
+
+    def registry(self, registry: MappingRegistry) -> "EngineBuilder":
+        """ORM mapping registry for sessions and region analysis."""
+        self._registry = registry
+        return self
+
+    def cost_parameters(self, parameters: CostParameters) -> "EngineBuilder":
+        """Explicit COBRA cost parameters (overrides network derivation)."""
+        self._parameters = parameters
+        return self
+
+    def catalog_file(self, path: Union[str, Path]) -> "EngineBuilder":
+        """Load cost parameters from a cost catalog JSON file."""
+        self._parameters = load_catalog(path)
+        return self
+
+    def amortization(self, factor: float) -> "EngineBuilder":
+        """Amortization factor AF applied to the cost parameters."""
+        self._amortization = factor
+        return self
+
+    def statement_cost(self, seconds: float) -> "EngineBuilder":
+        """Per-imperative-statement cost CZ used by runtimes."""
+        self._statement_cost = seconds
+        return self
+
+    def region_rules(self, rules: Sequence) -> "EngineBuilder":
+        """Override the optimizer's region transformation rules."""
+        self._region_rules = rules
+        return self
+
+    def fir_rules(self, rules: Sequence) -> "EngineBuilder":
+        """Override the optimizer's F-IR transformation rules."""
+        self._fir_rules = rules
+        return self
+
+    # -- assembly --------------------------------------------------------
+
+    def build(self) -> "Engine":
+        """Assemble the engine, deriving every unset component."""
+        network = _resolve_network(self._network)
+        parameters = self._parameters
+        if parameters is None:
+            parameters = catalog_for_network(network)
+        if self._amortization != 1.0:
+            parameters = parameters.with_amortization(self._amortization)
+        database = self._database if self._database is not None else Database()
+        return Engine(
+            database=database,
+            network=network,
+            parameters=parameters,
+            registry=self._registry,
+            statement_cost=self._statement_cost,
+            region_rules=self._region_rules,
+            fir_rules=self._fir_rules,
+        )
+
+
+class Engine:
+    """One database application environment: server, network, ORM, optimizer.
+
+    Construct via :meth:`Engine.builder` (or :func:`repro.api.connect`).
+    The engine hands out connections, cursors, ORM sessions, application
+    runtimes, and optimizers that all share the same underlying database —
+    including its engine-level prepared-statement cache.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        network: NetworkConditions,
+        parameters: CostParameters,
+        registry: Optional[MappingRegistry] = None,
+        statement_cost: float = DEFAULT_STATEMENT_COST,
+        region_rules: Optional[Sequence] = None,
+        fir_rules: Optional[Sequence] = None,
+    ) -> None:
+        self.database = database
+        self.network = network
+        self.parameters = parameters
+        self.registry = registry
+        self.statement_cost = statement_cost
+        self._region_rules = region_rules
+        self._fir_rules = fir_rules
+        self._connection: Optional[SimulatedConnection] = None
+
+    @staticmethod
+    def builder() -> EngineBuilder:
+        """A fresh :class:`EngineBuilder`."""
+        return EngineBuilder()
+
+    # -- connections and cursors -----------------------------------------
+
+    @property
+    def connection(self) -> SimulatedConnection:
+        """The engine's shared default connection (created lazily)."""
+        if self._connection is None:
+            self._connection = self.connect()
+        return self._connection
+
+    def connect(self) -> SimulatedConnection:
+        """A new connection with its own virtual clock and statistics."""
+        return SimulatedConnection(self.database, self.network)
+
+    def cursor(self) -> Cursor:
+        """A DBAPI-style cursor over the shared default connection."""
+        return self.connection.cursor()
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare a statement in the engine-level statement cache."""
+        return self.database.prepare(sql)
+
+    @property
+    def statement_cache_stats(self) -> StatementCacheStats:
+        """Hit/miss/eviction counters of the statement cache."""
+        return self.database.statement_cache
+
+    # -- ORM and application runtime -------------------------------------
+
+    def session(
+        self, connection: Optional[SimulatedConnection] = None
+    ) -> Session:
+        """An ORM session over ``connection`` (default: a new connection)."""
+        registry = self.registry if self.registry is not None else MappingRegistry()
+        return Session(registry, connection or self.connect())
+
+    def runtime(self) -> AppRuntime:
+        """A fresh application runtime wired to this engine's components."""
+        return AppRuntime(
+            database=self.database,
+            network=self.network,
+            registry=self.registry,
+            statement_cost=self.statement_cost,
+        )
+
+    # -- optimization ----------------------------------------------------
+
+    def optimizer(self, **overrides: Any) -> CobraOptimizer:
+        """A COBRA optimizer over this engine's database and parameters.
+
+        Keyword overrides are passed through to
+        :class:`~repro.core.optimizer.CobraOptimizer` (e.g. ``max_passes``).
+        """
+        kwargs: dict[str, Any] = {
+            "registry": self.registry,
+        }
+        if self._region_rules is not None:
+            kwargs["region_rules"] = self._region_rules
+        if self._fir_rules is not None:
+            kwargs["fir_rules"] = self._fir_rules
+        kwargs.update(overrides)
+        return CobraOptimizer(self.database, self.parameters, **kwargs)
+
+    def optimize(
+        self, source: str, function_name: Optional[str] = None
+    ) -> OptimizationResult:
+        """One-shot cost-based optimization of a program source."""
+        return self.optimizer().optimize(source, function_name=function_name)
+
+    def heuristic_rewrite(
+        self, source: str, function_name: Optional[str] = None
+    ) -> HeuristicResult:
+        """The always-push-to-SQL heuristic rewrite (no cost-based choice)."""
+        heuristic = HeuristicOptimizer(
+            self.database,
+            self.parameters,
+            registry=self.registry,
+            fir_rules=self._fir_rules,
+        )
+        return heuristic.rewrite(source, function_name=function_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Engine tables={sorted(self.database.tables)} "
+            f"network={self.network.name!r}>"
+        )
+
+
+def connect(
+    database: Optional[Database] = None,
+    network: Union[str, NetworkConditions] = "fast-local",
+    registry: Optional[MappingRegistry] = None,
+    parameters: Optional[CostParameters] = None,
+    amortization: float = 1.0,
+) -> Engine:
+    """One-call engine construction (the classic DBAPI entry-point shape)."""
+    builder = Engine.builder().network(network).amortization(amortization)
+    if database is not None:
+        builder.database(database)
+    if registry is not None:
+        builder.registry(registry)
+    if parameters is not None:
+        builder.cost_parameters(parameters)
+    return builder.build()

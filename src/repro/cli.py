@@ -22,6 +22,10 @@ result table.
 
 ``catalog`` writes a cost catalog file that can be edited and passed back via
 ``--catalog``.
+
+All subcommands run through the :class:`repro.api.Engine` facade, which
+wires the workload database, the network preset, the ORM mapping registry,
+and the cost parameters together in one place.
 """
 
 from __future__ import annotations
@@ -31,13 +35,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.api import Engine
 from repro.core.catalog import catalog_for_network, load_catalog, save_catalog
 from repro.core.cost_model import CostModel, CostParameters
-from repro.core.heuristic import HeuristicOptimizer
-from repro.core.optimizer import CobraOptimizer
 from repro.core.plans import DagCostCalculator
-from repro.workloads import tpcds
-from repro.workloads.wilos import build_wilos_database
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,21 +114,26 @@ def _load_parameters(args: argparse.Namespace) -> CostParameters:
     return parameters
 
 
-def _build_workload(args: argparse.Namespace):
-    if args.workload == "wilos":
-        return build_wilos_database(scale=args.scale), None
-    database = tpcds.build_orders_database(
-        num_orders=args.scale, num_customers=max(args.scale // 10, 10)
+def _build_engine(args: argparse.Namespace) -> Engine:
+    """Assemble the engine the subcommand runs against."""
+    builder = (
+        Engine.builder()
+        .network(args.network)
+        .cost_parameters(_load_parameters(args))
     )
-    return database, tpcds.build_registry()
+    if args.workload == "wilos":
+        builder.wilos_workload(scale=args.scale)
+    else:
+        builder.orders_workload(
+            num_orders=args.scale, num_customers=max(args.scale // 10, 10)
+        )
+    return builder.build()
 
 
 def run_optimize(args: argparse.Namespace, out) -> int:
     source = args.program.read_text()
-    parameters = _load_parameters(args)
-    database, registry = _build_workload(args)
-    optimizer = CobraOptimizer(database, parameters, registry=registry)
-    result = optimizer.optimize(source, function_name=args.function)
+    engine = _build_engine(args)
+    result = engine.optimize(source, function_name=args.function)
 
     print(f"program              : {args.program}", file=out)
     print(f"alternatives added   : {result.alternatives_added}", file=out)
@@ -139,7 +145,7 @@ def run_optimize(args: argparse.Namespace, out) -> int:
 
     if args.show_alternatives:
         calculator = DagCostCalculator(
-            result.dag, CostModel(database, parameters)
+            result.dag, CostModel(engine.database, engine.parameters)
         )
         print("\nalternatives per region:", file=out)
         for group in result.dag.iter_groups():
@@ -154,8 +160,7 @@ def run_optimize(args: argparse.Namespace, out) -> int:
     print(result.rewritten_source, file=out)
 
     if args.heuristic:
-        heuristic = HeuristicOptimizer(database, parameters, registry=registry)
-        outcome = heuristic.rewrite(source, function_name=args.function)
+        outcome = engine.heuristic_rewrite(source, function_name=args.function)
         print("\nheuristic (always push to SQL) rewrite:", file=out)
         print(outcome.rewritten_source, file=out)
     return 0

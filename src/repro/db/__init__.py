@@ -18,7 +18,12 @@ return correct results, correct cardinalities and row widths, and server-side
 cost estimates for the COBRA cost model.
 """
 
-from repro.db.database import Database, QueryResult
+from repro.db.database import (
+    Database,
+    PreparedStatement,
+    QueryResult,
+    StatementCacheStats,
+)
 from repro.db.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
 from repro.db.statistics import TableStatistics
 
@@ -27,8 +32,10 @@ __all__ = [
     "ColumnType",
     "Database",
     "ForeignKey",
+    "PreparedStatement",
     "QueryResult",
     "Schema",
+    "StatementCacheStats",
     "TableSchema",
     "TableStatistics",
 ]

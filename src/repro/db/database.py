@@ -10,23 +10,64 @@ cost model needs from the database side is exposed here:
   ``NQ``, ``Srow(Q)``, ``CFQ`` and ``CLQ`` in the cost model (the paper
   "consulted the database query optimizer to get an estimate of query
   execution times").
+
+Statement preparation
+---------------------
+
+Database applications issue the same parameterized query shapes over and
+over (the N+1 lazy-load loop is the canonical pattern), so the facade keeps
+an LRU **statement cache** keyed by SQL text: :meth:`Database.prepare`
+returns a :class:`PreparedStatement` holding the parsed plan, the plan-keyed
+:class:`QueryEstimate`, the estimated output row width, and — for
+point-lookup shapes (``select * from t where col = ?``) — an index-backed
+execution fast path.  ``execute_sql`` / ``estimate_sql`` route through the
+cache, so repeated statements parse once and estimate once.
+
+Invalidation rules:
+
+* ``create_table`` (DDL) clears the whole statement cache and bumps
+  :attr:`Database.schema_generation`;
+* ``analyze()`` / ``set_table_statistics`` bump
+  :attr:`Database.stats_generation`, which lazily invalidates every cached
+  estimate (statements re-estimate on next use);
+* inserts/updates bump the affected :attr:`repro.db.table.Table.version`,
+  which likewise invalidates the cached estimates of statements touching
+  that table.
 """
 
 from __future__ import annotations
 
+import re
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.db import algebra
-from repro.db.executor import Executor
+from repro.db.executor import Executor, _FusedScan
+from repro.db.expressions import BinaryOp, ColumnRef, Literal
 from repro.db.schema import Column, ForeignKey, Schema, TableSchema
 from repro.db.sqlgen import to_sql
-from repro.db.sqlparser import bind_parameters, count_parameters, parse_sql
+from repro.db.sqlparser import (
+    Parameter,
+    SQLSyntaxError,
+    UpdateStatement,
+    bind_parameters,
+    bind_update_parameters,
+    count_parameters,
+    count_update_parameters,
+    parse_sql,
+    parse_update,
+)
 from repro.db.statistics import StatisticsCatalog, TableStatistics
 from repro.db.table import Row, Table
 
 #: Server-side per-row processing cost, in seconds, used for CFQ/CLQ estimates.
 DEFAULT_SERVER_ROW_COST = 2e-6
+
+#: Prepared statements kept in the LRU statement cache before eviction.
+DEFAULT_STATEMENT_CACHE_SIZE = 128
+
+_UPDATE_RE = re.compile(r"\s*update\b", re.IGNORECASE)
 
 
 @dataclass
@@ -66,6 +107,290 @@ class QueryEstimate:
         return self.cardinality * self.row_width
 
 
+@dataclass
+class StatementCacheStats:
+    """Counters for the engine-level prepared-statement cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class _PointLookup:
+    """Execution fast path for ``select * from t where col = <value>``.
+
+    Prepared at plan-compilation time; executes through the table's lazy
+    secondary hash index (:meth:`repro.db.table.Table.index_for`) instead of
+    scanning.  Output rows are materialised by the executor's own
+    :class:`~repro.db.executor._FusedScan` (the exact ``bare +
+    alias.column`` layout every scan produces), so the fast path cannot
+    drift from the generic path's row shape.
+    """
+
+    __slots__ = ("table", "column", "value", "_fused")
+
+    def __init__(
+        self, table: str, alias: str, column: str, value: Any, storage: Table
+    ) -> None:
+        self.table = table
+        self.column = column
+        #: a :class:`Parameter` (bound per execution) or a constant.
+        self.value = value
+        self._fused = _FusedScan(storage, alias, [])
+
+    def rows(self, table: Table, params: Sequence[Any]) -> Optional[list[Row]]:
+        """Matching output rows, or ``None`` when the fast path cannot run."""
+        value = self.value
+        if isinstance(value, Parameter):
+            if value.index >= len(params):
+                raise SQLSyntaxError(
+                    f"missing value for parameter ?{value.index}"
+                )
+            value = params[value.index]
+        try:
+            bucket = table.index_for(self.column).get(value, ())
+        except TypeError:  # unhashable lookup value; generic path handles it
+            return None
+        return [self._fused.materialize(row) for row in bucket]
+
+
+class PreparedStatement:
+    """A parsed, plan-cached SQL statement bound to one :class:`Database`.
+
+    Query statements cache the parsed algebra plan (with unbound ``?``
+    parameters), the plan-keyed :class:`QueryEstimate`, and the estimated
+    output row width; point-lookup shapes additionally carry an index-backed
+    execution fast path.  UPDATE statements cache the parsed
+    :class:`repro.db.sqlparser.UpdateStatement`.
+
+    Cached estimates revalidate lazily against the database's statistics
+    generation and the versions of every referenced table, so ``analyze()``
+    and insert-driven table mutations are reflected on the next use without
+    reparsing.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        sql: str,
+        *,
+        plan: Optional[algebra.PlanNode] = None,
+        update: Optional[UpdateStatement] = None,
+    ) -> None:
+        if (plan is None) == (update is None):
+            raise ValueError("exactly one of plan/update must be given")
+        self.database = database
+        self.sql = sql
+        self.plan = plan
+        self.update = update
+        self.schema_generation = database.schema_generation
+        if plan is not None:
+            self.parameter_count = count_parameters(plan)
+            self.tables = tuple(
+                sorted({scan.table for scan in algebra.find_scans(plan)})
+            )
+        else:
+            self.parameter_count = count_update_parameters(update)
+            self.tables = (update.table,)
+        self.point_lookup = (
+            self._analyze_point_lookup(plan) if plan is not None else None
+        )
+        #: executions through this statement (fast path included).
+        self.executions = 0
+        #: how often the plan-keyed estimate was (re)computed.
+        self.estimates_computed = 0
+        self._estimate: Optional[QueryEstimate] = None
+        self._row_width: Optional[int] = None
+        self._stamp: Optional[tuple] = None
+
+    # -- properties ------------------------------------------------------
+
+    @property
+    def is_query(self) -> bool:
+        """True for SELECT statements, False for UPDATE statements."""
+        return self.plan is not None
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, params: Sequence[Any] = ()) -> QueryResult:
+        """Execute the prepared query with ``params`` bound positionally."""
+        if self.plan is None:
+            raise SQLSyntaxError(
+                f"prepared UPDATE cannot be executed as a query: {self.sql!r}"
+            )
+        database = self.database
+        if self.point_lookup is not None and database.compiled_execution:
+            table = database.tables.get(self.point_lookup.table)
+            if table is not None:
+                rows = self.point_lookup.rows(table, params)
+                if rows is not None:
+                    database.queries_executed += 1
+                    self.executions += 1
+                    return QueryResult(
+                        rows=rows, row_width=self.row_width(), sql=self.sql
+                    )
+        plan = self.plan
+        if self.parameter_count:
+            plan = bind_parameters(plan, params)
+        rows = database._executor.execute(plan)
+        database.queries_executed += 1
+        self.executions += 1
+        return QueryResult(rows=rows, row_width=self.row_width(), sql=self.sql)
+
+    def execute_update(self, params: Sequence[Any] = ()) -> int:
+        """Execute the prepared UPDATE; returns the number of rows changed."""
+        if self.update is None:
+            raise SQLSyntaxError(
+                f"prepared query cannot be executed as an UPDATE: {self.sql!r}"
+            )
+        statement = self.update
+        if self.parameter_count:
+            statement = bind_update_parameters(statement, params)
+        table = self.database.table(statement.table)
+        if statement.predicate is None:
+            predicate = lambda row: True  # noqa: E731 - trivial predicate
+        else:
+            predicate = statement.predicate.compile()
+        assignments: dict[str, Any] = {}
+        for column, expression in statement.assignments:
+            if isinstance(expression, Literal):
+                assignments[column] = expression.value
+            else:
+                assignments[column] = expression.compile()
+        self.database.queries_executed += 1
+        self.executions += 1
+        return table.update_rows(predicate, assignments)
+
+    # -- estimation ------------------------------------------------------
+
+    def estimate(self, params: Sequence[Any] = ()) -> QueryEstimate:
+        """The plan-keyed estimate (cached; ``params`` do not affect it).
+
+        Selectivity estimation treats a bound-later ``?`` parameter exactly
+        like a literal (``1 / distinct(column)`` for equality), so the
+        template plan prices identically to any bound instance — which is
+        what lets one prepared statement serve every parameter value.
+        """
+        if self.plan is None:
+            raise SQLSyntaxError(
+                f"prepared UPDATE has no query estimate: {self.sql!r}"
+            )
+        self._revalidate()
+        if self._estimate is None:
+            self._estimate = self.database.estimate_plan(self.plan)
+            self.estimates_computed += 1
+        return self._estimate
+
+    def row_width(self) -> int:
+        """Estimated output row width in bytes (cached with the estimate)."""
+        self._revalidate()
+        if self._row_width is None:
+            self._row_width = self.database.statistics.estimate_row_width(
+                self.plan
+            )
+        return self._row_width
+
+    def output_columns(self) -> Optional[list[str]]:
+        """Statically-known output column names of the prepared query.
+
+        Lets drivers describe a result set even when it is empty.  Returns
+        ``None`` for UPDATE statements and for plan shapes whose output
+        layout is only known at execution time (joins).
+        """
+        if self.plan is None:
+            return None
+        return _plan_output_columns(self.plan, self.database)
+
+    # -- internals -------------------------------------------------------
+
+    def _revalidate(self) -> None:
+        """Drop cached estimates when statistics or table contents moved."""
+        database = self.database
+        stamp = (
+            database.stats_generation,
+            tuple(
+                table.version
+                for name in self.tables
+                if (table := database.tables.get(name)) is not None
+            ),
+        )
+        if stamp != self._stamp:
+            self._stamp = stamp
+            self._estimate = None
+            self._row_width = None
+
+    def _analyze_point_lookup(
+        self, plan: algebra.PlanNode
+    ) -> Optional[_PointLookup]:
+        """Detect the ``select * from t where col = <value>`` shape."""
+        if not isinstance(plan, algebra.Select):
+            return None
+        scan = plan.child
+        if not isinstance(scan, algebra.Scan):
+            return None
+        predicate = plan.predicate
+        if not isinstance(predicate, BinaryOp) or predicate.op not in {
+            "=",
+            "==",
+        }:
+            return None
+        for column, value in (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        ):
+            if isinstance(column, ColumnRef) and isinstance(
+                value, (Parameter, Literal)
+            ):
+                break
+        else:
+            return None
+        if isinstance(value, Literal):
+            value = value.value
+        storage = self.database.tables.get(scan.table)
+        if storage is None:
+            return None
+        if not storage.schema.has_column(column.name):
+            return None
+        alias = scan.effective_alias
+        if column.qualifier is not None and column.qualifier != alias:
+            return None
+        return _PointLookup(scan.table, alias, column.name, value, storage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "query" if self.is_query else "update"
+        return f"<PreparedStatement {kind} {self.sql!r}>"
+
+
+def _plan_output_columns(
+    plan: algebra.PlanNode, database: "Database"
+) -> Optional[list[str]]:
+    """Output column names of ``plan``, when derivable without executing."""
+    if isinstance(plan, (algebra.Select, algebra.Sort, algebra.Limit)):
+        return _plan_output_columns(plan.child, database)
+    if isinstance(plan, algebra.Project):
+        return [output.name for output in plan.outputs]
+    if isinstance(plan, algebra.Aggregate):
+        return [column.name for column in plan.group_by] + [
+            spec.name for spec in plan.aggregates
+        ]
+    if isinstance(plan, algebra.Scan):
+        if not database.schema.has_table(plan.table):
+            return None
+        columns = database.schema.table(plan.table).column_names
+        alias = plan.effective_alias
+        return list(columns) + [f"{alias}.{name}" for name in columns]
+    # Joins: the merged-row key layout depends on bare-name collisions at
+    # execution time; defer to row-derived description.
+    return None
+
+
 class Database:
     """An in-memory database: schema, tables, statistics, SQL execution."""
 
@@ -74,13 +399,23 @@ class Database:
         server_row_cost: float = DEFAULT_SERVER_ROW_COST,
         *,
         compiled_execution: bool = True,
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
     ) -> None:
         self.schema = Schema()
         self.tables: dict[str, Table] = {}
         self.statistics = StatisticsCatalog(self.schema)
         self.server_row_cost = server_row_cost
+        self.compiled_execution = compiled_execution
         self._executor = Executor(self.tables, compiled=compiled_execution)
         self.queries_executed = 0
+        #: LRU prepared-statement cache, keyed by SQL text.
+        self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self.statement_cache_size = statement_cache_size
+        self.statement_cache = StatementCacheStats()
+        #: bumped on DDL; prepared plans built before a bump are discarded.
+        self.schema_generation = 0
+        #: bumped on analyze()/set_table_statistics; invalidates estimates.
+        self.stats_generation = 0
 
     # -- DDL / DML -------------------------------------------------------
 
@@ -96,6 +431,12 @@ class Database:
         self.schema.add(schema)
         table = Table(schema)
         self.tables[name] = table
+        # DDL: plans compiled against the old schema may now resolve
+        # differently (and their fast-path analysis is stale), so the whole
+        # statement cache is dropped.
+        self.schema_generation += 1
+        self.stats_generation += 1
+        self.invalidate_statements()
         return table
 
     def insert(self, table: str, rows: Iterable[Row]) -> int:
@@ -112,23 +453,61 @@ class Database:
             ) from None
 
     def analyze(self) -> None:
-        """Refresh catalog statistics from current table contents."""
+        """Refresh catalog statistics from current table contents.
+
+        Bumps :attr:`stats_generation`, so every cached prepared-statement
+        estimate is recomputed on its next use.
+        """
         self.statistics.refresh(self.tables)
+        self.stats_generation += 1
 
     def set_table_statistics(self, table: str, stats: TableStatistics) -> None:
         """Install statistics explicitly (analytical/full-scale experiments)."""
         self.statistics.set_table_stats(table, stats)
+        self.stats_generation += 1
+
+    # -- statement preparation -------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once and return the cached prepared statement.
+
+        Statements are cached in an LRU keyed by the exact SQL text
+        (capacity :attr:`statement_cache_size`); repeated preparation of the
+        same text is a cache hit and costs two dict operations.  Both SELECT
+        and UPDATE statements are supported — check
+        :attr:`PreparedStatement.is_query` before choosing
+        :meth:`PreparedStatement.execute` or
+        :meth:`PreparedStatement.execute_update`.
+        """
+        statement = self._statements.get(sql)
+        if statement is not None:
+            self._statements.move_to_end(sql)
+            self.statement_cache.hits += 1
+            return statement
+        self.statement_cache.misses += 1
+        if _UPDATE_RE.match(sql):
+            statement = PreparedStatement(self, sql, update=parse_update(sql))
+        else:
+            statement = PreparedStatement(self, sql, plan=parse_sql(sql))
+        self._statements[sql] = statement
+        if len(self._statements) > self.statement_cache_size:
+            self._statements.popitem(last=False)
+            self.statement_cache.evictions += 1
+        return statement
+
+    def invalidate_statements(self) -> None:
+        """Drop every cached prepared statement (DDL, explicit resets)."""
+        if self._statements:
+            self._statements.clear()
+            self.statement_cache.invalidations += 1
 
     # -- query execution -------------------------------------------------
 
     def execute_sql(
         self, sql: str, params: Sequence[Any] = ()
     ) -> QueryResult:
-        """Parse, bind, and execute a SQL SELECT statement."""
-        plan = parse_sql(sql)
-        if count_parameters(plan):
-            plan = bind_parameters(plan, params)
-        return self.execute_plan(plan, sql=sql)
+        """Execute a SQL SELECT statement through the statement cache."""
+        return self.prepare(sql).execute(params)
 
     def execute_plan(
         self, plan: algebra.PlanNode, sql: Optional[str] = None
@@ -140,61 +519,38 @@ class Database:
         return QueryResult(rows=rows, row_width=width, sql=sql or to_sql(plan))
 
     def execute_update_sql(self, sql: str, params: Sequence[Any] = ()) -> int:
-        """Execute a simple UPDATE statement; returns the number of rows changed.
+        """Execute an UPDATE statement; returns the number of rows changed.
 
-        Supported shape: ``update <table> set <col> = <value> [where <col> =
-        <value-or-?>]``.  This is enough for the evaluation programs that
-        interleave updates with queries (Wilos pattern A); richer DML is out
-        of scope for the reproduction.
+        The statement is parsed by :func:`repro.db.sqlparser.parse_update`
+        (and cached like any prepared statement), so multiple SET
+        assignments, expressions over the updated row (``set n = n + 1``),
+        compound WHERE predicates, and positional parameters on both sides
+        all work.  Statements that do not parse keep raising the historical
+        ``unsupported UPDATE statement`` error.
         """
-        import re
-
-        pattern = re.compile(
-            r"^\s*update\s+(?P<table>\w+)\s+set\s+(?P<set_col>\w+)\s*=\s*"
-            r"(?P<set_val>\?|'[^']*'|[\w.-]+)"
-            r"(?:\s+where\s+(?P<where_col>\w+)\s*=\s*"
-            r"(?P<where_val>\?|'[^']*'|[\w.-]+))?\s*$",
-            re.IGNORECASE,
-        )
-        match = pattern.match(sql)
-        if match is None:
+        try:
+            statement = self.prepare(sql)
+        except SQLSyntaxError as exc:
+            raise ValueError(f"unsupported UPDATE statement: {sql!r}") from exc
+        if statement.is_query:
             raise ValueError(f"unsupported UPDATE statement: {sql!r}")
-        params = list(params)
-
-        def resolve(token: str) -> Any:
-            if token == "?":
-                if not params:
-                    raise ValueError("missing parameter for UPDATE statement")
-                return params.pop(0)
-            if token.startswith("'") and token.endswith("'"):
-                return token[1:-1]
-            try:
-                return int(token)
-            except ValueError:
-                try:
-                    return float(token)
-                except ValueError:
-                    return token
-
-        table = self.table(match.group("table"))
-        set_value = resolve(match.group("set_val"))
-        where_col = match.group("where_col")
-        if where_col is None:
-            predicate = lambda row: True  # noqa: E731 - tiny local predicate
-        else:
-            where_value = resolve(match.group("where_val"))
-            predicate = lambda row: row.get(where_col) == where_value  # noqa: E731
-        self.queries_executed += 1
-        return table.update_rows(predicate, {match.group("set_col"): set_value})
+        params = tuple(params)
+        if statement.parameter_count > len(params):
+            raise ValueError("missing parameter for UPDATE statement")
+        return statement.execute_update(params)
 
     # -- estimation ------------------------------------------------------
 
     def estimate_sql(self, sql: str, params: Sequence[Any] = ()) -> QueryEstimate:
-        """Estimate cost-model inputs for a SQL statement."""
-        plan = parse_sql(sql)
-        if count_parameters(plan) and params:
-            plan = bind_parameters(plan, params)
-        return self.estimate_plan(plan)
+        """Estimate cost-model inputs for a SQL statement.
+
+        Routed through the statement cache: the estimate is computed once
+        per prepared plan and revalidated only when statistics or the
+        referenced tables change.  ``params`` are accepted for signature
+        compatibility but do not affect the estimate — selectivity treats a
+        parameter exactly like a bound literal.
+        """
+        return self.prepare(sql).estimate(params)
 
     def estimate_plan(self, plan: algebra.PlanNode) -> QueryEstimate:
         """Estimate cost-model inputs for an algebra plan."""

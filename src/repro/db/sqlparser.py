@@ -1,4 +1,5 @@
-"""A small SQL parser for the SELECT subset used throughout the reproduction.
+"""A small SQL parser for the SELECT/UPDATE subset used throughout the
+reproduction.
 
 Supported grammar (case insensitive keywords)::
 
@@ -9,6 +10,9 @@ Supported grammar (case insensitive keywords)::
     select_item := expression [AS name] | agg '(' ('*' | expression) ')' [AS name]
     table_ref  := name [name]            -- optional alias
     join_clause:= JOIN table_ref ON predicate
+    update    := UPDATE name SET assignment (',' assignment)*
+                 [WHERE predicate]
+    assignment:= column '=' expression
     predicate  := disjunction of conjunctions of comparisons,
                   IS [NOT] NULL, IN (literals), NOT, parentheses
     expression := column | qualified column | literal | '?' parameter |
@@ -16,7 +20,11 @@ Supported grammar (case insensitive keywords)::
 
 The parser produces a relational algebra tree (:mod:`repro.db.algebra`):
 Scan → Join* → Select → Aggregate → Project → Sort → Limit, mirroring SQL
-semantics closely enough for the workloads in the paper.
+semantics closely enough for the workloads in the paper.  UPDATE statements
+parse to :class:`UpdateStatement` — a table name, SET assignments whose
+right-hand sides are full expressions (so ``set visits = visits + 1`` works),
+and an optional WHERE predicate; both sides support positional ``?``
+parameters bound with :func:`bind_update_parameters`.
 """
 
 from __future__ import annotations
@@ -59,6 +67,31 @@ class Parameter(Expression):
 
     def to_sql(self) -> str:
         return "?"
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """A parsed UPDATE statement.
+
+    ``assignments`` maps each target column to the expression producing its
+    new value; expressions may reference columns of the updated row (e.g.
+    ``counter + 1``) and positional parameters.  ``predicate`` is ``None``
+    when the statement has no WHERE clause (every row is updated).
+    """
+
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    predicate: Optional[Expression]
+
+    def to_sql(self) -> str:
+        sets = ", ".join(
+            f"{column} = {expression.to_sql()}"
+            for column, expression in self.assignments
+        )
+        sql = f"update {self.table} set {sets}"
+        if self.predicate is not None:
+            sql += f" where {self.predicate.to_sql()}"
+        return sql
 
 
 # -- tokenizer -----------------------------------------------------------
@@ -185,6 +218,34 @@ class _Parser:
         return self._assemble(
             plan, select_items, predicate, group_by, order_keys, limit
         )
+
+    def parse_update(self) -> UpdateStatement:
+        self._expect_keyword("update")
+        token = self._next()
+        if token.kind != "name" or "." in token.text:
+            raise SQLSyntaxError(f"expected a table name, got {token.text!r}")
+        table = token.text
+        self._expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self._accept_op(","):
+            assignments.append(self._parse_assignment())
+        predicate = None
+        if self._accept_keyword("where"):
+            predicate = self._parse_predicate()
+        if self._peek() is not None:
+            raise SQLSyntaxError(
+                f"unexpected trailing input near {self._peek().text!r}"
+            )
+        return UpdateStatement(table, tuple(assignments), predicate)
+
+    def _parse_assignment(self) -> tuple[str, Expression]:
+        token = self._next()
+        if token.kind != "name" or "." in token.text:
+            raise SQLSyntaxError(
+                f"expected a column name to assign, got {token.text!r}"
+            )
+        self._expect_op("=")
+        return (token.text, self._parse_expression())
 
     # select list
 
@@ -479,6 +540,38 @@ def _default_aggregate_name(call: _AggregateCall, position: int) -> str:
 def parse_sql(sql: str) -> algebra.PlanNode:
     """Parse SQL text into a relational algebra plan."""
     return _Parser(sql).parse()
+
+
+def parse_update(sql: str) -> UpdateStatement:
+    """Parse an UPDATE statement into an :class:`UpdateStatement`."""
+    return _Parser(sql).parse_update()
+
+
+def bind_update_parameters(
+    statement: UpdateStatement, params: Sequence[Any]
+) -> UpdateStatement:
+    """Return a copy of ``statement`` with positional parameters bound."""
+    params = list(params)
+    assignments = tuple(
+        (column, _bind_expr(expression, params))
+        for column, expression in statement.assignments
+    )
+    predicate = (
+        _bind_expr(statement.predicate, params)
+        if statement.predicate is not None
+        else None
+    )
+    return UpdateStatement(statement.table, assignments, predicate)
+
+
+def count_update_parameters(statement: UpdateStatement) -> int:
+    """Number of unbound positional parameters in ``statement``."""
+    count = sum(
+        _count_params(expression) for _, expression in statement.assignments
+    )
+    if statement.predicate is not None:
+        count += _count_params(statement.predicate)
+    return count
 
 
 def bind_parameters(

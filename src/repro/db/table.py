@@ -82,25 +82,33 @@ class Table:
         """Update rows matching ``predicate`` (a callable on a row dict).
 
         ``assignments`` maps column name to either a constant or a callable
-        taking the row and returning the new value.  Returns the number of
-        rows updated.  Used by the application-side programs that contain
+        taking the row and returning the new value.  With multiple
+        assignments, callables are evaluated against the row's *pre-update*
+        snapshot — SQL's simultaneous-assignment semantics, so
+        ``set a = b, b = a`` swaps the two columns instead of reading the
+        value the first assignment just wrote.  Returns the number of rows
+        updated.  Used by the application-side programs that contain
         intermittent updates (Wilos pattern A).
         """
         primary_key = self.schema.primary_key
         updated = 0
         mutated = False
+        needs_snapshot = len(assignments) > 1 and any(
+            callable(value) for value in assignments.values()
+        )
         try:
             for row in self.rows:
                 if not predicate(row):
                     continue
                 old_key = row[primary_key] if primary_key else None
+                source = dict(row) if needs_snapshot else row
                 for column, value in assignments.items():
                     if column not in row:
                         raise SchemaError(
                             f"unknown column {column!r} in update on table "
                             f"{self.schema.name!r}"
                         )
-                    new_value = value(row) if callable(value) else value
+                    new_value = value(source) if callable(value) else value
                     mutated = True
                     row[column] = new_value
                 if (

@@ -8,18 +8,19 @@ optimization took, plus the size of the Region DAG it explored.
 
 from __future__ import annotations
 
-from repro.core.catalog import CostParameters
-from repro.core.optimizer import CobraOptimizer
+from repro.api import Engine
 from repro.experiments.harness import ResultTable
-from repro.net.network import FAST_LOCAL
-from repro.workloads import tpcds
 from repro.workloads.programs import P0_SOURCE
-from repro.workloads.wilos import build_wilos_database
 from repro.workloads.wilos_programs import build_patterns
 
 
 def run_optimization_time(scale: int = 2_000) -> ResultTable:
-    """Measure optimizer wall-clock time for every evaluated program."""
+    """Measure optimizer wall-clock time for every evaluated program.
+
+    Runs entirely through the :class:`repro.api.Engine` facade: one engine
+    per workload database, with cost parameters derived from the fast-local
+    network preset.
+    """
     table = ResultTable(
         title="COBRA optimization time",
         columns=[
@@ -31,13 +32,14 @@ def run_optimization_time(scale: int = 2_000) -> ResultTable:
             "chosen",
         ],
     )
-    parameters = CostParameters.for_network(FAST_LOCAL)
 
-    orders_db = tpcds.build_orders_database(num_orders=1_000, num_customers=500)
-    optimizer = CobraOptimizer(
-        orders_db, parameters, registry=tpcds.build_registry()
+    orders_engine = (
+        Engine.builder()
+        .orders_workload(num_orders=1_000, num_customers=500)
+        .network("fast-local")
+        .build()
     )
-    result = optimizer.optimize(P0_SOURCE)
+    result = orders_engine.optimize(P0_SOURCE)
     table.add_row(
         "processOrders (P0)",
         result.optimization_seconds,
@@ -47,10 +49,11 @@ def run_optimization_time(scale: int = 2_000) -> ResultTable:
         result.primary_choice(),
     )
 
-    wilos_db = build_wilos_database(scale=scale)
+    wilos_engine = (
+        Engine.builder().wilos_workload(scale=scale).network("fast-local").build()
+    )
     for pattern_id, pattern in build_patterns().items():
-        pattern_optimizer = CobraOptimizer(wilos_db, parameters)
-        pattern_result = pattern_optimizer.optimize(
+        pattern_result = wilos_engine.optimize(
             pattern.source, function_name=pattern.function_name
         )
         table.add_row(

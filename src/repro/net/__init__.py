@@ -10,15 +10,24 @@ deterministic simulator:
   with the paper's two presets,
 * :class:`repro.net.connection.SimulatedConnection` — a JDBC-like connection
   that executes queries against the in-memory database and charges round-trip,
-  server, and transfer time to the virtual clock.
+  server, and transfer time to the virtual clock, with a PEP 249-shaped
+  :class:`repro.net.connection.Cursor` and an engine-level
+  prepared-statement path.
 """
 
 from repro.net.clock import VirtualClock
-from repro.net.connection import ConnectionStats, SimulatedConnection
+from repro.net.connection import (
+    ConnectionStats,
+    Cursor,
+    CursorError,
+    SimulatedConnection,
+)
 from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
 
 __all__ = [
     "ConnectionStats",
+    "Cursor",
+    "CursorError",
     "FAST_LOCAL",
     "NetworkConditions",
     "SLOW_REMOTE",

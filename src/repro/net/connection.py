@@ -10,14 +10,28 @@ network transfer or remaining server work dominates (they overlap because the
 server streams results).  The connection also tracks per-run statistics
 (queries issued, rows and bytes transferred) so experiments can report the
 N+1-select behaviour directly.
+
+The connection speaks the database's prepared-statement protocol:
+``execute_query`` prepares (or re-uses) one
+:class:`repro.db.database.PreparedStatement` per SQL text, so a statement is
+parsed once and its cost estimate is computed once, no matter how many times
+it runs — previously every call parsed the text twice (once to execute, once
+to estimate).  Point lookups (:meth:`execute_lookup`, the ORM's lazy-load
+shape) additionally cache the prepared statement per ``(table, key_column)``
+so the hot N+1 path never rebuilds SQL strings at all.
+
+A PEP 249-shaped driver surface is provided by :meth:`cursor`:
+``execute`` / ``executemany`` / ``fetchone`` / ``fetchmany`` / ``fetchall``
+with ``description`` and ``rowcount``, dispatching SELECT and UPDATE
+statements automatically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
-from repro.db.database import Database, QueryResult
+from repro.db.database import Database, PreparedStatement, QueryResult
 from repro.net.clock import VirtualClock
 from repro.net.network import NetworkConditions
 
@@ -42,6 +56,160 @@ class ConnectionStats:
         self.server_time = 0.0
 
 
+class CursorError(Exception):
+    """Raised on misuse of a :class:`Cursor` (closed, no result set)."""
+
+
+class Cursor:
+    """A PEP 249-shaped cursor over a :class:`SimulatedConnection`.
+
+    SELECT statements populate the result set (``fetchone`` / ``fetchmany``
+    / ``fetchall``, iteration) and ``description``; UPDATE statements set
+    ``rowcount`` and leave the result set empty.  Statements are routed
+    through the engine-level prepared-statement cache, so driving the same
+    query shape repeatedly parses it once.
+    """
+
+    def __init__(self, connection: "SimulatedConnection") -> None:
+        self.connection = connection
+        self.arraysize = 1
+        #: column metadata of the last SELECT: 7-item tuples per PEP 249
+        #: (only the name slot is populated by this driver).
+        self.description: Optional[list[tuple]] = None
+        self.rowcount = -1
+        self._rows: Optional[list[dict]] = None
+        self._index = 0
+        self._closed = False
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        """Prepare (or re-use) and execute one SQL statement."""
+        self._check_open()
+        return self.execute_prepared(self.connection.prepare(sql), params)
+
+    def execute_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> "Cursor":
+        """Execute an already-prepared statement through this cursor."""
+        self._check_open()
+        if statement.is_query:
+            result = self.connection.execute_prepared(statement, tuple(params))
+            self._rows = result.rows
+            self._index = 0
+            self.rowcount = result.cardinality
+            self.description = self._describe(result, statement)
+        else:
+            changed = self.connection.execute_update_prepared(
+                statement, tuple(params)
+            )
+            self._rows = None
+            self._index = 0
+            self.rowcount = changed
+            self.description = None
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+    ) -> "Cursor":
+        """Execute the statement once per parameter tuple.
+
+        The statement is prepared a single time.  For UPDATE statements
+        ``rowcount`` accumulates the total rows changed; for SELECTs the
+        result set of the *last* execution is retained.
+        """
+        self._check_open()
+        statement = self.connection.prepare(sql)
+        total_changed = 0
+        ran = False
+        for params in seq_of_params:
+            self.execute_prepared(statement, params)
+            ran = True
+            if not statement.is_query:
+                total_changed += self.rowcount
+        if not statement.is_query:
+            self.rowcount = total_changed if ran else 0
+        return self
+
+    # -- fetching --------------------------------------------------------
+
+    def fetchone(self) -> Optional[dict]:
+        """Next row of the result set, or ``None`` when exhausted."""
+        rows = self._result_set()
+        if self._index >= len(rows):
+            return None
+        row = rows[self._index]
+        self._index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[dict]:
+        """The next ``size`` rows (default :attr:`arraysize`)."""
+        rows = self._result_set()
+        if size is None:
+            size = self.arraysize
+        chunk = rows[self._index : self._index + size]
+        self._index += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[dict]:
+        """Every remaining row of the result set."""
+        rows = self._result_set()
+        chunk = rows[self._index :]
+        self._index = len(rows)
+        return chunk
+
+    def __iter__(self) -> Iterator[dict]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the result set; subsequent operations raise."""
+        self._closed = True
+        self._rows = None
+        self.description = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CursorError("cursor is closed")
+
+    def _result_set(self) -> list[dict]:
+        self._check_open()
+        if self._rows is None:
+            raise CursorError("no result set: execute a SELECT first")
+        return self._rows
+
+    @staticmethod
+    def _describe(
+        result: QueryResult, statement: PreparedStatement
+    ) -> Optional[list[tuple]]:
+        """Column metadata: from the first row, else from the prepared plan.
+
+        The plan-derived fallback keeps ``description`` populated for
+        SELECTs that match no rows; it is ``None`` only for empty results
+        of plan shapes whose output layout is execution-dependent (joins).
+        """
+        if result.rows:
+            names = list(result.rows[0])
+        else:
+            names = statement.output_columns()
+            if names is None:
+                return None
+        return [(name, None, None, None, None, None, None) for name in names]
+
+
 class SimulatedConnection:
     """Executes SQL against a :class:`Database` over a simulated network."""
 
@@ -55,6 +223,18 @@ class SimulatedConnection:
         self.network = network
         self.clock = clock or VirtualClock()
         self.stats = ConnectionStats()
+        #: (table, key_column) -> prepared point-lookup statement.
+        self._lookup_statements: dict[tuple[str, str], PreparedStatement] = {}
+
+    # -- statement preparation -------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare ``sql`` through the database's statement cache."""
+        return self.database.prepare(sql)
+
+    def cursor(self) -> Cursor:
+        """A new PEP 249-shaped cursor over this connection."""
+        return Cursor(self)
 
     # -- query execution -------------------------------------------------
 
@@ -62,8 +242,20 @@ class SimulatedConnection:
         self, sql: str, params: Sequence[Any] = ()
     ) -> QueryResult:
         """Execute a SELECT and charge round trip + server + transfer time."""
-        result = self.database.execute_sql(sql, params)
-        estimate = self.database.estimate_sql(sql, params)
+        return self.execute_prepared(self.database.prepare(sql), params)
+
+    def execute_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """Execute a prepared SELECT with full network cost accounting.
+
+        One prepared plan serves both execution and cost estimation, so the
+        statement text is parsed exactly once over the statement's lifetime
+        (the pre-prepared-statement driver parsed every call twice: once to
+        execute, once to estimate).
+        """
+        result = statement.execute(params)
+        estimate = statement.estimate(params)
         # Use the actual cardinality for transfer accounting but the
         # optimizer estimate for server-side time (first/last row).
         transfer_time = self.network.transfer_time(result.byte_size)
@@ -81,24 +273,57 @@ class SimulatedConnection:
     def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Execute an UPDATE over the network (one round trip, tiny payload)."""
         changed = self.database.execute_update_sql(sql, params)
-        self.clock.advance(self.network.round_trip_seconds)
-        self.stats.queries += 1
-        self.stats.round_trips += 1
-        self.stats.network_time += self.network.round_trip_seconds
+        self._charge_update()
+        return changed
+
+    def execute_update_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> int:
+        """Execute a prepared UPDATE over the network."""
+        changed = statement.execute_update(params)
+        self._charge_update()
         return changed
 
     def execute_lookup(
         self, table: str, key_column: str, key_value: Any
     ) -> QueryResult:
-        """Point lookup helper: ``SELECT * FROM table WHERE key_column = ?``.
+        """Point lookup: ``SELECT * FROM table WHERE key_column = ?``.
 
         This is the query shape the ORM issues for lazy loads, i.e. the N+1
-        select pattern.
+        select pattern.  The prepared statement is cached per
+        ``(table, key_column)``, so the hot loop performs no SQL string
+        building and no statement-cache text lookup.
         """
-        sql = f"select * from {table} where {key_column} = ?"
-        return self.execute_query(sql, (key_value,))
+        statement = self.lookup_statement(table, key_column)
+        return self.execute_prepared(statement, (key_value,))
+
+    def lookup_statement(
+        self, table: str, key_column: str
+    ) -> PreparedStatement:
+        """The cached prepared point-lookup statement for one (table, column).
+
+        Statements prepared before a DDL change (``create_table``) are
+        re-prepared, because their plan analysis may be stale.
+        """
+        key = (table, key_column)
+        statement = self._lookup_statements.get(key)
+        if (
+            statement is None
+            or statement.schema_generation != self.database.schema_generation
+        ):
+            statement = self.database.prepare(
+                f"select * from {table} where {key_column} = ?"
+            )
+            self._lookup_statements[key] = statement
+        return statement
 
     # -- bookkeeping -----------------------------------------------------
+
+    def _charge_update(self) -> None:
+        self.clock.advance(self.network.round_trip_seconds)
+        self.stats.queries += 1
+        self.stats.round_trips += 1
+        self.stats.network_time += self.network.round_trip_seconds
 
     def _record(
         self, result: QueryResult, transfer_time: float, server_time: float

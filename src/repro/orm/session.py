@@ -7,6 +7,12 @@ issues a point-lookup query over the connection — this is exactly the N+1
 select behaviour of program P0 in the paper.  Once loaded, the row is cached
 by primary key, which is what makes P0 competitive with P1 on a fast local
 network at high Order cardinality (Experiment 2's observation).
+
+Both :meth:`Session.get` and the lazy-load path go through the connection's
+prepared point-lookup protocol (:meth:`SimulatedConnection.execute_lookup`):
+one :class:`repro.db.database.PreparedStatement` per ``(table, key_column)``
+serves every lookup, so the N+1 loop parses and estimates its query shape
+once instead of rebuilding and re-parsing SQL text per iteration.
 """
 
 from __future__ import annotations

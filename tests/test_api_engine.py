@@ -1,0 +1,150 @@
+"""The `repro.api` facade: EngineBuilder wiring, Engine services, connect()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Engine, EngineConfigError, connect
+from repro.core.catalog import catalog_for_network
+from repro.core.optimizer import CobraOptimizer
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+from repro.workloads import tpcds
+from repro.workloads.programs import P0_SOURCE
+
+
+@pytest.fixture(scope="module")
+def orders_engine() -> Engine:
+    return (
+        Engine.builder()
+        .orders_workload(num_orders=300, num_customers=60)
+        .network("slow-remote")
+        .build()
+    )
+
+
+class TestEngineBuilder:
+    def test_builder_is_fluent(self):
+        builder = Engine.builder()
+        assert builder.network("fast-local") is builder
+        assert builder.amortization(2.0) is builder
+
+    def test_orders_workload_wires_database_and_registry(self, orders_engine):
+        assert "orders" in orders_engine.database.tables
+        assert "customer" in orders_engine.database.tables
+        assert orders_engine.registry is not None
+        assert orders_engine.registry.entity("Order").table == "orders"
+
+    def test_network_preset_resolution(self, orders_engine):
+        assert orders_engine.network == SLOW_REMOTE
+
+    def test_parameters_derived_from_network(self, orders_engine):
+        assert orders_engine.parameters == catalog_for_network("slow-remote")
+
+    def test_explicit_parameters_override_network(self):
+        fast = catalog_for_network("fast-local")
+        engine = (
+            Engine.builder()
+            .network("slow-remote")
+            .cost_parameters(fast)
+            .build()
+        )
+        assert engine.parameters == fast
+
+    def test_amortization_applied(self):
+        engine = Engine.builder().network("fast-local").amortization(4.0).build()
+        assert engine.parameters.amortization_factor == 4.0
+
+    def test_unknown_network_preset_raises(self):
+        with pytest.raises(EngineConfigError, match="unknown network preset"):
+            Engine.builder().network("warp-speed").build()
+
+    def test_wilos_workload(self):
+        engine = Engine.builder().wilos_workload(scale=60).build()
+        assert "activity" in engine.database.tables
+
+    def test_default_build_is_empty_database(self):
+        engine = Engine.builder().build()
+        assert engine.database.tables == {}
+        assert engine.network == FAST_LOCAL
+
+
+class TestEngineServices:
+    def test_cursor_round_trip(self, orders_engine):
+        with orders_engine.cursor() as cursor:
+            cursor.execute("select * from orders where o_id = ?", (7,))
+            row = cursor.fetchone()
+        assert row["o_id"] == 7
+
+    def test_connections_share_the_statement_cache(self, orders_engine):
+        first = orders_engine.connect()
+        second = orders_engine.connect()
+        sql = "select * from orders where o_id = ?"
+        first.execute_query(sql, (1,))
+        second.execute_query(sql, (2,))
+        assert orders_engine.statement_cache_stats.hits >= 1
+
+    def test_connect_returns_independent_clocks(self, orders_engine):
+        first = orders_engine.connect()
+        second = orders_engine.connect()
+        first.execute_query("select * from customer")
+        assert first.elapsed > 0
+        assert second.elapsed == 0
+
+    def test_session_lazy_load(self, orders_engine):
+        session = orders_engine.session()
+        order = session.get("Order", 5)
+        assert order is not None
+        assert order.customer.entity_name == "Customer"
+
+    def test_runtime_measures_programs(self, orders_engine):
+        runtime = orders_engine.runtime()
+        measurement = runtime.measure(
+            lambda rt: len(rt.execute_query("select * from customer"))
+        )
+        assert measurement.result == 60
+        assert measurement.queries == 1
+
+    def test_prepare_exposes_prepared_statement(self, orders_engine):
+        statement = orders_engine.prepare("select * from customer")
+        assert statement.is_query
+        assert statement is orders_engine.prepare("select * from customer")
+
+
+class TestEngineOptimize:
+    def test_optimize_matches_direct_optimizer(self):
+        database = tpcds.build_orders_database(200, 40)
+        registry = tpcds.build_registry()
+        engine = connect(
+            database=database, network="slow-remote", registry=registry
+        )
+        via_engine = engine.optimize(P0_SOURCE)
+        direct = CobraOptimizer(
+            database, catalog_for_network("slow-remote"), registry=registry
+        ).optimize(P0_SOURCE)
+        assert via_engine.primary_choice() == direct.primary_choice()
+        assert via_engine.best_cost == pytest.approx(direct.best_cost)
+
+    def test_optimizer_overrides_pass_through(self, orders_engine):
+        optimizer = orders_engine.optimizer(max_passes=2)
+        assert optimizer.max_passes == 2
+        assert optimizer.registry is orders_engine.registry
+
+    def test_heuristic_rewrite(self, orders_engine):
+        outcome = orders_engine.heuristic_rewrite(P0_SOURCE)
+        assert outcome.rewritten_source
+
+
+class TestConnect:
+    def test_connect_defaults(self):
+        engine = connect()
+        assert engine.network == FAST_LOCAL
+        assert isinstance(engine.database, Database)
+
+    def test_connect_with_existing_database(self):
+        database = Database()
+        database.create_table("t", [Column("a", ColumnType.INT)])
+        engine = connect(database=database, network=SLOW_REMOTE)
+        assert engine.database is database
+        assert engine.network == SLOW_REMOTE

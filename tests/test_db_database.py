@@ -84,9 +84,53 @@ class TestUpdates:
         )
         assert changed == 1
 
+    def test_update_with_row_expression(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update employee set salary = salary + 1 where emp_id = 1"
+        )
+        assert changed == 1
+        row = simple_database.execute_sql(
+            "select * from employee where emp_id = 1"
+        ).rows[0]
+        assert row["salary"] == 91.0
+
+    def test_update_with_multiple_assignments(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update employee set salary = ?, age = age + ? where emp_id = ?",
+            (70, 2, 2),
+        )
+        assert changed == 1
+        row = simple_database.execute_sql(
+            "select * from employee where emp_id = 2"
+        ).rows[0]
+        assert row["salary"] == 70
+
+    def test_update_assignments_are_simultaneous(self, simple_database):
+        # SQL semantics: both right-hand sides read the pre-update row, so
+        # this swaps the two columns.
+        changed = simple_database.execute_update_sql(
+            "update employee set salary = age, age = salary where emp_id = 1"
+        )
+        assert changed == 1
+        row = simple_database.execute_sql(
+            "select * from employee where emp_id = 1"
+        ).rows[0]
+        assert row["salary"] == 31
+        assert row["age"] == 90.0
+
+    def test_update_with_compound_where(self, simple_database):
+        changed = simple_database.execute_update_sql(
+            "update employee set salary = 0 where salary > 0 and age > 200"
+        )
+        assert changed == 0
+
     def test_unsupported_update_raises(self, simple_database):
         with pytest.raises(ValueError, match="unsupported UPDATE"):
-            simple_database.execute_update_sql("update t set a = a + 1")
+            simple_database.execute_update_sql("update t set a =")
+
+    def test_non_update_statement_raises(self, simple_database):
+        with pytest.raises(ValueError, match="unsupported UPDATE"):
+            simple_database.execute_update_sql("select * from employee")
 
     def test_missing_parameter_raises(self, simple_database):
         with pytest.raises(ValueError, match="missing parameter"):
