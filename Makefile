@@ -1,8 +1,13 @@
-.PHONY: test bench bench-suite bench-smoke ci
+.PHONY: test test-async bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
 	python -m pytest -x -q
+
+# The async / pipelined client-path suites on their own (fast feedback).
+test-async:
+	python -m pytest tests/test_aio.py tests/test_pipeline.py \
+		tests/test_param_slots.py -q
 
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
@@ -12,11 +17,13 @@ bench:
 bench-suite:
 	python -m pytest benchmarks/ -q
 
-# Scaled-down benchmark run used by CI; does not overwrite BENCH_engine.json.
+# Scaled-down benchmark run used by CI (covers the pipelined-executemany and
+# async-concurrent-clients benches); does not overwrite BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null
 	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
 
-# What CI runs: the full test suite plus a benchmark smoke run.
-ci: test bench-smoke
+# What CI runs: the full test suite (includes the async/pipeline suites)
+# plus a benchmark smoke run.
+ci: test test-async bench-smoke

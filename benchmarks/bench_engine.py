@@ -17,6 +17,19 @@ benchmark families are timed:
   estimate cached, index-backed execution).  Result equality between the two
   paths is asserted.
 
+* **Pipelined executemany** — a 1 000-tuple parameterized ``executemany``
+  over the slow-remote network, once through the per-tuple client path (one
+  ``SimulatedNetwork`` round trip per tuple, the pre-pipeline driver) and
+  once through the pipelined cursor (the whole batch in ONE round trip).
+  Reported in *virtual* seconds — the deterministic network-model time the
+  paper's cost formulas price — alongside wall-clock; result equality
+  between the two paths is asserted.
+
+* **Async concurrent clients** — N asyncio clients each replaying point
+  lookups on the slow-remote network, once strictly sequentially and once
+  concurrently through ``repro.api.aio`` (overlapping in-flight requests on
+  the shared clock pay max-latency, not sum-latency).
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
@@ -254,6 +267,148 @@ def bench_prepared_point_lookup(rows: int) -> dict:
     }
 
 
+#: Parameter tuples per executemany batch in the pipelining benchmark.
+BATCH_TUPLES = 1_000
+
+
+def bench_pipelined_executemany(rows: int) -> dict:
+    """1k-tuple parameterized executemany: per-tuple round trips vs pipeline.
+
+    The *per-tuple* runner reproduces the pre-pipeline driver exactly: the
+    statement is prepared once but every parameter tuple pays its own
+    network round trip.  The *pipelined* runner is today's
+    ``Cursor.executemany``: the same tuples ship as one batch in a single
+    round trip (``NetworkConditions.pipelined_time``).  Both run on the
+    paper's slow-remote network; the headline number is the **virtual-time**
+    speedup, with wall-clock recorded alongside.
+    """
+    from repro.net.connection import SimulatedConnection
+    from repro.net.network import SLOW_REMOTE
+
+    database = build_benchmark_database(rows)
+    customers = max(rows // 10, 1)
+    sql = "select * from customers where c_id = ?"
+    tuples = [((i * 7919) % customers,) for i in range(BATCH_TUPLES)]
+
+    per_tuple_conn = SimulatedConnection(database, SLOW_REMOTE)
+    statement = per_tuple_conn.prepare(sql)
+
+    def per_tuple() -> list:
+        per_tuple_conn.reset()
+        cursor = per_tuple_conn.cursor()
+        last = None
+        for params in tuples:
+            last = cursor.execute_prepared(statement, params).fetchall()
+        return last
+
+    pipelined_conn = SimulatedConnection(database, SLOW_REMOTE)
+
+    def pipelined() -> list:
+        pipelined_conn.reset()
+        cursor = pipelined_conn.cursor()
+        cursor.executemany(sql, tuples)
+        return cursor.fetchall()
+
+    if per_tuple() != pipelined():
+        raise AssertionError(
+            "pipelined and per-tuple executemany results differ"
+        )
+    per_tuple_wall = _best_time(per_tuple)
+    per_tuple_virtual = per_tuple_conn.elapsed
+    per_tuple_trips = per_tuple_conn.stats.round_trips
+    pipelined_wall = _best_time(pipelined)
+    pipelined_virtual = pipelined_conn.elapsed
+    pipelined_trips = pipelined_conn.stats.round_trips
+    return {
+        "tuples": len(tuples),
+        "network": SLOW_REMOTE.name,
+        "per_tuple_round_trips": per_tuple_trips,
+        "pipelined_round_trips": pipelined_trips,
+        "per_tuple_virtual_seconds": per_tuple_virtual,
+        "pipelined_virtual_seconds": pipelined_virtual,
+        "virtual_speedup": (
+            per_tuple_virtual / pipelined_virtual if pipelined_virtual else None
+        ),
+        "per_tuple_wall_seconds": per_tuple_wall,
+        "pipelined_wall_seconds": pipelined_wall,
+        "wall_speedup": (
+            per_tuple_wall / pipelined_wall if pipelined_wall else None
+        ),
+    }
+
+
+#: Concurrent clients / lookups per client in the async benchmark.
+ASYNC_CLIENTS = 8
+ASYNC_LOOKUPS = 25
+
+
+def bench_async_concurrent_clients(rows: int) -> dict:
+    """N clients x K point lookups: sequential vs overlapping async clients.
+
+    Sequential execution charges each client's round trips back to back;
+    the async engine's shared clock lets the N clients' in-flight requests
+    overlap, so the fleet pays roughly one client's latency.  Virtual time
+    is the headline (deterministic); wall-clock covers the asyncio harness
+    overhead.
+    """
+    import asyncio
+
+    from repro.api import connect
+    from repro.net.network import SLOW_REMOTE
+
+    database = build_benchmark_database(rows)
+    customers = max(rows // 10, 1)
+    engine = connect(database=database, network=SLOW_REMOTE)
+    sql = "select * from customers where c_id = ?"
+    keys = [(i * 7919) % customers for i in range(ASYNC_LOOKUPS)]
+
+    def sequential() -> float:
+        connections = [engine.connect() for _ in range(ASYNC_CLIENTS)]
+        statement = engine.prepare(sql)
+        for connection in connections:
+            for key in keys:
+                connection.execute_prepared(statement, (key,))
+        return sum(connection.elapsed for connection in connections)
+
+    def concurrent() -> float:
+        aengine = engine.aio()
+
+        async def client(connection) -> None:
+            statement = engine.prepare(sql)
+            for key in keys:
+                await connection.execute_prepared(statement, (key,))
+
+        async def fleet() -> None:
+            connections = [aengine.connect() for _ in range(ASYNC_CLIENTS)]
+            await asyncio.gather(
+                *[client(connection) for connection in connections]
+            )
+
+        asyncio.run(fleet())
+        return aengine.elapsed
+
+    started = time.perf_counter()
+    sequential_virtual = sequential()
+    sequential_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    concurrent_virtual = concurrent()
+    concurrent_wall = time.perf_counter() - started
+    return {
+        "clients": ASYNC_CLIENTS,
+        "lookups_per_client": ASYNC_LOOKUPS,
+        "network": SLOW_REMOTE.name,
+        "sequential_virtual_seconds": sequential_virtual,
+        "concurrent_virtual_seconds": concurrent_virtual,
+        "overlap_speedup": (
+            sequential_virtual / concurrent_virtual
+            if concurrent_virtual
+            else None
+        ),
+        "sequential_wall_seconds": sequential_wall,
+        "concurrent_wall_seconds": concurrent_wall,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -293,6 +448,8 @@ def main() -> dict:
         "rows": rows,
         "executor": bench_executor(rows),
         "prepared_point_lookup": bench_prepared_point_lookup(rows),
+        "pipelined_executemany": bench_pipelined_executemany(rows),
+        "async_concurrent_clients": bench_async_concurrent_clients(rows),
         "optimizer": bench_optimizer(),
     }
     report["harness_seconds"] = time.perf_counter() - started

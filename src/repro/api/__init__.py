@@ -6,16 +6,37 @@ and the CLI use to stand up a complete environment:
 * :class:`Engine` — the facade bundling database, network profile, ORM
   mapping registry, and COBRA cost parameters;
 * :class:`EngineBuilder` (via ``Engine.builder()``) — fluent construction;
-* :func:`connect` — one-call construction, DBAPI style.
+* :func:`connect` — one-call construction, DBAPI style;
+* :class:`AsyncEngine` / :class:`AsyncConnection` / :class:`AsyncCursor`
+  (:mod:`repro.api.aio`, or ``engine.aio()``) — asyncio sessions whose
+  in-flight requests overlap on a shared virtual clock, with pipelined
+  batches (one round trip for many statements).
 
 See ``examples/quickstart.py`` for an end-to-end walk-through.
 """
 
-from repro.api.engine import Engine, EngineBuilder, EngineConfigError, connect
+from repro.api.aio import (
+    AsyncConnection,
+    AsyncCursor,
+    AsyncEngine,
+    AsyncPipeline,
+)
+from repro.api.engine import (
+    Engine,
+    EngineBuilder,
+    EngineClosedError,
+    EngineConfigError,
+    connect,
+)
 
 __all__ = [
+    "AsyncConnection",
+    "AsyncCursor",
+    "AsyncEngine",
+    "AsyncPipeline",
     "Engine",
     "EngineBuilder",
+    "EngineClosedError",
     "EngineConfigError",
     "connect",
 ]

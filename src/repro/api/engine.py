@@ -34,7 +34,7 @@ share the same server, exactly like clients of a real database.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.appsim.runtime import DEFAULT_STATEMENT_COST, AppRuntime
 from repro.core.catalog import catalog_for_network, load_catalog
@@ -42,14 +42,22 @@ from repro.core.cost_model import CostParameters
 from repro.core.heuristic import HeuristicOptimizer, HeuristicResult
 from repro.core.optimizer import CobraOptimizer, OptimizationResult
 from repro.db.database import Database, PreparedStatement, StatementCacheStats
-from repro.net.connection import Cursor, SimulatedConnection
+from repro.net.clock import VirtualClock
+from repro.net.connection import ConnectionStats, Cursor, SimulatedConnection
 from repro.net.network import PRESETS, NetworkConditions
 from repro.orm.mapping import MappingRegistry
 from repro.orm.session import Session
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.aio import AsyncEngine
+
 
 class EngineConfigError(Exception):
     """Raised when an engine is configured inconsistently."""
+
+
+class EngineClosedError(Exception):
+    """Raised when a closed :class:`Engine` is asked for new resources."""
 
 
 def _resolve_network(
@@ -213,6 +221,13 @@ class Engine:
         self._region_rules = region_rules
         self._fir_rules = fir_rules
         self._connection: Optional[SimulatedConnection] = None
+        #: open connections handed out by this engine (closed on close());
+        #: individually-closed ones are pruned on the next connect, their
+        #: counters folded into _retired_stats so stats() stays complete.
+        self._connections: list[SimulatedConnection] = []
+        self._retired_stats = ConnectionStats()
+        self._total_connections = 0
+        self._closed = False
 
     @staticmethod
     def builder() -> EngineBuilder:
@@ -228,9 +243,44 @@ class Engine:
             self._connection = self.connect()
         return self._connection
 
-    def connect(self) -> SimulatedConnection:
-        """A new connection with its own virtual clock and statistics."""
-        return SimulatedConnection(self.database, self.network)
+    def connect(self, clock: Optional["VirtualClock"] = None) -> SimulatedConnection:
+        """A new connection with its own virtual clock and statistics.
+
+        Pass ``clock`` to share a clock between connections (the async
+        engine does this so in-flight requests of different connections can
+        overlap).  Connections are tracked and closed by
+        :meth:`Engine.close`.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        self._prune_closed()
+        connection = SimulatedConnection(self.database, self.network, clock=clock)
+        self._connections.append(connection)
+        self._total_connections += 1
+        return connection
+
+    def _prune_closed(self) -> None:
+        """Fold individually-closed connections into the retired totals.
+
+        Keeps a long-lived engine bounded under connection churn (one
+        short-lived connection per request) without losing their counters
+        from :meth:`stats`.
+        """
+        live: list[SimulatedConnection] = []
+        retired = self._retired_stats
+        for connection in self._connections:
+            if connection.closed:
+                stats = connection.stats
+                retired.queries += stats.queries
+                retired.round_trips += stats.round_trips
+                retired.batches += stats.batches
+                retired.rows_transferred += stats.rows_transferred
+                retired.bytes_transferred += stats.bytes_transferred
+                retired.network_time += stats.network_time
+                retired.server_time += stats.server_time
+            else:
+                live.append(connection)
+        self._connections = live
 
     def cursor(self) -> Cursor:
         """A DBAPI-style cursor over the shared default connection."""
@@ -238,12 +288,102 @@ class Engine:
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Prepare a statement in the engine-level statement cache."""
+        if self._closed:
+            raise EngineClosedError("engine is closed")
         return self.database.prepare(sql)
+
+    def aio(self, clock: Optional["VirtualClock"] = None) -> "AsyncEngine":
+        """An :class:`repro.api.aio.AsyncEngine` over this engine.
+
+        Connections handed out by the returned async engine share one
+        virtual clock, so concurrent clients pay max-latency rather than
+        sum-latency; the server state (tables, statement cache) remains this
+        engine's.
+        """
+        from repro.api.aio import AsyncEngine
+
+        return AsyncEngine(self, clock=clock)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the engine and every connection it handed out (idempotent).
+
+        The database itself (tables, statistics, statement cache) is left
+        intact — engines are cheap veneers and several may serve one
+        database over its lifetime.
+        """
+        self._closed = True
+        for connection in self._connections:
+            connection.close()
+
+    def __enter__(self) -> "Engine":
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- statistics ------------------------------------------------------
 
     @property
     def statement_cache_stats(self) -> StatementCacheStats:
         """Hit/miss/eviction counters of the statement cache."""
         return self.database.statement_cache
+
+    def stats(self) -> dict:
+        """One aggregated snapshot of engine-level counters.
+
+        Combines the prepared-statement cache counters with the network
+        counters of every connection this engine handed out (including the
+        shared default connection), plus the server-side executed-query
+        count.  Surfaced by ``repro.cli --stats``.
+        """
+        cache = self.database.statement_cache
+        retired = self._retired_stats
+        queries = retired.queries
+        round_trips = retired.round_trips
+        batches = retired.batches
+        rows = retired.rows_transferred
+        transferred = retired.bytes_transferred
+        network_time = retired.network_time
+        server_time = retired.server_time
+        for connection in self._connections:
+            stats = connection.stats
+            queries += stats.queries
+            round_trips += stats.round_trips
+            batches += stats.batches
+            rows += stats.rows_transferred
+            transferred += stats.bytes_transferred
+            network_time += stats.network_time
+            server_time += stats.server_time
+        return {
+            "statement_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+            },
+            "network": {
+                "connections": self._total_connections,
+                "queries": queries,
+                "round_trips": round_trips,
+                "batches": batches,
+                "rows_transferred": rows,
+                "bytes_transferred": transferred,
+                "network_time": network_time,
+                "server_time": server_time,
+            },
+            "database": {
+                "queries_executed": self.database.queries_executed,
+            },
+        }
 
     # -- ORM and application runtime -------------------------------------
 

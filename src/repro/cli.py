@@ -5,7 +5,7 @@ Usage::
     python -m repro.cli optimize PROGRAM.py [--function NAME]
         [--catalog catalog.json | --network slow-remote|fast-local]
         [--amortization AF] [--workload orders|wilos] [--scale N]
-        [--show-alternatives] [--heuristic]
+        [--show-alternatives] [--heuristic] [--stats]
 
     python -m repro.cli experiment fig13a|fig13b|fig13c|fig14|fig15|fig16|opt-time
         [--scale N] [--divisor N]
@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristic",
         action="store_true",
         help="also show the always-push-to-SQL heuristic rewrite",
+    )
+    optimize.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregated engine statistics (statement cache, network)",
     )
 
     experiment = sub.add_parser("experiment", help="run a paper-figure reproduction")
@@ -163,7 +168,23 @@ def run_optimize(args: argparse.Namespace, out) -> int:
         outcome = engine.heuristic_rewrite(source, function_name=args.function)
         print("\nheuristic (always push to SQL) rewrite:", file=out)
         print(outcome.rewritten_source, file=out)
+
+    if args.stats:
+        _print_stats(engine, out)
     return 0
+
+
+def _print_stats(engine: Engine, out) -> None:
+    """Render ``engine.stats()`` as aligned ``group.counter : value`` lines."""
+    print("\nengine statistics:", file=out)
+    stats = engine.stats()
+    for group, counters in stats.items():
+        for name, value in counters.items():
+            if isinstance(value, float):
+                rendered = f"{value:.6f}"
+            else:
+                rendered = str(value)
+            print(f"  {group}.{name:<18}: {rendered}", file=out)
 
 
 def run_experiment(args: argparse.Namespace, out) -> int:

@@ -51,8 +51,8 @@ from repro.db.sqlparser import (
     Parameter,
     SQLSyntaxError,
     UpdateStatement,
-    bind_parameters,
-    bind_update_parameters,
+    bind_parameter_slots,
+    bind_update_slots,
     count_parameters,
     count_update_parameters,
     parse_sql,
@@ -170,6 +170,15 @@ class PreparedStatement:
     execution fast path.  UPDATE statements cache the parsed
     :class:`repro.db.sqlparser.UpdateStatement`.
 
+    Execution is **slot-compiled**: at preparation time every ``?`` in the
+    plan (or UPDATE) is rewritten once into a
+    :class:`repro.db.expressions.ParameterSlot` reading the statement's
+    mutable parameter buffer, so executing with fresh parameters writes the
+    buffer and re-runs the *same* template object — no per-call plan
+    substitution, and the executor's expression-compile caches hit on every
+    execution.  This extends the prepared fast path to arbitrary
+    parameterized statement shapes, not just point lookups.
+
     Cached estimates revalidate lazily against the database's statistics
     generation and the versions of every referenced table, so ``analyze()``
     and insert-driven table mutations are reflected on the next use without
@@ -199,6 +208,28 @@ class PreparedStatement:
         else:
             self.parameter_count = count_update_parameters(update)
             self.tables = (update.table,)
+        #: per-execution parameter buffer read by the slotted template.
+        self._slots: list[Any] = [None] * self.parameter_count
+        if plan is not None:
+            # The execution template: every ? rewritten to a ParameterSlot
+            # reading self._slots.  Built once, so the executor's compile
+            # caches see the *same* plan object on every execution and the
+            # plan is never re-substituted or re-lowered per call.
+            self._exec_plan = (
+                bind_parameter_slots(plan, self._slots)
+                if self.parameter_count
+                else plan
+            )
+            self._exec_update: Optional[UpdateStatement] = None
+        else:
+            self._exec_plan = None
+            self._exec_update = (
+                bind_update_slots(update, self._slots)
+                if self.parameter_count
+                else update
+            )
+        #: compiled UPDATE template: (predicate closure, [(column, value)]).
+        self._compiled_update: Optional[tuple] = None
         self.point_lookup = (
             self._analyze_point_lookup(plan) if plan is not None else None
         )
@@ -220,7 +251,13 @@ class PreparedStatement:
     # -- execution -------------------------------------------------------
 
     def execute(self, params: Sequence[Any] = ()) -> QueryResult:
-        """Execute the prepared query with ``params`` bound positionally."""
+        """Execute the prepared query with ``params`` bound positionally.
+
+        Parameters are written into the statement's slot buffer and the
+        pre-built slotted plan template runs directly: no per-call plan
+        rebuild, and the executor's compile caches hit because the template
+        object is identical across executions.
+        """
         if self.plan is None:
             raise SQLSyntaxError(
                 f"prepared UPDATE cannot be executed as a query: {self.sql!r}"
@@ -236,37 +273,56 @@ class PreparedStatement:
                     return QueryResult(
                         rows=rows, row_width=self.row_width(), sql=self.sql
                     )
-        plan = self.plan
         if self.parameter_count:
-            plan = bind_parameters(plan, params)
-        rows = database._executor.execute(plan)
+            self._bind_slots(params)
+        rows = database._executor.execute(self._exec_plan)
         database.queries_executed += 1
         self.executions += 1
         return QueryResult(rows=rows, row_width=self.row_width(), sql=self.sql)
 
     def execute_update(self, params: Sequence[Any] = ()) -> int:
-        """Execute the prepared UPDATE; returns the number of rows changed."""
+        """Execute the prepared UPDATE; returns the number of rows changed.
+
+        Like queries, prepared UPDATEs are slot-compiled: the predicate and
+        assignment expressions are lowered to closures exactly once over the
+        statement's lifetime, and each execution only writes the parameter
+        buffer.
+        """
         if self.update is None:
             raise SQLSyntaxError(
                 f"prepared query cannot be executed as an UPDATE: {self.sql!r}"
             )
-        statement = self.update
         if self.parameter_count:
-            statement = bind_update_parameters(statement, params)
-        table = self.database.table(statement.table)
-        if statement.predicate is None:
-            predicate = lambda row: True  # noqa: E731 - trivial predicate
-        else:
-            predicate = statement.predicate.compile()
-        assignments: dict[str, Any] = {}
-        for column, expression in statement.assignments:
-            if isinstance(expression, Literal):
-                assignments[column] = expression.value
+            self._bind_slots(params)
+        if self._compiled_update is None:
+            statement = self._exec_update
+            if statement.predicate is None:
+                predicate = lambda row: True  # noqa: E731 - trivial predicate
             else:
-                assignments[column] = expression.compile()
+                predicate = statement.predicate.compile()
+            assignments: dict[str, Any] = {}
+            for column, expression in statement.assignments:
+                if isinstance(expression, Literal):
+                    assignments[column] = expression.value
+                else:
+                    assignments[column] = expression.compile()
+            self._compiled_update = (predicate, assignments)
+        predicate, assignments = self._compiled_update
+        table = self.database.table(self._exec_update.table)
         self.database.queries_executed += 1
         self.executions += 1
         return table.update_rows(predicate, assignments)
+
+    def _bind_slots(self, params: Sequence[Any]) -> None:
+        """Write ``params`` into the slot buffer, validating the count."""
+        count = self.parameter_count
+        if len(params) < count:
+            raise SQLSyntaxError(
+                f"missing value for parameter ?{len(params)}"
+            )
+        slots = self._slots
+        for index in range(count):
+            slots[index] = params[index]
 
     # -- estimation ------------------------------------------------------
 
@@ -433,10 +489,12 @@ class Database:
         self.tables[name] = table
         # DDL: plans compiled against the old schema may now resolve
         # differently (and their fast-path analysis is stale), so the whole
-        # statement cache is dropped.
+        # statement cache is dropped, along with the executor's
+        # resolver-context closures (keyed by table object identity).
         self.schema_generation += 1
         self.stats_generation += 1
         self.invalidate_statements()
+        self._executor.invalidate_context_cache()
         return table
 
     def insert(self, table: str, rows: Iterable[Row]) -> int:

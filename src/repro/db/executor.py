@@ -63,6 +63,11 @@ class ExecutionError(Exception):
     """Raised when a plan cannot be executed."""
 
 
+#: Sentinel cached by :meth:`Executor._context_expr` for expressions that do
+#: not resolve in a given fused context (the generic path takes over).
+_UNRESOLVABLE: CompiledExpression = lambda row: None
+
+
 class Executor:
     """Executes algebra plans against a mapping of table name -> Table."""
 
@@ -79,12 +84,28 @@ class Executor:
         self._compiled = compiled
         #: expression -> compiled closure, reused across queries.
         self._compile_cache: dict[Expression, CompiledExpression] = {}
+        #: (context key, expression) -> closure compiled under a fused
+        #: resolver (scan- or join-layout specific), reused across queries.
+        #: This is what lets a slot-compiled prepared plan re-execute with
+        #: zero compilation work even on the fused paths, which otherwise
+        #: lower their expressions per operator instantiation.
+        self._context_cache: dict[tuple, CompiledExpression] = {}
 
     # -- public API ------------------------------------------------------
 
     def execute(self, plan: algebra.PlanNode) -> list[Row]:
         """Execute ``plan`` and return the output rows as a list of dicts."""
         return list(self._execute(plan))
+
+    def invalidate_context_cache(self) -> None:
+        """Drop every resolver-context compiled closure (call on DDL).
+
+        Context entries are keyed by ``id(table)``; once a table object can
+        be replaced (and eventually garbage collected), a recycled address
+        could otherwise serve closures compiled against the old schema.
+        The schema-independent expression cache is unaffected.
+        """
+        self._context_cache.clear()
 
     # -- dispatch --------------------------------------------------------
 
@@ -121,6 +142,50 @@ class Executor:
                 self._compile_cache.clear()
             self._compile_cache[expression] = cached
         return cached
+
+    def _context_expr(
+        self,
+        context: tuple,
+        expression: Expression,
+        compile_fn: Callable[[Expression], Optional[CompiledExpression]],
+    ) -> Optional[CompiledExpression]:
+        """Memoized compile of ``expression`` under a stable resolver context.
+
+        ``context`` must uniquely describe the resolver the closure was
+        built against (table identities and aliases); table *objects* are
+        keyed by ``id`` because a table's schema is immutable, and the
+        whole cache is dropped on DDL (:meth:`invalidate_context_cache`) so
+        a recycled object address can never serve stale closures.  A
+        ``compile_fn`` returning ``None`` (expression not resolvable in this
+        context) is memoized too, so repeated executions of a fallback shape
+        skip re-deriving the failure.
+        """
+        key = (context, expression)
+        try:
+            cached = self._context_cache.get(key)
+        except TypeError:  # unhashable literal buried in the tree
+            return compile_fn(expression)
+        if cached is None:
+            compiled = compile_fn(expression)
+            cached = _UNRESOLVABLE if compiled is None else compiled
+            if len(self._context_cache) >= self.COMPILE_CACHE_LIMIT:
+                self._context_cache.clear()
+            self._context_cache[key] = cached
+        return None if cached is _UNRESOLVABLE else cached
+
+    def _fused_expr(
+        self, fused: "_FusedScan", expression: Expression
+    ) -> CompiledExpression:
+        """Compile ``expression`` against a fused scan's base-row layout."""
+        compiled = self._context_expr(
+            (id(fused.table), fused.alias), expression, fused.compile
+        )
+        assert compiled is not None  # fused.compile never returns None
+        return compiled
+
+    def _fused_base_rows(self, fused: "_FusedScan") -> Iterator[Row]:
+        """The fused scan's filtered base rows, with memoized predicates."""
+        return fused.base_rows(lambda e: self._fused_expr(fused, e))
 
     def _key_getter(self, column: ColumnRef) -> CompiledExpression:
         """A join-key evaluator that maps unresolvable rows to ``None``."""
@@ -197,7 +262,7 @@ class Executor:
         fused = self._fused_scan(plan)
         if fused is not None:
             # Filter base rows; build the alias view only for survivors.
-            return map(fused.materialize, fused.base_rows())
+            return map(fused.materialize, self._fused_base_rows(fused))
         return filter(self._expr(plan.predicate), self._execute(plan.child))
 
     def _project(self, plan: algebra.Project) -> Iterable[Row]:
@@ -209,11 +274,12 @@ class Executor:
         if fused_scan is not None:
             # Project straight off base rows; no alias views at all.
             outputs = [
-                (o.name, fused_scan.compile(o.expression)) for o in plan.outputs
+                (o.name, self._fused_expr(fused_scan, o.expression))
+                for o in plan.outputs
             ]
             return (
                 {name: evaluate(row) for name, evaluate in outputs}
-                for row in fused_scan.base_rows()
+                for row in self._fused_base_rows(fused_scan)
             )
         outputs = [(o.name, self._expr(o.expression)) for o in plan.outputs]
         return (
@@ -289,7 +355,7 @@ class Executor:
         from its filtered base rows.  An empty probe side never executes or
         builds the right side.
         """
-        probe_rows = left.base_rows()
+        probe_rows = self._fused_base_rows(left)
         first = next(probe_rows, None)
         if first is None:
             return
@@ -299,7 +365,7 @@ class Executor:
         else:
             build_key = operator.itemgetter(build_col.name)
             build: dict[Any, list[Row]] = {}
-            for row in right.base_rows():
+            for row in self._fused_base_rows(right):
                 key = build_key(row)
                 if key is None:
                     continue
@@ -372,26 +438,36 @@ class Executor:
         if parts is None:
             return None
         left, right, probe_col, build_col = parts
-        unresolved = False
+        context = (id(left.table), left.alias, id(right.table), right.alias)
 
-        def pair_resolver(column: ColumnRef) -> Optional[CompiledExpression]:
-            nonlocal unresolved
-            # Prefer the left side: a bare name present on both sides reads
-            # the left value on the merged row (_merge_rows lets left win).
-            if left.owns(column):
-                getter = operator.itemgetter(column.name)
-                return lambda pair: getter(pair[0])
-            if right.owns(column):
-                getter = operator.itemgetter(column.name)
-                return lambda pair: getter(pair[1])
-            unresolved = True
-            return None
+        def compile_pair(expression: Expression) -> Optional[CompiledExpression]:
+            unresolved = False
 
-        outputs = [
-            (o.name, o.expression.compile(pair_resolver)) for o in plan.outputs
-        ]
-        if unresolved:
-            return None
+            def pair_resolver(
+                column: ColumnRef,
+            ) -> Optional[CompiledExpression]:
+                nonlocal unresolved
+                # Prefer the left side: a bare name present on both sides
+                # reads the left value on the merged row (_merge_rows lets
+                # left win).
+                if left.owns(column):
+                    getter = operator.itemgetter(column.name)
+                    return lambda pair: getter(pair[0])
+                if right.owns(column):
+                    getter = operator.itemgetter(column.name)
+                    return lambda pair: getter(pair[1])
+                unresolved = True
+                return None
+
+            compiled = expression.compile(pair_resolver)
+            return None if unresolved else compiled
+
+        outputs = []
+        for o in plan.outputs:
+            compiled = self._context_expr(context, o.expression, compile_pair)
+            if compiled is None:
+                return None
+            outputs.append((o.name, compiled))
         pairs = self._fused_join_pairs(left, right, probe_col, build_col)
         return (
             {name: evaluate(pair) for name, evaluate in outputs}
@@ -509,9 +585,9 @@ class Executor:
         if fused is not None:
             # Group and aggregate straight off base rows; no alias views.
             compile_expr: Callable[[Expression], CompiledExpression] = (
-                fused.compile
+                lambda e: self._fused_expr(fused, e)
             )
-            rows_iter: Iterable[Row] = fused.base_rows()
+            rows_iter: Iterable[Row] = self._fused_base_rows(fused)
         else:
             compile_expr = self._expr
             rows_iter = self._execute(plan.child)
@@ -645,17 +721,23 @@ class _FusedScan:
     def compile(self, expression: Expression) -> CompiledExpression:
         return expression.compile(self.resolver)
 
-    def base_rows(self) -> Iterator[Row]:
+    def base_rows(
+        self,
+        compile_expr: Optional[Callable[[Expression], CompiledExpression]] = None,
+    ) -> Iterator[Row]:
         """The scan's base rows with all peeled predicates applied.
 
         Top-level conjunctions are flattened into one ``filter`` stage per
         conjunct, which preserves left-to-right short-circuit order while
-        keeping the row loop in C.
+        keeping the row loop in C.  ``compile_expr`` lets the executor
+        substitute its memoizing compiler (the default compiles fresh).
         """
+        if compile_expr is None:
+            compile_expr = self.compile
         rows: Iterable[Row] = self.table.rows
         for predicate in self.predicates:
             for conjunct in _flatten_and(predicate):
-                rows = filter(self.compile(conjunct), rows)
+                rows = filter(compile_expr(conjunct), rows)
         return iter(rows)
 
     def materialize(self, base_row: Row) -> Row:

@@ -166,6 +166,45 @@ class ColumnRef(Expression):
         return f"ColumnRef({self.qualified_name!r})"
 
 
+class ParameterSlot(Expression):
+    """A positional parameter compiled against a shared slot buffer.
+
+    Where :class:`repro.db.sqlparser.Parameter` must be substituted with a
+    :class:`Literal` (rebuilding the expression tree) before every execution,
+    a ``ParameterSlot`` reads its value out of a mutable ``slots`` sequence
+    *at evaluation time*.  A prepared statement therefore rewrites its plan
+    template once — every ``?`` becomes a slot bound to the statement's
+    buffer — compiles that template once, and then merely writes fresh values
+    into the buffer per execution.
+
+    Slots deliberately use identity hashing/equality (no ``@dataclass``):
+    each prepared statement owns distinct slot objects, so its rewritten plan
+    stays equal to itself across executions (compile caches keyed on the
+    expression hit every time) while never colliding with another statement's
+    plan.
+    """
+
+    __slots__ = ("index", "slots")
+
+    def __init__(self, index: int, slots: list) -> None:
+        self.index = index
+        self.slots = slots
+
+    def evaluate(self, row: Row) -> Any:
+        return self.slots[self.index]
+
+    def compile(self, resolver: ColumnResolver | None = None) -> CompiledExpression:
+        slots = self.slots
+        index = self.index
+        return lambda row: slots[index]
+
+    def to_sql(self) -> str:
+        return "?"
+
+    def __repr__(self) -> str:
+        return f"ParameterSlot(?{self.index})"
+
+
 _BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "+": operator.add,
     "-": operator.sub,

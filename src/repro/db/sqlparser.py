@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.db import algebra
 from repro.db.expressions import (
@@ -44,6 +44,7 @@ from repro.db.expressions import (
     IsNull,
     Literal,
     Not,
+    ParameterSlot,
     conjunction,
 )
 
@@ -551,13 +552,31 @@ def bind_update_parameters(
     statement: UpdateStatement, params: Sequence[Any]
 ) -> UpdateStatement:
     """Return a copy of ``statement`` with positional parameters bound."""
-    params = list(params)
+    return _transform_update(statement, _literal_replacer(params))
+
+
+def bind_update_slots(
+    statement: UpdateStatement, slots: list
+) -> UpdateStatement:
+    """Rewrite every ``?`` in ``statement`` to read from ``slots``.
+
+    The returned statement is the compile-once template of a prepared
+    UPDATE: its expressions can be compiled a single time and re-executed by
+    writing fresh values into ``slots`` (see
+    :class:`repro.db.expressions.ParameterSlot`).
+    """
+    return _transform_update(statement, _slot_replacer(slots))
+
+
+def _transform_update(
+    statement: UpdateStatement, replace: "Callable[[Parameter], Expression]"
+) -> UpdateStatement:
     assignments = tuple(
-        (column, _bind_expr(expression, params))
+        (column, _transform_expr(expression, replace))
         for column, expression in statement.assignments
     )
     predicate = (
-        _bind_expr(statement.predicate, params)
+        _transform_expr(statement.predicate, replace)
         if statement.predicate is not None
         else None
     )
@@ -578,80 +597,118 @@ def bind_parameters(
     plan: algebra.PlanNode, params: Sequence[Any]
 ) -> algebra.PlanNode:
     """Return a copy of ``plan`` with positional parameters bound to values."""
-    return _bind_node(plan, list(params))
+    return _transform_plan(plan, _literal_replacer(params))
 
 
-def _bind_node(plan: algebra.PlanNode, params: list[Any]) -> algebra.PlanNode:
+def bind_parameter_slots(
+    plan: algebra.PlanNode, slots: list
+) -> algebra.PlanNode:
+    """Rewrite every ``?`` in ``plan`` to read from the mutable ``slots``.
+
+    This produces the compile-once template of a prepared query: the
+    returned plan is a fixed object whose expressions can be lowered a
+    single time, after which each execution merely writes fresh parameter
+    values into ``slots`` (see
+    :class:`repro.db.expressions.ParameterSlot`) — no tree rebuild, no
+    recompilation.
+    """
+    return _transform_plan(plan, _slot_replacer(slots))
+
+
+def _literal_replacer(params: Sequence[Any]):
+    params = list(params)
+
+    def replace(parameter: Parameter) -> Expression:
+        if parameter.index >= len(params):
+            raise SQLSyntaxError(
+                f"missing value for parameter ?{parameter.index}"
+            )
+        return Literal(params[parameter.index])
+
+    return replace
+
+
+def _slot_replacer(slots: list):
+    def replace(parameter: Parameter) -> Expression:
+        return ParameterSlot(parameter.index, slots)
+
+    return replace
+
+
+def _transform_plan(plan: algebra.PlanNode, replace) -> algebra.PlanNode:
     if isinstance(plan, algebra.Scan):
         return plan
     if isinstance(plan, algebra.Select):
         return algebra.Select(
-            _bind_node(plan.child, params), _bind_expr(plan.predicate, params)
+            _transform_plan(plan.child, replace),
+            _transform_expr(plan.predicate, replace),
         )
     if isinstance(plan, algebra.Project):
         outputs = tuple(
-            algebra.OutputColumn(_bind_expr(o.expression, params), o.name)
+            algebra.OutputColumn(_transform_expr(o.expression, replace), o.name)
             for o in plan.outputs
         )
-        return algebra.Project(_bind_node(plan.child, params), outputs)
+        return algebra.Project(_transform_plan(plan.child, replace), outputs)
     if isinstance(plan, algebra.Join):
         condition = (
-            _bind_expr(plan.condition, params)
+            _transform_expr(plan.condition, replace)
             if plan.condition is not None
             else None
         )
         return algebra.Join(
-            _bind_node(plan.left, params),
-            _bind_node(plan.right, params),
+            _transform_plan(plan.left, replace),
+            _transform_plan(plan.right, replace),
             condition,
         )
     if isinstance(plan, algebra.Aggregate):
         aggregates = tuple(
             algebra.AggregateSpec(
                 a.function,
-                _bind_expr(a.argument, params) if a.argument is not None else None,
+                _transform_expr(a.argument, replace)
+                if a.argument is not None
+                else None,
                 a.name,
             )
             for a in plan.aggregates
         )
         return algebra.Aggregate(
-            _bind_node(plan.child, params), plan.group_by, aggregates
+            _transform_plan(plan.child, replace), plan.group_by, aggregates
         )
     if isinstance(plan, algebra.Sort):
-        return algebra.Sort(_bind_node(plan.child, params), plan.keys)
+        return algebra.Sort(_transform_plan(plan.child, replace), plan.keys)
     if isinstance(plan, algebra.Limit):
-        return algebra.Limit(_bind_node(plan.child, params), plan.count)
+        return algebra.Limit(_transform_plan(plan.child, replace), plan.count)
     raise TypeError(f"cannot bind parameters in {type(plan).__name__}")
 
 
-def _bind_expr(expression: Expression, params: list[Any]) -> Expression:
+def _transform_expr(expression: Expression, replace) -> Expression:
     if isinstance(expression, Parameter):
-        if expression.index >= len(params):
-            raise SQLSyntaxError(
-                f"missing value for parameter ?{expression.index}"
-            )
-        return Literal(params[expression.index])
+        return replace(expression)
     if isinstance(expression, BinaryOp):
         return BinaryOp(
             expression.op,
-            _bind_expr(expression.left, params),
-            _bind_expr(expression.right, params),
+            _transform_expr(expression.left, replace),
+            _transform_expr(expression.right, replace),
         )
     if isinstance(expression, BooleanOp):
         return BooleanOp(
             expression.op,
-            tuple(_bind_expr(o, params) for o in expression.operands),
+            tuple(_transform_expr(o, replace) for o in expression.operands),
         )
     if isinstance(expression, Not):
-        return Not(_bind_expr(expression.operand, params))
+        return Not(_transform_expr(expression.operand, replace))
     if isinstance(expression, IsNull):
-        return IsNull(_bind_expr(expression.operand, params), expression.negated)
+        return IsNull(
+            _transform_expr(expression.operand, replace), expression.negated
+        )
     if isinstance(expression, InList):
-        return InList(_bind_expr(expression.operand, params), expression.values)
+        return InList(
+            _transform_expr(expression.operand, replace), expression.values
+        )
     if isinstance(expression, FunctionCall):
         return FunctionCall(
             expression.name,
-            tuple(_bind_expr(a, params) for a in expression.args),
+            tuple(_transform_expr(a, replace) for a in expression.args),
         )
     return expression
 

@@ -17,19 +17,27 @@ deterministic simulator:
 
 from repro.net.clock import VirtualClock
 from repro.net.connection import (
+    ConnectionClosedError,
     ConnectionStats,
     Cursor,
     CursorError,
+    Pipeline,
+    PipelineError,
+    PipelineResult,
     SimulatedConnection,
 )
 from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
 
 __all__ = [
+    "ConnectionClosedError",
     "ConnectionStats",
     "Cursor",
     "CursorError",
     "FAST_LOCAL",
     "NetworkConditions",
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
     "SLOW_REMOTE",
     "SimulatedConnection",
     "VirtualClock",

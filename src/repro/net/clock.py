@@ -32,6 +32,23 @@ class VirtualClock:
         self._now += seconds
         return self._now
 
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` (no-op if already past).
+
+        This is the primitive behind overlapping in-flight requests: each
+        concurrent request captures its start time, computes its own
+        duration, and advances the shared clock *to* its completion time.
+        Requests issued at the same instant therefore cost the maximum of
+        their durations rather than the sum, while strictly sequential
+        requests (each started after the previous one completed) remain
+        additive.
+
+        Returns the new current time.
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
     def reset(self) -> None:
         """Reset the clock to zero."""
         self._now = 0.0

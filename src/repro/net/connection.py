@@ -24,6 +24,24 @@ A PEP 249-shaped driver surface is provided by :meth:`cursor`:
 ``execute`` / ``executemany`` / ``fetchone`` / ``fetchmany`` / ``fetchall``
 with ``description`` and ``rowcount``, dispatching SELECT and UPDATE
 statements automatically.
+
+Pipelining
+----------
+
+:meth:`SimulatedConnection.pipeline` opens an explicit batch context that
+ships **many statements in one round trip**::
+
+    with connection.pipeline() as pipe:
+        a = pipe.execute("select * from orders where o_id = ?", (1,))
+        b = pipe.execute("update orders set o_status = 'DONE' where o_id = ?", (2,))
+    a.rows      # per-statement results, in order
+    b.rowcount
+
+The batch is charged one ``CNRT`` plus the summed server time and combined
+transfer time (see :meth:`repro.net.network.NetworkConditions.pipelined_time`)
+instead of one round trip per statement.  :meth:`Cursor.executemany` routes
+through a pipeline, so a 1 000-tuple ``executemany`` costs one round trip
+rather than 1 000.
 """
 
 from __future__ import annotations
@@ -42,6 +60,8 @@ class ConnectionStats:
 
     queries: int = 0
     round_trips: int = 0
+    #: pipelined batches flushed (each batch is a single round trip).
+    batches: int = 0
     rows_transferred: int = 0
     bytes_transferred: int = 0
     network_time: float = 0.0
@@ -50,6 +70,7 @@ class ConnectionStats:
     def reset(self) -> None:
         self.queries = 0
         self.round_trips = 0
+        self.batches = 0
         self.rows_transferred = 0
         self.bytes_transferred = 0
         self.network_time = 0.0
@@ -58,6 +79,14 @@ class ConnectionStats:
 
 class CursorError(Exception):
     """Raised on misuse of a :class:`Cursor` (closed, no result set)."""
+
+
+class ConnectionClosedError(Exception):
+    """Raised when a closed :class:`SimulatedConnection` is used."""
+
+
+class PipelineError(Exception):
+    """Raised on misuse of a :class:`Pipeline` (unflushed reads, reuse)."""
 
 
 class Cursor:
@@ -112,23 +141,23 @@ class Cursor:
     def executemany(
         self, sql: str, seq_of_params: Iterable[Sequence[Any]]
     ) -> "Cursor":
-        """Execute the statement once per parameter tuple.
+        """Execute the statement once per parameter tuple, **pipelined**.
 
-        The statement is prepared a single time.  For UPDATE statements
-        ``rowcount`` accumulates the total rows changed; for SELECTs the
-        result set of the *last* execution is retained.
+        The statement is prepared a single time and every execution ships
+        in one network round trip through :meth:`SimulatedConnection.pipeline`
+        (the pre-pipeline driver paid one round trip per tuple).  For UPDATE
+        statements ``rowcount`` accumulates the total rows changed; for
+        SELECTs the result set of the *last* execution is retained.
         """
         self._check_open()
         statement = self.connection.prepare(sql)
-        total_changed = 0
-        ran = False
-        for params in seq_of_params:
-            self.execute_prepared(statement, params)
-            ran = True
-            if not statement.is_query:
-                total_changed += self.rowcount
-        if not statement.is_query:
-            self.rowcount = total_changed if ran else 0
+        pipeline = self.connection.pipeline()
+        handles = [
+            pipeline.execute_prepared(statement, params)
+            for params in seq_of_params
+        ]
+        pipeline.flush()
+        _install_executemany_results(self, statement, handles)
         return self
 
     # -- fetching --------------------------------------------------------
@@ -210,6 +239,33 @@ class Cursor:
         return [(name, None, None, None, None, None, None) for name in names]
 
 
+def _install_executemany_results(
+    cursor, statement: PreparedStatement, handles: list["PipelineResult"]
+) -> None:
+    """Install a flushed executemany batch into a cursor's result state.
+
+    Shared by the sync and async cursors so their semantics cannot drift:
+    for SELECTs the *last* execution's result set (and description) is
+    retained; for UPDATEs ``rowcount`` accumulates the total rows changed
+    and the result set is cleared.  An empty batch leaves a SELECT cursor's
+    previous state untouched and sets an UPDATE cursor's rowcount to 0,
+    matching the historical per-tuple loop.
+    """
+    if statement.is_query:
+        if handles:
+            last = handles[-1]
+            cursor._rows = last.rows
+            cursor._index = 0
+            cursor.rowcount = last.rowcount
+            cursor.description = Cursor._describe(last.result, statement)
+    else:
+        if handles:
+            cursor._rows = None
+            cursor._index = 0
+            cursor.description = None
+        cursor.rowcount = sum(handle.rowcount for handle in handles)
+
+
 class SimulatedConnection:
     """Executes SQL against a :class:`Database` over a simulated network."""
 
@@ -225,16 +281,52 @@ class SimulatedConnection:
         self.stats = ConnectionStats()
         #: (table, key_column) -> prepared point-lookup statement.
         self._lookup_statements: dict[tuple[str, str], PreparedStatement] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection; subsequent operations raise.
+
+        Closing is idempotent.  Prepared statements live in the *database's*
+        statement cache, so closing a connection releases only its own
+        per-connection state (the point-lookup statement map).
+        """
+        self._closed = True
+        self._lookup_statements.clear()
+
+    def __enter__(self) -> "SimulatedConnection":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
 
     # -- statement preparation -------------------------------------------
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Prepare ``sql`` through the database's statement cache."""
+        self._check_open()
         return self.database.prepare(sql)
 
     def cursor(self) -> Cursor:
         """A new PEP 249-shaped cursor over this connection."""
+        self._check_open()
         return Cursor(self)
+
+    def pipeline(self) -> "Pipeline":
+        """A batch context shipping many statements in one round trip."""
+        self._check_open()
+        return Pipeline(self)
 
     # -- query execution -------------------------------------------------
 
@@ -242,6 +334,7 @@ class SimulatedConnection:
         self, sql: str, params: Sequence[Any] = ()
     ) -> QueryResult:
         """Execute a SELECT and charge round trip + server + transfer time."""
+        self._check_open()
         return self.execute_prepared(self.database.prepare(sql), params)
 
     def execute_prepared(
@@ -254,6 +347,21 @@ class SimulatedConnection:
         (the pre-prepared-statement driver parsed every call twice: once to
         execute, once to estimate).
         """
+        result, elapsed = self._measure_prepared(statement, params)
+        self.clock.advance(elapsed)
+        return result
+
+    def _measure_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> tuple[QueryResult, float]:
+        """Execute a prepared SELECT; return (result, elapsed) without
+        advancing the clock.
+
+        Statistics are recorded here; the caller decides how the elapsed
+        time hits the clock — ``advance`` for the sequential path,
+        ``advance_to(start + elapsed)`` for overlapping async requests.
+        """
+        self._check_open()
         result = statement.execute(params)
         estimate = statement.estimate(params)
         # Use the actual cardinality for transfer accounting but the
@@ -266,12 +374,12 @@ class SimulatedConnection:
             + server_first
             + max(transfer_time, server_rest)
         )
-        self.clock.advance(elapsed)
         self._record(result, transfer_time, server_first + server_rest)
-        return result
+        return result, elapsed
 
     def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Execute an UPDATE over the network (one round trip, tiny payload)."""
+        self._check_open()
         changed = self.database.execute_update_sql(sql, params)
         self._charge_update()
         return changed
@@ -280,9 +388,21 @@ class SimulatedConnection:
         self, statement: PreparedStatement, params: Sequence[Any] = ()
     ) -> int:
         """Execute a prepared UPDATE over the network."""
-        changed = statement.execute_update(params)
-        self._charge_update()
+        changed, elapsed = self._measure_update_prepared(statement, params)
+        self.clock.advance(elapsed)
         return changed
+
+    def _measure_update_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> tuple[int, float]:
+        """Execute a prepared UPDATE; return (changed, elapsed) without
+        advancing the clock (async counterpart of the sequential charge)."""
+        self._check_open()
+        changed = statement.execute_update(params)
+        self.stats.queries += 1
+        self.stats.round_trips += 1
+        self.stats.network_time += self.network.round_trip_seconds
+        return changed, self.network.round_trip_seconds
 
     def execute_lookup(
         self, table: str, key_column: str, key_value: Any
@@ -347,3 +467,167 @@ class SimulatedConnection:
         self.clock.reset()
         self.stats.reset()
         self.database.reset_counters()
+
+
+class PipelineResult:
+    """Per-statement result slot of a :class:`Pipeline` batch.
+
+    Populated when the pipeline flushes; reading :attr:`rows`,
+    :attr:`rowcount`, or :attr:`result` earlier raises
+    :class:`PipelineError`.
+    """
+
+    __slots__ = ("statement", "_params", "_rows", "_rowcount", "_result", "_done")
+
+    def __init__(
+        self, statement: PreparedStatement, params: tuple
+    ) -> None:
+        self.statement = statement
+        self._params = params
+        self._rows: Optional[list[dict]] = None
+        self._rowcount = -1
+        self._result: Optional[QueryResult] = None
+        self._done = False
+
+    @property
+    def is_query(self) -> bool:
+        """True for SELECT statements, False for UPDATEs."""
+        return self.statement.is_query
+
+    @property
+    def rows(self) -> Optional[list[dict]]:
+        """Result rows of a SELECT (``None`` for UPDATE statements)."""
+        self._check_done()
+        return self._rows
+
+    @property
+    def rowcount(self) -> int:
+        """Rows returned (SELECT) or changed (UPDATE)."""
+        self._check_done()
+        return self._rowcount
+
+    @property
+    def result(self) -> Optional[QueryResult]:
+        """The full :class:`QueryResult` of a SELECT (``None`` for UPDATEs)."""
+        self._check_done()
+        return self._result
+
+    def _check_done(self) -> None:
+        if not self._done:
+            raise PipelineError(
+                "pipeline result read before the batch was flushed"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<PipelineResult {state} {self.statement.sql!r}>"
+
+
+class Pipeline:
+    """An explicit batch context: many statements, one network round trip.
+
+    Statements queued via :meth:`execute` / :meth:`execute_prepared` return
+    :class:`PipelineResult` handles immediately; nothing touches the wire
+    until :meth:`flush` (called automatically on clean ``with``-block exit),
+    which executes the whole batch server-side in queue order, fills every
+    handle, and charges the virtual clock **once** with the batched cost
+    formula (:meth:`repro.net.network.NetworkConditions.pipelined_time`).
+
+    A pipeline may be flushed repeatedly — each flush is one round trip for
+    the statements queued since the previous flush.  Leaving the ``with``
+    block on an exception discards the pending queue instead of flushing.
+    """
+
+    def __init__(self, connection: SimulatedConnection) -> None:
+        self.connection = connection
+        self._queue: list[PipelineResult] = []
+        #: round trips this pipeline has performed (one per non-empty flush).
+        self.flushes = 0
+
+    # -- queueing --------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> PipelineResult:
+        """Queue one statement (prepared through the statement cache)."""
+        return self.execute_prepared(self.connection.prepare(sql), params)
+
+    def execute_prepared(
+        self, statement: PreparedStatement, params: Sequence[Any] = ()
+    ) -> PipelineResult:
+        """Queue an already-prepared statement with its parameters."""
+        self.connection._check_open()
+        handle = PipelineResult(statement, tuple(params))
+        self._queue.append(handle)
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- flushing --------------------------------------------------------
+
+    def flush(self) -> list[PipelineResult]:
+        """Ship the queued batch in one round trip; returns the handles."""
+        handles = self._queue
+        elapsed = self._measure_flush()
+        if handles:
+            self.connection.clock.advance(elapsed)
+        return handles
+
+    def _measure_flush(self) -> float:
+        """Execute the queued batch server-side; return its elapsed time
+        without advancing the clock (the async path overlaps it instead).
+
+        An empty queue costs nothing — no round trip is charged.
+        """
+        connection = self.connection
+        connection._check_open()
+        handles = self._queue
+        self._queue = []
+        if not handles:
+            return 0.0
+        stats = connection.stats
+        network = connection.network
+        first_total = 0.0
+        rest_total = 0.0
+        total_bytes = 0
+        for handle in handles:
+            statement = handle.statement
+            if statement.is_query:
+                result = statement.execute(handle._params)
+                estimate = statement.estimate(handle._params)
+                first_total += estimate.first_row_time
+                rest_total += max(
+                    0.0, estimate.last_row_time - estimate.first_row_time
+                )
+                total_bytes += result.byte_size
+                handle._rows = result.rows
+                handle._rowcount = result.cardinality
+                handle._result = result
+                stats.rows_transferred += result.cardinality
+                stats.bytes_transferred += result.byte_size
+            else:
+                handle._rowcount = statement.execute_update(handle._params)
+            handle._done = True
+            stats.queries += 1
+        transfer_time = network.transfer_time(total_bytes)
+        elapsed = network.pipelined_time(first_total, rest_total, total_bytes)
+        stats.round_trips += 1
+        stats.batches += 1
+        stats.network_time += network.round_trip_seconds + transfer_time
+        stats.server_time += first_total + rest_total
+        self.flushes += 1
+        return elapsed
+
+    def discard(self) -> None:
+        """Drop the pending batch: nothing is sent, nothing is charged."""
+        self._queue = []
+
+    # -- context management ----------------------------------------------
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+        else:
+            self.discard()

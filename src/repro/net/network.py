@@ -44,6 +44,34 @@ class NetworkConditions:
             raise ValueError("round trip count must be non-negative")
         return count * self.round_trip_seconds
 
+    def pipelined_time(
+        self,
+        server_first_total: float,
+        server_rest_total: float,
+        response_bytes: float,
+    ) -> float:
+        """Elapsed time of one *pipelined* round trip carrying many statements.
+
+        The cost model generalises the paper's single-query formula
+        ``CQ = CNRT + CFQ + max(NQ * Srow(Q) / BW, CLQ - CFQ)`` to a batch:
+        the whole batch ships in one request, the server runs the statements
+        back to back (``server_first_total`` + ``server_rest_total`` are the
+        summed first-row and remaining server times), and the combined
+        response streams back overlapping the remaining server work::
+
+            C = CNRT + sum(CFQ_i) + max(sum(bytes_i) / BW, sum(CLQ_i - CFQ_i))
+
+        With N statements this charges one ``CNRT`` instead of N — the whole
+        point of batching on a high-latency link.
+        """
+        if server_first_total < 0 or server_rest_total < 0:
+            raise ValueError("server time must be non-negative")
+        return (
+            self.round_trip_seconds
+            + server_first_total
+            + max(self.transfer_time(response_bytes), server_rest_total)
+        )
+
     def scaled(self, bandwidth_factor: float = 1.0, latency_factor: float = 1.0):
         """Return a copy with bandwidth/latency scaled (for sensitivity sweeps)."""
         return NetworkConditions(

@@ -13,6 +13,12 @@ prepared point-lookup protocol (:meth:`SimulatedConnection.execute_lookup`):
 one :class:`repro.db.database.PreparedStatement` per ``(table, key_column)``
 serves every lookup, so the N+1 loop parses and estimates its query shape
 once instead of rebuilding and re-parsing SQL text per iteration.
+
+When the application *knows* it is about to walk a relation across a whole
+collection (the P0 loop), :meth:`Session.prefetch` batches every missing
+target row into **one pipelined round trip** — the N+1 pattern collapses to
+1+1 on the network while the per-object lazy loads become first-level-cache
+hits.
 """
 
 from __future__ import annotations
@@ -82,6 +88,8 @@ class Session:
         self._cache: dict[tuple[str, Any], EntityObject] = {}
         self.lazy_loads = 0
         self.cache_hits = 0
+        #: pipelined prefetch batches issued (each is one round trip).
+        self.prefetches = 0
 
     # -- loading ---------------------------------------------------------
 
@@ -115,6 +123,51 @@ class Session:
         """Run a native SQL query (Hibernate SQL query API); returns row dicts."""
         result = self.connection.execute_query(sql, tuple(params))
         return result.rows
+
+    def prefetch(
+        self, objects: Iterable[EntityObject], relation_name: str
+    ) -> int:
+        """Batch-load one relation for many objects in a single round trip.
+
+        Collects the distinct foreign-key values of ``relation_name`` across
+        ``objects`` that are not yet in the first-level cache, ships the
+        point lookups through one :meth:`SimulatedConnection.pipeline` batch
+        (one network round trip instead of one per miss), and caches every
+        fetched target.  Subsequent lazy accesses (``order.customer``) are
+        then cache hits.  Returns the number of rows fetched.
+        """
+        misses: list[Any] = []
+        seen: set[Any] = set()
+        relation = None
+        target_def = None
+        for obj in objects:
+            definition = obj._definition
+            if relation is None:
+                relation = definition.relation(relation_name)
+                target_def = self.registry.entity(relation.target_entity)
+            fk_value = obj.get(relation.join_column)
+            if fk_value is None or fk_value in seen:
+                continue
+            seen.add(fk_value)
+            if (relation.target_entity, fk_value) not in self._cache:
+                misses.append(fk_value)
+        if not misses:
+            return 0
+        statement = self.connection.lookup_statement(
+            target_def.table, relation.target_key_column
+        )
+        with self.connection.pipeline() as pipe:
+            handles = [
+                pipe.execute_prepared(statement, (fk_value,))
+                for fk_value in misses
+            ]
+        fetched = 0
+        for handle in handles:
+            if handle.rows:
+                self._materialise(target_def, handle.rows[0])
+                fetched += 1
+        self.prefetches += 1
+        return fetched
 
     # -- internals -------------------------------------------------------
 
@@ -159,6 +212,7 @@ class Session:
         self._cache.clear()
         self.lazy_loads = 0
         self.cache_hits = 0
+        self.prefetches = 0
 
     @property
     def cache_size(self) -> int:

@@ -1,0 +1,333 @@
+"""The async session API: overlap accounting, async cursors, pipelines."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import AsyncEngine, Engine, EngineClosedError, connect
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType
+from repro.net.connection import ConnectionClosedError, CursorError
+from repro.net.network import SLOW_REMOTE
+
+
+def make_engine(network="slow-remote") -> Engine:
+    database = Database()
+    database.create_table(
+        "items",
+        [
+            Column("item_id", ColumnType.INT),
+            Column("label", ColumnType.STRING, width=12),
+            Column("grp", ColumnType.INT),
+        ],
+        primary_key="item_id",
+    )
+    database.insert(
+        "items",
+        [
+            {"item_id": i, "label": f"item{i}", "grp": i % 3}
+            for i in range(30)
+        ],
+    )
+    database.analyze()
+    return connect(database=database, network=network)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOverlapAccounting:
+    def test_concurrent_clients_pay_max_latency(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def client(key):
+            conn = aengine.connect()
+            return await conn.execute(
+                "select * from items where item_id = ?", (key,)
+            )
+
+        async def main():
+            return await asyncio.gather(*[client(k) for k in range(8)])
+
+        results = run(main())
+        assert all(r.rows for r in results)
+        # 8 in-flight requests overlap: elapsed ~= one request, not eight.
+        assert aengine.elapsed < 2 * SLOW_REMOTE.round_trip_seconds
+        # ...but every request still counts its own round trip.
+        total = sum(c.stats.round_trips for c in aengine.connections)
+        assert total == 8
+
+    def test_sequential_awaits_remain_additive(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def main():
+            conn = aengine.connect()
+            for key in range(3):
+                await conn.execute(
+                    "select * from items where item_id = ?", (key,)
+                )
+
+        run(main())
+        assert aengine.elapsed >= 3 * SLOW_REMOTE.round_trip_seconds
+
+    def test_concurrent_faster_than_sequential(self):
+        engine = make_engine()
+        queries = [("select * from items where item_id = ?", (k,)) for k in range(6)]
+
+        sync_conn = engine.connect()
+        for sql, params in queries:
+            sync_conn.execute_query(sql, params)
+
+        aengine = engine.aio()
+
+        async def main():
+            conns = [aengine.connect() for _ in queries]
+            await asyncio.gather(
+                *[c.execute(sql, params) for c, (sql, params) in zip(conns, queries)]
+            )
+
+        run(main())
+        assert aengine.elapsed < sync_conn.elapsed / 3
+
+    def test_rows_identical_to_sync_path(self):
+        engine = make_engine()
+        sync_rows = engine.connect().execute_query(
+            "select grp, count(*) from items group by grp"
+        ).rows
+        aengine = engine.aio()
+
+        async def main():
+            return await aengine.connect().execute(
+                "select grp, count(*) from items group by grp"
+            )
+
+        assert run(main()).rows == sync_rows
+
+
+class TestAsyncCursor:
+    def test_execute_and_fetch(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            cur = aengine.cursor()
+            await cur.execute("select * from items where grp = ?", (1,))
+            first = await cur.fetchone()
+            rest = await cur.fetchall()
+            return cur.rowcount, first, rest
+
+        rowcount, first, rest = run(main())
+        assert rowcount == 10
+        assert first["item_id"] == 1
+        assert len(rest) == 9
+
+    def test_fetchmany_and_iteration(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            cur = aengine.cursor()
+            await cur.execute("select * from items where grp = 0")
+            chunk = await cur.fetchmany(2)
+            seen = [row["item_id"] async for row in cur]
+            return chunk, seen
+
+        chunk, seen = run(main())
+        assert [r["item_id"] for r in chunk] == [0, 3]
+        assert seen == [6, 9, 12, 15, 18, 21, 24, 27]
+
+    def test_update_sets_rowcount(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            cur = aengine.cursor()
+            await cur.execute("update items set label = 'x' where grp = 0")
+            return cur.rowcount, cur.description
+
+        rowcount, description = run(main())
+        assert rowcount == 10
+        assert description is None
+
+    def test_executemany_is_one_round_trip(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def main():
+            conn = aengine.connect()
+            cur = conn.cursor()
+            await cur.executemany(
+                "select * from items where item_id = ?",
+                [(k,) for k in range(12)],
+            )
+            return conn, cur
+
+        conn, cur = run(main())
+        assert conn.stats.round_trips == 1
+        assert conn.stats.queries == 12
+        assert cur.rowcount == 1  # last SELECT retained
+
+    def test_description_matches_sync_cursor(self):
+        engine = make_engine()
+        sync_cursor = engine.connect().cursor()
+        sync_cursor.execute("select label from items where item_id = 3")
+        aengine = engine.aio()
+
+        async def main():
+            cur = aengine.cursor()
+            await cur.execute("select label from items where item_id = 3")
+            return cur.description
+
+        assert run(main()) == sync_cursor.description
+
+    def test_closed_cursor_raises(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            cur = aengine.cursor()
+            cur.close()
+            await cur.execute("select * from items")
+
+        with pytest.raises(CursorError, match="closed"):
+            run(main())
+
+
+class TestAsyncPipeline:
+    def test_async_pipeline_single_round_trip(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def main():
+            conn = aengine.connect()
+            async with conn.pipeline() as pipe:
+                handles = [
+                    pipe.execute(
+                        "select * from items where item_id = ?", (k,)
+                    )
+                    for k in range(5)
+                ]
+            return conn, handles
+
+        conn, handles = run(main())
+        assert conn.stats.round_trips == 1
+        assert [h.rows[0]["item_id"] for h in handles] == list(range(5))
+
+    def test_two_pipelines_overlap(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def batch(conn):
+            async with conn.pipeline() as pipe:
+                for key in range(5):
+                    pipe.execute(
+                        "select * from items where item_id = ?", (key,)
+                    )
+
+        async def main():
+            conns = [aengine.connect(), aengine.connect()]
+            await asyncio.gather(*[batch(c) for c in conns])
+
+        run(main())
+        # Two concurrent one-round-trip batches cost ~one round trip.
+        assert aengine.elapsed < 2 * SLOW_REMOTE.round_trip_seconds
+
+
+class TestAsyncLifecycle:
+    def test_connection_context_manager(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            async with aengine.connect() as conn:
+                await conn.execute("select * from items where item_id = 1")
+                return conn
+
+        conn = run(main())
+        assert conn.closed
+
+    def test_engine_close_closes_connections(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            conn = aengine.connect()
+            await conn.execute("select * from items where item_id = 1")
+            return conn
+
+        conn = run(main())
+        aengine.close()
+        assert conn.closed
+        with pytest.raises(EngineClosedError):
+            aengine.connect()
+
+    def test_async_engine_context_manager(self):
+        engine = make_engine()
+
+        async def main():
+            async with engine.aio() as aengine:
+                conn = aengine.connect()
+                await conn.execute("select * from items where item_id = 1")
+                return aengine, conn
+
+        aengine, conn = run(main())
+        assert conn.closed
+
+    def test_closed_connection_raises_on_execute(self):
+        aengine = make_engine().aio()
+
+        async def main():
+            conn = aengine.connect()
+            conn.close()
+            await conn.execute("select * from items")
+
+        with pytest.raises(ConnectionClosedError):
+            run(main())
+
+    def test_shared_clock_with_explicit_instance(self):
+        from repro.net.clock import VirtualClock
+
+        engine = make_engine()
+        clock = VirtualClock()
+        aengine = AsyncEngine(engine, clock=clock)
+
+        async def main():
+            await aengine.connect().execute(
+                "select * from items where item_id = 1"
+            )
+
+        run(main())
+        assert clock.now == aengine.elapsed > 0
+
+
+class TestSharedServerState:
+    def test_async_and_sync_share_statement_cache(self):
+        engine = make_engine()
+        engine.connect().execute_query(
+            "select * from items where item_id = ?", (1,)
+        )
+        aengine = engine.aio()
+
+        async def main():
+            await aengine.connect().execute(
+                "select * from items where item_id = ?", (2,)
+            )
+
+        run(main())
+        cache = engine.database.statement_cache
+        assert cache.misses == 1
+        assert cache.hits >= 1
+
+    def test_async_update_visible_to_sync(self):
+        engine = make_engine()
+        aengine = engine.aio()
+
+        async def main():
+            return await aengine.connect().execute_update(
+                "update items set label = 'async' where item_id = ?", (5,)
+            )
+
+        assert run(main()) == 1
+        row = engine.connect().execute_query(
+            "select * from items where item_id = 5"
+        ).rows[0]
+        assert row["label"] == "async"

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import Engine, EngineConfigError, connect
+from repro.api import Engine, EngineClosedError, EngineConfigError, connect
+from repro.net.connection import ConnectionClosedError
 from repro.core.catalog import catalog_for_network
 from repro.core.optimizer import CobraOptimizer
 from repro.db.database import Database
@@ -134,6 +135,117 @@ class TestEngineOptimize:
     def test_heuristic_rewrite(self, orders_engine):
         outcome = orders_engine.heuristic_rewrite(P0_SOURCE)
         assert outcome.rewritten_source
+
+
+class TestEngineLifecycle:
+    def _fresh_engine(self) -> Engine:
+        return (
+            Engine.builder()
+            .orders_workload(num_orders=60, num_customers=12)
+            .network("fast-local")
+            .build()
+        )
+
+    def test_connection_context_manager(self):
+        engine = self._fresh_engine()
+        with engine.connect() as connection:
+            rows = connection.execute_query("select * from customer").rows
+            assert rows
+        assert connection.closed
+
+    def test_engine_close_closes_handed_out_connections(self):
+        engine = self._fresh_engine()
+        first = engine.connect()
+        second = engine.connect()
+        engine.close()
+        assert engine.closed
+        assert first.closed and second.closed
+        with pytest.raises(ConnectionClosedError):
+            first.execute_query("select * from customer")
+
+    def test_engine_close_is_idempotent(self):
+        engine = self._fresh_engine()
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_closed_engine_refuses_new_resources(self):
+        engine = self._fresh_engine()
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.connect()
+        with pytest.raises(EngineClosedError):
+            engine.prepare("select * from customer")
+
+    def test_engine_context_manager(self):
+        engine = self._fresh_engine()
+        with engine:
+            connection = engine.connect()
+        assert engine.closed and connection.closed
+
+    def test_default_connection_closed_with_engine(self):
+        engine = self._fresh_engine()
+        cursor = engine.cursor()
+        cursor.execute("select * from customer")
+        engine.close()
+        assert engine.connection.closed
+
+
+class TestEngineStats:
+    def test_stats_aggregate_cache_and_network_counters(self):
+        engine = (
+            Engine.builder()
+            .orders_workload(num_orders=60, num_customers=12)
+            .network("fast-local")
+            .build()
+        )
+        connection = engine.connect()
+        for key in (1, 2, 3):
+            connection.execute_query(
+                "select * from orders where o_id = ?", (key,)
+            )
+        with connection.pipeline() as pipe:
+            pipe.execute("select * from orders where o_id = ?", (4,))
+            pipe.execute("select * from orders where o_id = ?", (5,))
+        stats = engine.stats()
+        assert stats["statement_cache"]["misses"] == 1
+        assert stats["statement_cache"]["hits"] >= 3
+        assert stats["network"]["connections"] == 1
+        assert stats["network"]["queries"] == 5
+        assert stats["network"]["round_trips"] == 4  # 3 singles + 1 batch
+        assert stats["network"]["batches"] == 1
+        assert stats["network"]["rows_transferred"] == 5
+        assert stats["database"]["queries_executed"] == 5
+
+    def test_stats_sum_over_multiple_connections(self):
+        engine = (
+            Engine.builder()
+            .orders_workload(num_orders=60, num_customers=12)
+            .network("fast-local")
+            .build()
+        )
+        for _ in range(3):
+            engine.connect().execute_query("select * from customer")
+        stats = engine.stats()
+        assert stats["network"]["connections"] == 3
+        assert stats["network"]["queries"] == 3
+
+    def test_closed_connections_pruned_but_stats_retained(self):
+        engine = (
+            Engine.builder()
+            .orders_workload(num_orders=60, num_customers=12)
+            .network("fast-local")
+            .build()
+        )
+        for _ in range(5):
+            with engine.connect() as connection:
+                connection.execute_query("select * from customer")
+        # Churned connections are folded into the retired totals, so the
+        # tracking list stays bounded while stats() remain complete.
+        assert len(engine._connections) <= 1
+        stats = engine.stats()
+        assert stats["network"]["connections"] == 5
+        assert stats["network"]["queries"] == 5
 
 
 class TestConnect:

@@ -55,6 +55,26 @@ class TestOptimizeCommand:
         assert "heuristic (always push to SQL) rewrite" in text
         assert "sql-join" in text and "prefetch" in text
 
+    def test_optimize_stats_flag_prints_engine_statistics(self, program_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "optimize",
+                str(program_file),
+                "--scale",
+                "300",
+                "--stats",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "engine statistics:" in text
+        assert "statement_cache.hits" in text
+        assert "statement_cache.misses" in text
+        assert "network.round_trips" in text
+        assert "database.queries_executed" in text
+
     def test_optimize_with_wilos_workload_and_af(self, tmp_path):
         path = tmp_path / "pattern_d.py"
         path.write_text(PATTERN_D_SOURCE)

@@ -1,0 +1,262 @@
+"""The pipelined batch context: many statements, one network round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType
+from repro.net.connection import (
+    ConnectionClosedError,
+    PipelineError,
+    SimulatedConnection,
+)
+from repro.net.network import FAST_LOCAL, SLOW_REMOTE
+
+
+def make_connection(network=SLOW_REMOTE) -> SimulatedConnection:
+    database = Database()
+    database.create_table(
+        "items",
+        [
+            Column("item_id", ColumnType.INT),
+            Column("label", ColumnType.STRING, width=12),
+            Column("grp", ColumnType.INT),
+        ],
+        primary_key="item_id",
+    )
+    database.insert(
+        "items",
+        [
+            {"item_id": i, "label": f"item{i}", "grp": i % 3}
+            for i in range(30)
+        ],
+    )
+    database.analyze()
+    return SimulatedConnection(database, network)
+
+
+class TestPipelineBatching:
+    def test_batch_is_one_round_trip(self):
+        connection = make_connection()
+        with connection.pipeline() as pipe:
+            for key in range(10):
+                pipe.execute("select * from items where item_id = ?", (key,))
+        assert connection.stats.round_trips == 1
+        assert connection.stats.batches == 1
+        assert connection.stats.queries == 10
+
+    def test_batch_cheaper_than_sequential(self):
+        sequential = make_connection()
+        for key in range(10):
+            sequential.execute_query(
+                "select * from items where item_id = ?", (key,)
+            )
+        pipelined = make_connection()
+        with pipelined.pipeline() as pipe:
+            for key in range(10):
+                pipe.execute("select * from items where item_id = ?", (key,))
+        assert pipelined.elapsed < sequential.elapsed
+        # 10 round trips collapse to 1: the saving is ~9 x CNRT.
+        assert sequential.elapsed - pipelined.elapsed == pytest.approx(
+            9 * SLOW_REMOTE.round_trip_seconds, rel=0.01
+        )
+
+    def test_results_in_queue_order(self):
+        connection = make_connection()
+        with connection.pipeline() as pipe:
+            handles = [
+                pipe.execute("select * from items where item_id = ?", (key,))
+                for key in (7, 3, 11)
+            ]
+        assert [h.rows[0]["item_id"] for h in handles] == [7, 3, 11]
+        assert all(h.rowcount == 1 for h in handles)
+
+    def test_rows_match_sequential_execution(self):
+        connection = make_connection()
+        queries = [
+            ("select * from items where grp = ?", (1,)),
+            ("select grp, count(*) from items group by grp", ()),
+            ("select * from items where item_id = ?", (4,)),
+        ]
+        expected = [
+            make_connection().execute_query(sql, params).rows
+            for sql, params in queries
+        ]
+        with connection.pipeline() as pipe:
+            handles = [pipe.execute(sql, params) for sql, params in queries]
+        assert [h.rows for h in handles] == expected
+
+    def test_mixed_select_and_update(self):
+        connection = make_connection()
+        with connection.pipeline() as pipe:
+            select = pipe.execute("select * from items where grp = 0")
+            update = pipe.execute(
+                "update items set label = 'x' where grp = ?", (0,)
+            )
+            after = pipe.execute("select * from items where label = 'x'")
+        assert select.is_query and not update.is_query
+        assert update.rows is None
+        assert update.rowcount == 10
+        # Statements execute server-side in queue order: the SELECT queued
+        # after the UPDATE observes its writes.
+        assert after.rowcount == 10
+        assert connection.stats.round_trips == 1
+
+    def test_update_rowcounts_accumulate_per_statement(self):
+        connection = make_connection()
+        with connection.pipeline() as pipe:
+            handles = [
+                pipe.execute(
+                    "update items set grp = 9 where item_id = ?", (key,)
+                )
+                for key in (1, 2, 999)
+            ]
+        assert [h.rowcount for h in handles] == [1, 1, 0]
+
+
+class TestPipelineLifecycle:
+    def test_empty_pipeline_costs_nothing(self):
+        connection = make_connection()
+        with connection.pipeline():
+            pass
+        assert connection.stats.round_trips == 0
+        assert connection.elapsed == 0.0
+
+    def test_reading_before_flush_raises(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        handle = pipe.execute("select * from items")
+        with pytest.raises(PipelineError, match="flushed"):
+            handle.rows
+        pipe.flush()
+        assert len(handle.rows) == 30
+
+    def test_exception_discards_pending_batch(self):
+        connection = make_connection()
+        with pytest.raises(RuntimeError):
+            with connection.pipeline() as pipe:
+                pipe.execute("update items set grp = 5 where item_id = 1")
+                raise RuntimeError("abort")
+        # Nothing was sent: no clock charge, no server-side effect.
+        assert connection.elapsed == 0.0
+        row = connection.database.execute_sql(
+            "select * from items where item_id = 1"
+        ).rows[0]
+        assert row["grp"] == 1
+
+    def test_flush_is_reusable(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        pipe.execute("select * from items where item_id = 1")
+        pipe.flush()
+        pipe.execute("select * from items where item_id = 2")
+        pipe.flush()
+        assert connection.stats.round_trips == 2
+        assert pipe.flushes == 2
+
+    def test_pipeline_on_closed_connection_raises(self):
+        connection = make_connection()
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            connection.pipeline()
+
+
+class TestExecutemanyPipelining:
+    def test_executemany_is_one_round_trip(self):
+        connection = make_connection()
+        cursor = connection.cursor()
+        cursor.executemany(
+            "select * from items where item_id = ?",
+            [(key,) for key in range(20)],
+        )
+        assert connection.stats.round_trips == 1
+        assert connection.stats.queries == 20
+
+    def test_executemany_update_rowcount_semantics_unchanged(self):
+        connection = make_connection()
+        cursor = connection.cursor()
+        cursor.executemany(
+            "update items set label = ? where item_id = ?",
+            [("a", 1), ("b", 2), ("c", 999)],
+        )
+        assert cursor.rowcount == 2
+
+    def test_executemany_select_retains_last_result(self):
+        connection = make_connection()
+        cursor = connection.cursor()
+        cursor.executemany(
+            "select * from items where item_id = ?", [(3,), (5,), (8,)]
+        )
+        rows = cursor.fetchall()
+        assert [r["item_id"] for r in rows] == [8]
+        assert cursor.description is not None
+
+    def test_executemany_empty_sequence(self):
+        connection = make_connection()
+        cursor = connection.cursor()
+        cursor.executemany("update items set grp = 0 where item_id = ?", [])
+        assert cursor.rowcount == 0
+        assert connection.stats.round_trips == 0
+
+
+class TestConnectionLifecycle:
+    def test_close_prevents_use(self):
+        connection = make_connection()
+        connection.close()
+        assert connection.closed
+        with pytest.raises(ConnectionClosedError):
+            connection.execute_query("select * from items")
+        with pytest.raises(ConnectionClosedError):
+            connection.cursor()
+
+    def test_close_is_idempotent(self):
+        connection = make_connection()
+        connection.close()
+        connection.close()
+        assert connection.closed
+
+    def test_context_manager_closes(self):
+        with make_connection() as connection:
+            connection.execute_query("select * from items where item_id = 1")
+        assert connection.closed
+
+
+class TestSessionPrefetch:
+    def _session(self):
+        from repro.orm.session import Session
+        from repro.workloads import tpcds
+
+        database = tpcds.build_orders_database(
+            num_orders=80, num_customers=20
+        )
+        registry = tpcds.build_registry()
+        connection = SimulatedConnection(database, SLOW_REMOTE)
+        return Session(registry, connection), connection
+
+    def test_prefetch_batches_misses_into_one_round_trip(self):
+        session, connection = self._session()
+        orders = session.load_all("Order")
+        before = connection.stats.round_trips
+        fetched = session.prefetch(orders, "customer")
+        assert fetched > 1
+        # All misses shipped in a single pipelined round trip.
+        assert connection.stats.round_trips == before + 1
+        assert session.prefetches == 1
+
+    def test_lazy_loads_after_prefetch_are_cache_hits(self):
+        session, connection = self._session()
+        orders = session.load_all("Order")
+        session.prefetch(orders, "customer")
+        round_trips = connection.stats.round_trips
+        lazy_before = session.lazy_loads
+        names = [order.customer.c_first_name for order in orders]
+        assert all(names)
+        assert connection.stats.round_trips == round_trips
+        assert session.lazy_loads == lazy_before
+
+    def test_prefetch_skips_cached_targets(self):
+        session, connection = self._session()
+        orders = session.load_all("Order")
+        session.prefetch(orders, "customer")
+        assert session.prefetch(orders, "customer") == 0

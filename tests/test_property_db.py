@@ -1,11 +1,15 @@
 """Property-based tests for the database engine (hypothesis).
 
 The executor is checked against brute-force Python implementations of the
-same relational operations on randomly generated tables, and the SQL
-generator is checked to round-trip through the parser.
+same relational operations on randomly generated tables, the SQL generator
+is checked to round-trip through the parser, and the async / pipelined
+client paths are checked to be row-identical to the synchronous path over
+generated workloads.
 """
 
 from __future__ import annotations
+
+import asyncio
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -16,6 +20,8 @@ from repro.db.expressions import BinaryOp, ColumnRef, Literal
 from repro.db.schema import Column, ColumnType
 from repro.db.sqlgen import to_sql
 from repro.db.sqlparser import parse_sql
+from repro.net.connection import SimulatedConnection
+from repro.net.network import FAST_LOCAL
 
 # -- strategies ---------------------------------------------------------------
 
@@ -175,3 +181,100 @@ class TestSqlRoundTrip:
         rendered = to_sql(parse_sql(sql))
         via_roundtrip = database.execute_sql(rendered).rows
         assert direct == via_roundtrip
+
+
+#: Parameterized workload queries replayed through every client path: plain
+#: filters, conjunctions, projections with arithmetic, grouped aggregates,
+#: joins, and ordering — the shapes the slotted prepared path must cover.
+def _workload_queries(threshold):
+    return [
+        ("select * from left_t where a > ?", (threshold,)),
+        ("select * from left_t where a >= ? and k <= ?", (threshold, 7)),
+        ("select k, a * ? as scaled from left_t where a != ?", (2, threshold)),
+        ("select k, count(*), sum(a) from left_t group by k", ()),
+        (
+            "select l.k, l.a, r.b from left_t l join right_t r on l.k = r.k "
+            "where l.a > ?",
+            (threshold,),
+        ),
+        ("select * from left_t order by a desc, k asc", ()),
+    ]
+
+
+class TestClientPathEquivalence:
+    """Async and pipelined execution are row-identical to the sync path."""
+
+    @given(left=left_rows, right=right_rows, threshold=row_values)
+    @settings(max_examples=25, deadline=None)
+    def test_pipelined_rows_match_sync(self, left, right, threshold):
+        database = build_database(left, right)
+        queries = _workload_queries(threshold)
+        sync_connection = SimulatedConnection(database, FAST_LOCAL)
+        expected = [
+            sync_connection.execute_query(sql, params).rows
+            for sql, params in queries
+        ]
+        pipelined = SimulatedConnection(database, FAST_LOCAL)
+        with pipelined.pipeline() as pipe:
+            handles = [pipe.execute(sql, params) for sql, params in queries]
+        assert [handle.rows for handle in handles] == expected
+        assert pipelined.stats.round_trips == 1
+
+    @given(left=left_rows, right=right_rows, threshold=row_values)
+    @settings(max_examples=25, deadline=None)
+    def test_async_rows_match_sync(self, left, right, threshold):
+        from repro.api import connect
+
+        database = build_database(left, right)
+        queries = _workload_queries(threshold)
+        engine = connect(database=database, network="fast-local")
+        expected = [
+            engine.connect().execute_query(sql, params).rows
+            for sql, params in queries
+        ]
+        aengine = engine.aio()
+
+        async def main():
+            connections = [aengine.connect() for _ in queries]
+            results = await asyncio.gather(
+                *[
+                    connection.execute(sql, params)
+                    for connection, (sql, params) in zip(connections, queries)
+                ]
+            )
+            return [result.rows for result in results]
+
+        assert asyncio.run(main()) == expected
+
+    @given(left=left_rows, threshold=row_values)
+    @settings(max_examples=25, deadline=None)
+    def test_executemany_matches_per_tuple_execution(self, left, threshold):
+        database = build_database(left, [])
+        keys = sorted({row["k"] for row in left}) or [0]
+        sql = "select * from left_t where k = ? and a >= ?"
+        per_tuple = SimulatedConnection(database, FAST_LOCAL)
+        expected = [
+            per_tuple.execute_query(sql, (key, threshold)).rows
+            for key in keys
+        ]
+        pipelined = SimulatedConnection(database, FAST_LOCAL)
+        with pipelined.pipeline() as pipe:
+            handles = [pipe.execute(sql, (key, threshold)) for key in keys]
+        assert [handle.rows for handle in handles] == expected
+        # The cursor's executemany retains the last result set.
+        cursor = SimulatedConnection(database, FAST_LOCAL).cursor()
+        cursor.executemany(sql, [(key, threshold) for key in keys])
+        assert cursor.fetchall() == expected[-1]
+
+    @given(left=left_rows, threshold=row_values)
+    @settings(max_examples=20, deadline=None)
+    def test_prepared_slots_match_fresh_parse(self, left, threshold):
+        database = build_database(left, [])
+        sql = "select * from left_t where a > ?"
+        from repro.db.sqlparser import bind_parameters
+
+        statement = database.prepare(sql)
+        for params in [(threshold,), (0,), (9,), (threshold,)]:
+            bound = bind_parameters(parse_sql(sql), params)
+            expected = database.execute_plan(bound, sql=sql).rows
+            assert statement.execute(params).rows == expected
