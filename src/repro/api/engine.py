@@ -343,7 +343,8 @@ class Engine:
         Combines the prepared-statement cache counters with the network
         counters of every connection this engine handed out (including the
         shared default connection), plus the server-side executed-query
-        count.  Surfaced by ``repro.cli --stats``.
+        count and the executor's per-tier execution counters (vectorized /
+        compiled / interpreted).  Surfaced by ``repro.cli --stats``.
         """
         cache = self.database.statement_cache
         retired = self._retired_stats
@@ -383,6 +384,7 @@ class Engine:
             "database": {
                 "queries_executed": self.database.queries_executed,
             },
+            "execution": self.database.execution_stats(),
         }
 
     # -- ORM and application runtime -------------------------------------

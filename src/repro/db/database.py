@@ -177,7 +177,11 @@ class PreparedStatement:
     buffer and re-runs the *same* template object — no per-call plan
     substitution, and the executor's expression-compile caches hit on every
     execution.  This extends the prepared fast path to arbitrary
-    parameterized statement shapes, not just point lookups.
+    parameterized statement shapes, not just point lookups.  Because the
+    template plan object is stable, the executor caches the statement's
+    *vectorized* lowering right next to its compiled closures (both keyed
+    by the plan), so slot-compiled statements replay on the vectorized tier
+    with zero per-call lowering as well.
 
     Cached estimates revalidate lazily against the database's statistics
     generation and the versions of every referenced table, so ``analyze()``
@@ -456,13 +460,21 @@ class Database:
         *,
         compiled_execution: bool = True,
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        execution_mode: Optional[str] = None,
     ) -> None:
         self.schema = Schema()
         self.tables: dict[str, Table] = {}
         self.statistics = StatisticsCatalog(self.schema)
         self.server_row_cost = server_row_cost
+        if execution_mode is not None:
+            # An explicit mode wins over the legacy compiled flag; the
+            # point-lookup fast path follows it (enabled unless the
+            # database is fully interpreted).
+            compiled_execution = execution_mode != "interpreted"
         self.compiled_execution = compiled_execution
-        self._executor = Executor(self.tables, compiled=compiled_execution)
+        self._executor = Executor(
+            self.tables, compiled=compiled_execution, mode=execution_mode
+        )
         self.queries_executed = 0
         #: LRU prepared-statement cache, keyed by SQL text.
         self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
@@ -625,6 +637,26 @@ class Database:
         )
 
     # -- convenience -----------------------------------------------------
+
+    @property
+    def execution_mode(self) -> str:
+        """The executor's tier selection: vectorized/compiled/interpreted."""
+        return self._executor.mode
+
+    def execution_stats(self) -> dict:
+        """Per-tier execution counters of the underlying executor.
+
+        ``tiers`` counts which tier produced each query's rows (a
+        vectorized attempt that fell back is counted under the tier that
+        actually served it); ``vectorized`` details the vectorized tier's
+        own fallback counters.  Surfaced by ``Engine.stats()``.
+        """
+        executor = self._executor
+        return {
+            "mode": executor.mode,
+            "tiers": dict(executor.tier_counts),
+            "vectorized": executor.vectorized_stats,
+        }
 
     def row_count(self, table: str) -> int:
         """Number of rows currently stored in ``table``."""

@@ -6,9 +6,19 @@ when unambiguous, bare column keys, so that downstream expressions written
 either way evaluate correctly — the same convention the SQL parser and the
 ORM rely on.
 
-Two execution modes are supported:
+Three execution modes are supported (``Executor(tables, mode=...)``):
 
-* **compiled** (the default) — every expression used by an operator
+* **vectorized** (the default) — plans are lowered to batch pipelines over
+  columnar storage by :class:`repro.db.vectorized.VectorizedExecutor`:
+  scans wrap :meth:`repro.db.table.Table.columns`, filters compose
+  selection vectors, hash joins build and probe on key arrays, and output
+  row dicts are built only at the root of the operator tree (*late
+  materialization*).  Plans, operators, or expressions outside the
+  vectorizable subset fall back per-subtree to the compiled tier below, and
+  a kernel error re-runs the whole plan compiled so error semantics never
+  diverge.  Results are row-identical to both row tiers.
+
+* **compiled** — every expression used by an operator
   (predicate, projection output, join key, sort key, aggregate argument) is
   lowered *once per operator* to a Python closure via
   :meth:`repro.db.expressions.Expression.compile`, and the closure is called
@@ -38,14 +48,16 @@ Two execution modes are supported:
   when callers hand the executor expression types the compiler has no
   lowering for (their ``compile`` falls back to ``evaluate`` transparently).
 
-Both modes produce identical output rows in identical order.
+All modes produce identical output rows in identical order;
+:attr:`Executor.tier_counts` records which tier served each ``execute``.
 """
 
 from __future__ import annotations
 
 import operator
+from collections import OrderedDict
 from itertools import chain, islice
-from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.db import algebra
 from repro.db.expressions import (
@@ -71,31 +83,87 @@ _UNRESOLVABLE: CompiledExpression = lambda row: None
 class Executor:
     """Executes algebra plans against a mapping of table name -> Table."""
 
-    #: Compile-cache entries kept before the cache is reset.  Expression
-    #: trees embed query literals, so a long-lived executor serving
-    #: parameterized queries would otherwise accumulate one entry per
-    #: distinct literal forever; compilation is cheap, so a flush is fine.
+    #: Compile-cache entries kept before least-recently-used eviction.
+    #: Expression trees embed query literals, so a long-lived executor
+    #: serving parameterized queries would otherwise accumulate one entry
+    #: per distinct literal forever.
     COMPILE_CACHE_LIMIT = 512
 
+    #: Valid execution modes, fastest first.
+    MODES = ("vectorized", "compiled", "interpreted")
+
     def __init__(
-        self, tables: Mapping[str, Table], *, compiled: bool = True
+        self,
+        tables: Mapping[str, Table],
+        *,
+        compiled: bool = True,
+        mode: Optional[str] = None,
     ) -> None:
+        if mode is None:
+            mode = "vectorized" if compiled else "interpreted"
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; modes are {self.MODES}"
+            )
         self._tables = tables
-        self._compiled = compiled
-        #: expression -> compiled closure, reused across queries.
-        self._compile_cache: dict[Expression, CompiledExpression] = {}
+        self.mode = mode
+        #: the row tiers below the vectorized one: compiled closures unless
+        #: the executor is fully interpreted.
+        self._compiled = mode != "interpreted"
+        #: expression -> compiled closure, reused across queries (LRU).
+        self._compile_cache: OrderedDict[Expression, CompiledExpression] = (
+            OrderedDict()
+        )
         #: (context key, expression) -> closure compiled under a fused
         #: resolver (scan- or join-layout specific), reused across queries.
         #: This is what lets a slot-compiled prepared plan re-execute with
         #: zero compilation work even on the fused paths, which otherwise
-        #: lower their expressions per operator instantiation.
-        self._context_cache: dict[tuple, CompiledExpression] = {}
+        #: lower their expressions per operator instantiation.  LRU-evicted
+        #: at COMPILE_CACHE_LIMIT so steady-state workloads near the limit
+        #: drop the coldest entry instead of recompiling everything.
+        self._context_cache: OrderedDict[tuple, CompiledExpression] = (
+            OrderedDict()
+        )
+        #: execute() calls served per tier (a vectorized attempt that falls
+        #: back is counted under the tier that produced the rows).
+        self.tier_counts: dict[str, int] = {
+            "vectorized": 0,
+            "compiled": 0,
+            "interpreted": 0,
+        }
+        if mode == "vectorized":
+            from repro.db.vectorized import VectorizedExecutor
+
+            self._vectorized: Optional[VectorizedExecutor] = (
+                VectorizedExecutor(self)
+            )
+        else:
+            self._vectorized = None
 
     # -- public API ------------------------------------------------------
 
     def execute(self, plan: algebra.PlanNode) -> list[Row]:
         """Execute ``plan`` and return the output rows as a list of dicts."""
-        return list(self._execute(plan))
+        if self._vectorized is not None:
+            rows = self._vectorized.try_execute(plan)
+            if rows is not None:
+                self.tier_counts["vectorized"] += 1
+                return rows
+        tier = "compiled" if self._compiled else "interpreted"
+        rows = list(self._execute(plan))
+        self.tier_counts[tier] += 1
+        return rows
+
+    @property
+    def vectorized_stats(self) -> dict[str, int]:
+        """Vectorized-tier counters (zeros outside vectorized mode)."""
+        if self._vectorized is None:
+            return {"executions": 0, "fallbacks": 0, "subtree_fallbacks": 0}
+        return {
+            "executions": self._vectorized.executions,
+            "fallbacks": self._vectorized.fallbacks,
+            "subtree_fallbacks": self._vectorized.subtree_fallbacks,
+        }
 
     def invalidate_context_cache(self) -> None:
         """Drop every resolver-context compiled closure (call on DDL).
@@ -103,9 +171,13 @@ class Executor:
         Context entries are keyed by ``id(table)``; once a table object can
         be replaced (and eventually garbage collected), a recycled address
         could otherwise serve closures compiled against the old schema.
-        The schema-independent expression cache is unaffected.
+        The vectorized tier's lowered-plan cache closes over the same
+        tables, so it is dropped too.  The schema-independent expression
+        cache is unaffected.
         """
         self._context_cache.clear()
+        if self._vectorized is not None:
+            self._vectorized.invalidate()
 
     # -- dispatch --------------------------------------------------------
 
@@ -139,8 +211,10 @@ class Executor:
         if cached is None:
             cached = expression.compile()
             if len(self._compile_cache) >= self.COMPILE_CACHE_LIMIT:
-                self._compile_cache.clear()
+                self._compile_cache.popitem(last=False)
             self._compile_cache[expression] = cached
+        else:
+            self._compile_cache.move_to_end(expression)
         return cached
 
     def _context_expr(
@@ -158,7 +232,10 @@ class Executor:
         a recycled object address can never serve stale closures.  A
         ``compile_fn`` returning ``None`` (expression not resolvable in this
         context) is memoized too, so repeated executions of a fallback shape
-        skip re-deriving the failure.
+        skip re-deriving the failure.  Eviction is least-recently-used:
+        a steady-state workload cycling through slightly more than
+        COMPILE_CACHE_LIMIT shapes drops only the coldest entry per miss
+        instead of flushing (and then recompiling) every live closure.
         """
         key = (context, expression)
         try:
@@ -169,8 +246,10 @@ class Executor:
             compiled = compile_fn(expression)
             cached = _UNRESOLVABLE if compiled is None else compiled
             if len(self._context_cache) >= self.COMPILE_CACHE_LIMIT:
-                self._context_cache.clear()
+                self._context_cache.popitem(last=False)
             self._context_cache[key] = cached
+        else:
+            self._context_cache.move_to_end(key)
         return None if cached is _UNRESOLVABLE else cached
 
     def _fused_expr(
@@ -202,6 +281,19 @@ class Executor:
     # -- scan fusion -----------------------------------------------------
 
     @staticmethod
+    def _peel_selects(
+        plan: algebra.PlanNode,
+    ) -> tuple[algebra.PlanNode, list[Expression]]:
+        """Strip ``Select`` wrappers, returning the inner node and the
+        predicates in application (inner-to-outer) order."""
+        predicates: list[Expression] = []
+        while isinstance(plan, algebra.Select):
+            predicates.append(plan.predicate)
+            plan = plan.child
+        predicates.reverse()
+        return plan, predicates
+
+    @staticmethod
     def _peel_scan(
         plan: algebra.PlanNode,
     ) -> tuple[Optional[algebra.Scan], list[Expression]]:
@@ -210,13 +302,19 @@ class Executor:
         Returns the scan and its predicates in application (inner-to-outer)
         order, or ``(None, [])`` when the subtree is not a filtered scan.
         """
-        predicates: list[Expression] = []
-        while isinstance(plan, algebra.Select):
-            predicates.append(plan.predicate)
-            plan = plan.child
-        if isinstance(plan, algebra.Scan):
-            predicates.reverse()
-            return plan, predicates
+        node, predicates = Executor._peel_selects(plan)
+        if isinstance(node, algebra.Scan):
+            return node, predicates
+        return None, []
+
+    @staticmethod
+    def _peel_join(
+        plan: algebra.PlanNode,
+    ) -> tuple[Optional[algebra.Join], list[Expression]]:
+        """Like :meth:`_peel_scan`, but for a (filtered) join subtree."""
+        node, predicates = Executor._peel_selects(plan)
+        if isinstance(node, algebra.Join):
+            return node, predicates
         return None, []
 
     def _fused_scan(self, plan: algebra.PlanNode) -> Optional["_FusedScan"]:
@@ -263,10 +361,17 @@ class Executor:
         if fused is not None:
             # Filter base rows; build the alias view only for survivors.
             return map(fused.materialize, self._fused_base_rows(fused))
+        if self._compiled:
+            fused_join = self._fused_join_filter(plan)
+            if fused_join is not None:
+                # Filters directly above a fusable equi-join run inside the
+                # join's probe loop on (left, right) base-row pairs; the
+                # merged row is built only for pairs that pass.
+                return fused_join
         return filter(self._expr(plan.predicate), self._execute(plan.child))
 
     def _project(self, plan: algebra.Project) -> Iterable[Row]:
-        if self._compiled and isinstance(plan.child, algebra.Join):
+        if self._compiled:
             fused = self._fused_join_project(plan)
             if fused is not None:
                 return fused
@@ -394,6 +499,16 @@ class Executor:
         build_col: ColumnRef,
     ) -> Iterator[Row]:
         """Full-width fused join output (bare + qualified keys, both sides)."""
+        pairs = self._fused_join_pairs(left, right, probe_col, build_col)
+        return self._materialize_join_pairs(left, right, pairs)
+
+    def _materialize_join_pairs(
+        self,
+        left: "_FusedScan",
+        right: "_FusedScan",
+        pairs: Iterable[tuple[Row, Row]],
+    ) -> Iterator[Row]:
+        """Merged full-width rows for base-row ``pairs`` of a fused join."""
         left_keys = left.all_keys
         left_values = left.values
         right_values = right.values
@@ -402,9 +517,7 @@ class Executor:
         templates: dict[int, Row] = {}
         last_left: Optional[Row] = None
         lv2: tuple = ()
-        for left_base, right_base in self._fused_join_pairs(
-            left, right, probe_col, build_col
-        ):
+        for left_base, right_base in pairs:
             template = templates.get(id(right_base))
             if template is None:
                 rv = right_values(right_base)
@@ -420,25 +533,15 @@ class Executor:
             out.update(zip(left_keys, lv2))
             yield out
 
-    def _fused_join_project(
-        self, plan: algebra.Project
-    ) -> Optional[Iterator[Row]]:
-        """Projection fused through an equi-join of two (filtered) scans.
+    def _pair_compiler(
+        self, left: "_FusedScan", right: "_FusedScan"
+    ) -> Callable[[Expression], Optional[CompiledExpression]]:
+        """A compiler lowering expressions onto (left, right) base-row pairs.
 
-        Output expressions are compiled against (left base row, right base
-        row) pairs, so the merged join row is never materialised.  Applies
-        only when every column reference statically resolves to one side;
-        anything else falls back to the generic project-over-join path.
+        Returns ``None`` for expressions whose column references do not all
+        statically resolve to exactly one side; callers then fall back to
+        evaluating on merged rows.
         """
-        join: algebra.Join = plan.child  # type: ignore[assignment]
-        equi = _equi_join_columns(join.condition)
-        if equi is None:
-            return None
-        parts = self._fused_join_parts(join, equi)
-        if parts is None:
-            return None
-        left, right, probe_col, build_col = parts
-        context = (id(left.table), left.alias, id(right.table), right.alias)
 
         def compile_pair(expression: Expression) -> Optional[CompiledExpression]:
             unresolved = False
@@ -462,13 +565,112 @@ class Executor:
             compiled = expression.compile(pair_resolver)
             return None if unresolved else compiled
 
+        return compile_pair
+
+    def _compile_pair_conjuncts(
+        self,
+        left: "_FusedScan",
+        right: "_FusedScan",
+        predicates: list[Expression],
+    ) -> Optional[list[CompiledExpression]]:
+        """Compile filter predicates as (left, right) pair closures.
+
+        Predicates are flattened into conjuncts (preserving application
+        order); ``None`` means at least one conjunct does not statically
+        resolve, so the caller must materialise merged rows instead.
+        """
+        context = (id(left.table), left.alias, id(right.table), right.alias)
+        compile_pair = self._pair_compiler(left, right)
+        compiled: list[CompiledExpression] = []
+        for predicate in predicates:
+            for conjunct in _flatten_and(predicate):
+                evaluate = self._context_expr(context, conjunct, compile_pair)
+                if evaluate is None:
+                    return None
+                compiled.append(evaluate)
+        return compiled
+
+    def _filtered_join_pairs(
+        self,
+        left: "_FusedScan",
+        right: "_FusedScan",
+        probe_col: ColumnRef,
+        build_col: ColumnRef,
+        filters: list[CompiledExpression],
+    ) -> Iterator[tuple[Row, Row]]:
+        """Fused join pairs with filter conjuncts applied inside the probe."""
+        pairs: Iterator[tuple[Row, Row]] = self._fused_join_pairs(
+            left, right, probe_col, build_col
+        )
+        for evaluate in filters:
+            pairs = filter(evaluate, pairs)
+        return pairs
+
+    def _fused_join_filter(
+        self, plan: algebra.Select
+    ) -> Optional[Iterator[Row]]:
+        """``Select`` stack above an equi-join fused into the probe loop.
+
+        The predicates compile against (left base row, right base row)
+        pairs, so non-matching pairs are rejected before the merged row
+        exists; full-width rows are built only for survivors.  Falls back
+        (returns ``None``) unless both join inputs fuse and every predicate
+        column statically resolves to one side.
+        """
+        join, predicates = self._peel_join(plan)
+        if join is None:
+            return None
+        equi = _equi_join_columns(join.condition)
+        if equi is None:
+            return None
+        parts = self._fused_join_parts(join, equi)
+        if parts is None:
+            return None
+        left, right, probe_col, build_col = parts
+        filters = self._compile_pair_conjuncts(left, right, predicates)
+        if filters is None:
+            return None
+        pairs = self._filtered_join_pairs(
+            left, right, probe_col, build_col, filters
+        )
+        return self._materialize_join_pairs(left, right, pairs)
+
+    def _fused_join_project(
+        self, plan: algebra.Project
+    ) -> Optional[Iterator[Row]]:
+        """Projection fused through a (filtered) equi-join of two scans.
+
+        Output expressions — and any filter predicates between the
+        projection and the join — are compiled against (left base row,
+        right base row) pairs, so the merged join row is never
+        materialised.  Applies only when every column reference statically
+        resolves to one side; anything else falls back to the generic
+        project-over-join path.
+        """
+        join, predicates = self._peel_join(plan.child)
+        if join is None:
+            return None
+        equi = _equi_join_columns(join.condition)
+        if equi is None:
+            return None
+        parts = self._fused_join_parts(join, equi)
+        if parts is None:
+            return None
+        left, right, probe_col, build_col = parts
+        filters = self._compile_pair_conjuncts(left, right, predicates)
+        if filters is None:
+            return None
+        context = (id(left.table), left.alias, id(right.table), right.alias)
+        compile_pair = self._pair_compiler(left, right)
         outputs = []
         for o in plan.outputs:
             compiled = self._context_expr(context, o.expression, compile_pair)
             if compiled is None:
                 return None
             outputs.append((o.name, compiled))
-        pairs = self._fused_join_pairs(left, right, probe_col, build_col)
+        pairs = self._filtered_join_pairs(
+            left, right, probe_col, build_col, filters
+        )
         return (
             {name: evaluate(pair) for name, evaluate in outputs}
             for pair in pairs
@@ -593,21 +795,9 @@ class Executor:
             rows_iter = self._execute(plan.child)
         # Aggregates often share their argument (sum(x) next to avg(x)):
         # compile each distinct argument once and evaluate it once per group.
-        arg_exprs: list[Expression] = []
-        arg_fns: list[CompiledExpression] = []
-        spec_slots: list[tuple[algebra.AggregateSpec, Optional[int]]] = []
-        for spec in plan.aggregates:
-            if spec.argument is None:  # count(*)
-                spec_slots.append((spec, None))
-                continue
-            for slot, existing in enumerate(arg_exprs):
-                if existing == spec.argument:
-                    break
-            else:
-                slot = len(arg_exprs)
-                arg_exprs.append(spec.argument)
-                arg_fns.append(compile_expr(spec.argument))
-            spec_slots.append((spec, slot))
+        planned = plan_aggregate_arguments(plan.aggregates, compile_expr)
+        assert planned is not None  # row compilers never fail
+        arg_fns, spec_slots = planned
 
         def emit_into(out: Row, rows: list[Row]) -> Row:
             cache: list[Optional[list]] = [None] * len(arg_fns)
@@ -625,6 +815,8 @@ class Executor:
         if not plan.group_by:
             yield emit_into({}, list(rows_iter))
             return
+        # Bucketing is mirrored by the vectorized tier's _lower_aggregate
+        # (over positions instead of rows) — change the two together.
         keys = [compile_expr(column) for column in plan.group_by]
         if len(keys) == 1:
             # Scalar group keys: skip the per-row tuple construction.
@@ -658,6 +850,23 @@ class Executor:
             yield emit_into(out, group_rows)
 
     def _sort(self, plan: algebra.Sort) -> Iterable[Row]:
+        fused = self._fused_scan(plan.child)
+        if fused is not None and all(
+            fused.owns(key.column) for key in plan.keys
+        ):
+            # Scan fusion for sort keys: compile the keys against the base
+            # row layout, order the base rows, and materialise the alias
+            # view only once per output row — after sorting.  Only owned
+            # keys fuse: an unresolvable key must keep raising against the
+            # materialized row layout, identically to the other tiers.
+            rows = list(self._fused_base_rows(fused))
+            for key in reversed(plan.keys):
+                evaluate = self._fused_expr(fused, key.column)
+                rows.sort(
+                    key=lambda row: _sort_key(evaluate(row)),
+                    reverse=not key.ascending,
+                )
+            return map(fused.materialize, rows)
         rows = list(self._execute(plan.child))
         # Sort by the last key first so earlier keys take precedence.
         for key in reversed(plan.keys):
@@ -753,6 +962,41 @@ class _FusedScan:
 
 
 # -- helpers ------------------------------------------------------------
+
+
+def plan_aggregate_arguments(
+    aggregates: Sequence[algebra.AggregateSpec],
+    compile_arg: Callable[[Expression], Optional[Any]],
+) -> Optional[tuple[list, list[tuple[algebra.AggregateSpec, Optional[int]]]]]:
+    """Deduplicate aggregate arguments into evaluation slots.
+
+    Returns ``(compiled_args, spec_slots)`` where each distinct argument
+    expression was compiled once via ``compile_arg`` and every spec maps to
+    its argument's slot (``None`` for ``count(*)``), so ``sum(x)`` next to
+    ``avg(x)`` evaluates ``x`` once per group.  Shared by the row tiers and
+    the vectorized tier, whose emit loops must stay slot-compatible.
+    Returns ``None`` when ``compile_arg`` fails for any argument (only the
+    vectorized kernel compiler can fail).
+    """
+    arg_exprs: list[Expression] = []
+    compiled: list = []
+    spec_slots: list[tuple[algebra.AggregateSpec, Optional[int]]] = []
+    for spec in aggregates:
+        if spec.argument is None:  # count(*)
+            spec_slots.append((spec, None))
+            continue
+        for slot, existing in enumerate(arg_exprs):
+            if existing == spec.argument:
+                break
+        else:
+            slot = len(arg_exprs)
+            evaluate = compile_arg(spec.argument)
+            if evaluate is None:
+                return None
+            arg_exprs.append(spec.argument)
+            compiled.append(evaluate)
+        spec_slots.append((spec, slot))
+    return compiled, spec_slots
 
 
 def _flatten_and(predicate: Expression) -> list[Expression]:

@@ -15,6 +15,19 @@ Python closure ``row -> value``.  The executor compiles each expression once
 per operator and calls the closure per row, avoiding the per-row dispatch and
 attribute lookups of the interpreter while producing byte-identical results
 (including NULL semantics, qualified/unqualified fallback, and errors).
+
+For the vectorized executor (:mod:`repro.db.vectorized`), nodes additionally
+support :meth:`Expression.compile_batch`, which lowers the tree once into a
+*batch kernel* ``batch -> value list``: one call evaluates the expression
+over every row of a column batch, looping in comprehension form over whole
+column arrays instead of dispatching per row.  ``compile_batch`` returns
+``None`` for node types outside the vectorizable subset, which tells the
+executor to fall back to the compiled (row-closure) tier for that subtree.
+Kernels preserve the interpreter's value semantics exactly (NULL handling,
+scalar folding of literals and parameter slots); evaluation-order-dependent
+*error* behaviour (e.g. a division that a short-circuited AND would have
+skipped) is preserved by the executor, which re-runs the query on the
+compiled tier whenever a kernel raises.
 """
 
 from __future__ import annotations
@@ -32,6 +45,16 @@ CompiledExpression = Callable[[Row], Any]
 #: getter for a column reference; returning ``None`` falls back to the
 #: generic qualified/bare/suffix resolution of :meth:`ColumnRef.evaluate`.
 ColumnResolver = Callable[["ColumnRef"], Optional[CompiledExpression]]
+
+#: A batch kernel: evaluates an expression over every row of a column batch
+#: (any object with a ``length`` attribute and column-array access supplied
+#: by the resolver) and returns one value list aligned with the batch.
+BatchKernel = Callable[[Any], list]
+
+#: A batch resolver maps a column reference to the kernel producing that
+#: column's value array; returning ``None`` marks the reference (and thus
+#: the whole expression) as not vectorizable in the caller's context.
+BatchResolver = Callable[["ColumnRef"], Optional[BatchKernel]]
 
 
 class ExpressionError(Exception):
@@ -54,6 +77,18 @@ class Expression:
         """
         return self.evaluate
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        """Lower the expression to a kernel ``batch -> value list``.
+
+        The kernel's output must agree element-for-element with calling
+        :meth:`evaluate` on each row of the batch.  Returns ``None`` when
+        this node (or any subexpression) has no vectorized lowering; the
+        caller then falls back to row-at-a-time execution for the subtree.
+        """
+        return None
+
     def referenced_columns(self) -> set[str]:
         """All column names (possibly qualified) referenced by the expression."""
         return set()
@@ -75,6 +110,12 @@ class Literal(Expression):
     def compile(self, resolver: ColumnResolver | None = None) -> CompiledExpression:
         value = self.value
         return lambda row: value
+
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        value = self.value
+        return lambda batch: [value] * batch.length
 
     def to_sql(self) -> str:
         if isinstance(self.value, str):
@@ -156,6 +197,13 @@ class ColumnRef(Expression):
 
         return getter
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        if resolver is None:
+            return None
+        return resolver(self)
+
     def referenced_columns(self) -> set[str]:
         return {self.qualified_name}
 
@@ -198,6 +246,15 @@ class ParameterSlot(Expression):
         index = self.index
         return lambda row: slots[index]
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        # The buffer is read at kernel-call time, so a prepared statement's
+        # vectorized plan stays reusable across executions.
+        slots = self.slots
+        index = self.index
+        return lambda batch: [slots[index]] * batch.length
+
     def to_sql(self) -> str:
         return "?"
 
@@ -223,6 +280,22 @@ _BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
 
 #: Operators with NULL-propagating (rather than NULL-is-false) semantics.
 _ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+
+def _batch_scalar(expression: "Expression") -> Optional[Callable[[], Any]]:
+    """A per-batch scalar reader for literal/parameter operands, else None.
+
+    Batch kernels fold these operands to one read per batch instead of
+    broadcasting them into a full value array.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda: value
+    if isinstance(expression, ParameterSlot):
+        slots = expression.slots
+        index = expression.index
+        return lambda: slots[index]
+    return None
 
 
 @dataclass(frozen=True)
@@ -284,6 +357,71 @@ class BinaryOp(Expression):
 
         return run
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        func = _BINARY_OPS[self.op]
+        null_result = None if self.op in _ARITHMETIC_OPS else False
+        left_scalar = _batch_scalar(self.left)
+        right_scalar = _batch_scalar(self.right)
+        if left_scalar is not None and right_scalar is not None:
+
+            def run_const(batch: Any) -> list:
+                if batch.length == 0:
+                    return []
+                lhs = left_scalar()
+                rhs = right_scalar()
+                value = (
+                    null_result
+                    if lhs is None or rhs is None
+                    else func(lhs, rhs)
+                )
+                return [value] * batch.length
+
+            return run_const
+        if right_scalar is not None:
+            left = self.left.compile_batch(resolver)
+            if left is None:
+                return None
+
+            def run_right_const(batch: Any) -> list:
+                values = left(batch)
+                rhs = right_scalar()
+                if rhs is None:
+                    return [null_result] * len(values)
+                return [
+                    null_result if v is None else func(v, rhs) for v in values
+                ]
+
+            return run_right_const
+        if left_scalar is not None:
+            right = self.right.compile_batch(resolver)
+            if right is None:
+                return None
+
+            def run_left_const(batch: Any) -> list:
+                values = right(batch)
+                lhs = left_scalar()
+                if lhs is None:
+                    return [null_result] * len(values)
+                return [
+                    null_result if v is None else func(lhs, v) for v in values
+                ]
+
+            return run_left_const
+        left = self.left.compile_batch(resolver)
+        right = self.right.compile_batch(resolver)
+        if left is None or right is None:
+            return None
+
+        def run(batch: Any) -> list:
+            return [
+                null_result if lhs is None or rhs is None else func(lhs, rhs)
+                for lhs, rhs in zip(left(batch), right(batch))
+            ]
+
+        return run
+
     def referenced_columns(self) -> set[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
 
@@ -332,6 +470,36 @@ class BooleanOp(Expression):
 
         return run
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        operands = []
+        for operand in self.operands:
+            kernel = operand.compile_batch(resolver)
+            if kernel is None:
+                return None
+            operands.append(kernel)
+        first, rest = operands[0], operands[1:]
+        if self.op == "and":
+
+            def run(batch: Any) -> list:
+                result = [bool(v) for v in first(batch)]
+                for kernel in rest:
+                    values = kernel(batch)
+                    result = [r and bool(v) for r, v in zip(result, values)]
+                return result
+
+        else:
+
+            def run(batch: Any) -> list:
+                result = [bool(v) for v in first(batch)]
+                for kernel in rest:
+                    values = kernel(batch)
+                    result = [r or bool(v) for r, v in zip(result, values)]
+                return result
+
+        return run
+
     def referenced_columns(self) -> set[str]:
         cols: set[str] = set()
         for operand in self.operands:
@@ -356,6 +524,14 @@ class Not(Expression):
         operand = self.operand.compile(resolver)
         return lambda row: not operand(row)
 
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        operand = self.operand.compile_batch(resolver)
+        if operand is None:
+            return None
+        return lambda batch: [not v for v in operand(batch)]
+
     def referenced_columns(self) -> set[str]:
         return self.operand.referenced_columns()
 
@@ -379,6 +555,16 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
+
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        operand = self.operand.compile_batch(resolver)
+        if operand is None:
+            return None
+        if self.negated:
+            return lambda batch: [v is not None for v in operand(batch)]
+        return lambda batch: [v is None for v in operand(batch)]
 
     def referenced_columns(self) -> set[str]:
         return self.operand.referenced_columns()
@@ -413,6 +599,33 @@ class InList(Expression):
             except TypeError:
                 # Unhashable row value: match the interpreter's tuple scan.
                 return value in original
+
+        return run
+
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        operand = self.operand.compile_batch(resolver)
+        if operand is None:
+            return None
+        original = self.values
+        try:
+            values: Any = frozenset(original)
+        except TypeError:
+            values = None
+
+        def run(batch: Any) -> list:
+            out = []
+            append = out.append
+            for value in operand(batch):
+                if values is None:
+                    append(value in original)
+                    continue
+                try:
+                    append(value in values)
+                except TypeError:
+                    append(value in original)
+            return out
 
         return run
 
@@ -454,6 +667,35 @@ class FunctionCall(Expression):
             return self.evaluate
         args = tuple(a.compile(resolver) for a in self.args)
         return lambda row: func(*(a(row) for a in args))
+
+    def compile_batch(
+        self, resolver: BatchResolver | None = None
+    ) -> Optional[BatchKernel]:
+        func = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if func is None:
+            # No lowering: the caller falls back to the row tiers, which
+            # surface the unknown-function error at evaluation time.
+            return None
+        kernels = []
+        for arg in self.args:
+            kernel = arg.compile_batch(resolver)
+            if kernel is None:
+                return None
+            kernels.append(kernel)
+        if not kernels:
+
+            def run_no_args(batch: Any) -> list:
+                if batch.length == 0:
+                    return []
+                return [func() for _ in range(batch.length)]
+
+            return run_no_args
+
+        def run(batch: Any) -> list:
+            columns = [kernel(batch) for kernel in kernels]
+            return [func(*values) for values in zip(*columns)]
+
+        return run
 
     def referenced_columns(self) -> set[str]:
         cols: set[str] = set()

@@ -12,6 +12,13 @@ invalidated whenever the table mutates (insert, update, clear), tracked by a
 monotonically increasing :attr:`Table.version`.  The executor uses secondary
 indexes for index-nested-loop joins and hash-join build sides; the statistics
 catalog uses the cached distinct counts.
+
+Tables also expose a *columnar view* (:meth:`Table.columns`): one value list
+per column, aligned by row position.  Like the secondary indexes it is built
+lazily on first use and rebuilt when :attr:`Table.version` moves, so the
+row dicts remain the single mutation/validation surface while the vectorized
+executor (:mod:`repro.db.vectorized`) scans whole columns without touching
+per-row dictionaries.
 """
 
 from __future__ import annotations
@@ -36,6 +43,10 @@ class Table:
         self._indexes: dict[str, dict[Any, list[Row]]] = {}
         #: column name -> cached distinct non-null value count.
         self._distinct_cache: dict[str, int] = {}
+        #: cached columnar view (column name -> value list) and the table
+        #: version it was built against; rebuilt lazily when stale.
+        self._columnar: Optional[dict[str, list]] = None
+        self._columnar_version: int = -1
         #: bumped on every mutation; external caches may key on this.
         self.version: int = 0
 
@@ -136,6 +147,7 @@ class Table:
             self._indexes.clear()
         if self._distinct_cache:
             self._distinct_cache.clear()
+        self._columnar = None
 
     # -- access ----------------------------------------------------------
 
@@ -181,6 +193,28 @@ class Table:
                     bucket.append(row)
             self._indexes[column] = index
         return index
+
+    def columns(self) -> dict[str, list]:
+        """Columnar view: column name -> list of values, aligned by row.
+
+        Built lazily from the row dicts on first use and cached until the
+        table mutates (checked against :attr:`version`, like
+        :meth:`index_for`).  Row dicts remain the mutation surface; the
+        returned lists are positionally aligned with :attr:`rows` and must
+        not be mutated by callers.  The vectorized executor scans these
+        arrays instead of iterating row dictionaries.
+        """
+        cached = self._columnar
+        if cached is not None and self._columnar_version == self.version:
+            return cached
+        rows = self.rows
+        store = {
+            name: [row[name] for row in rows]
+            for name in self.schema.column_names
+        }
+        self._columnar = store
+        self._columnar_version = self.version
+        return store
 
     @property
     def row_width(self) -> int:

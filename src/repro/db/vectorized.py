@@ -1,0 +1,708 @@
+"""Vectorized batch execution over columnar storage.
+
+This is the engine's third execution tier (see :mod:`repro.db.executor` for
+the compiled and interpreted row tiers).  Plans are lowered once into a
+pipeline of *batch operators* flowing :class:`ColumnBatch` objects — bundles
+of column value arrays plus a shared selection (row-index) vector — instead
+of streams of per-row dictionaries:
+
+* **Scans** wrap the table's lazy columnar view (:meth:`repro.db.table.
+  Table.columns`) without copying anything: every column is the table's own
+  value array with an identity selection.
+* **Filters** evaluate predicate kernels (:meth:`repro.db.expressions.
+  Expression.compile_batch`) over whole columns and *compose selection
+  vectors*; no row is copied, and AND conjunctions shrink the selection
+  stage by stage like the row tier's fused filter chain.
+* **Hash joins** build and probe on key arrays and carry the match as a pair
+  of (left positions, right positions); the joined batch merely re-points
+  both sides' columns at the new selections.
+* **Late materialization**: output row dictionaries are built only at the
+  root of the operator tree, by a code-generated row constructor that turns
+  the surviving selections into ``{key: value, ...}`` dict displays in a
+  single comprehension — eliminating the per-operator dict construction that
+  bounds the row tiers on full-width joins.
+
+Operators or expressions outside the vectorizable subset fall back
+*per-subtree* to the compiled tier: the subtree executes as rows, which are
+adapted back into a batch for the vectorized ancestors.  Any error raised
+during a vectorized run makes the owning :class:`~repro.db.executor.
+Executor` re-run the whole plan on the compiled tier, so evaluation-order
+and error semantics can never diverge from the row tiers; both tiers are
+property-tested row-identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.db import algebra
+from repro.db.executor import (
+    ExecutionError,
+    _compute_aggregate,
+    _equi_join_columns,
+    _flatten_and,
+    _sort_key,
+    plan_aggregate_arguments,
+)
+from repro.db.expressions import BatchKernel, ColumnRef, Expression
+from repro.db.table import Row
+
+
+class BatchResolutionError(Exception):
+    """A column reference did not resolve against a batch at run time.
+
+    Raised inside batch kernels; the executor responds by re-running the
+    plan on the compiled tier, which reproduces the row tiers' exact
+    behaviour (a value via suffix fallback, or the user-visible error).
+    """
+
+
+#: A lowered batch operator: produces one ColumnBatch per execution.
+BatchOp = Callable[[], "ColumnBatch"]
+
+#: Sentinel cached for plans that have no vectorized lowering.
+_UNVECTORIZABLE: BatchOp = lambda: _empty_batch()  # pragma: no cover
+
+
+class ColumnBatch:
+    """A columnar slice of intermediate results.
+
+    ``columns`` maps output key (bare and ``alias.column`` qualified names,
+    matching the row tiers' output layout) to ``(array, selection)`` where
+    ``selection`` is a list of row indices into ``array`` — or ``None`` for
+    the identity selection.  Distinct columns share selection *objects*, so
+    operators that filter or join re-point many columns by rebuilding only
+    one or two index vectors.  ``key_order`` fixes the materialized dict
+    layout; ``rows`` optionally carries already-materialized row dicts
+    (aggregate outputs, fallback subtrees) so the root does not rebuild
+    them.
+    """
+
+    __slots__ = ("columns", "length", "key_order", "rows", "_gathered")
+
+    def __init__(
+        self,
+        columns: dict[str, tuple[list, Optional[list[int]]]],
+        length: int,
+        key_order: tuple[str, ...],
+        rows: Optional[list[Row]] = None,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.key_order = key_order
+        self.rows = rows
+        #: (id(array), id(selection)) -> gathered value list, memoized so
+        #: several expressions over one column gather it once per batch.
+        self._gathered: dict[tuple[int, int], list] = {}
+
+    def values_for(self, name: str) -> list:
+        """The value array of column ``name``, gathered through its selection."""
+        array, selection = self.columns[name]
+        if selection is None:
+            return array
+        key = (id(array), id(selection))
+        gathered = self._gathered.get(key)
+        if gathered is None:
+            gathered = [array[i] for i in selection]
+            self._gathered[key] = gathered
+        return gathered
+
+    def resolve(self, column: ColumnRef) -> Optional[str]:
+        """Resolve a column reference to one of this batch's keys.
+
+        Mirrors :meth:`ColumnRef.evaluate`: qualified key first, then the
+        bare name, then a unique ``.name`` suffix match.  Returns ``None``
+        when the reference is missing or ambiguous.
+        """
+        columns = self.columns
+        if column.qualifier:
+            qualified = f"{column.qualifier}.{column.name}"
+            if qualified in columns:
+                return qualified
+        if column.name in columns:
+            return column.name
+        suffix = f".{column.name}"
+        matches = [key for key in columns if key.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def column_values(self, column: ColumnRef) -> list:
+        """The value array for a column reference (the kernel entry point)."""
+        name = self.resolve(column)
+        if name is None:
+            if self.length == 0:
+                # No rows would ever be evaluated by the row tiers either.
+                return []
+            raise BatchResolutionError(column.qualified_name)
+        return self.values_for(name)
+
+    def take(self, positions: list[int]) -> "ColumnBatch":
+        """A new batch selecting ``positions`` (batch-relative row indices).
+
+        Selection vectors are composed per *distinct* selection object, not
+        per column, so a filter over an N-column batch rebuilds one or two
+        index lists and re-points every column at them.
+        """
+        rebuilt: dict[int, list[int]] = {}
+        columns: dict[str, tuple[list, Optional[list[int]]]] = {}
+        for name, (array, selection) in self.columns.items():
+            cache_key = id(selection)
+            new_selection = rebuilt.get(cache_key)
+            if new_selection is None:
+                if selection is None:
+                    new_selection = positions
+                else:
+                    new_selection = [selection[p] for p in positions]
+                rebuilt[cache_key] = new_selection
+            columns[name] = (array, new_selection)
+        rows = self.rows
+        if rows is not None:
+            rows = [rows[p] for p in positions]
+        return ColumnBatch(columns, len(positions), self.key_order, rows)
+
+
+def _empty_batch() -> ColumnBatch:
+    return ColumnBatch({}, 0, ())
+
+
+def _batch_from_rows(rows: list[Row]) -> ColumnBatch:
+    """Adapt row-tier output (a fallback subtree) into a column batch."""
+    if not rows:
+        return _empty_batch()
+    keys = tuple(rows[0])
+    columns: dict[str, tuple[list, Optional[list[int]]]] = {
+        key: ([row[key] for row in rows], None) for key in keys
+    }
+    return ColumnBatch(columns, len(rows), keys, rows)
+
+
+def _hash_join_positions(
+    probe_values: Sequence, build_values: Sequence
+) -> tuple[Optional[list[int]], list[int]]:
+    """Matching (probe, build) position pairs of an equi join.
+
+    Returns ``(probe_positions, build_positions)``; a ``None`` probe side
+    means the identity selection (every probe row matched exactly once, in
+    order).  NULL keys never match, mirroring the row tiers.  The common
+    unique-build-key case (foreign key to primary key) probes through one
+    C-level ``map`` over the build table instead of a Python loop.
+    """
+    build_count = len(build_values)
+    unique = dict(zip(build_values, range(build_count)))
+    if len(unique) == build_count and None not in unique:
+        build_positions = list(map(unique.get, probe_values))
+        if None in build_positions:
+            probe_positions = [
+                i for i, b in enumerate(build_positions) if b is not None
+            ]
+            build_positions = [build_positions[i] for i in probe_positions]
+            return probe_positions, build_positions
+        return None, build_positions
+    # Duplicate (or NULL) build keys: classic bucket build and probe.
+    buckets: dict[Any, list[int]] = {}
+    for position, key in enumerate(build_values):
+        if key is None:
+            continue
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [position]
+        else:
+            bucket.append(position)
+    probe_out: list[int] = []
+    build_out: list[int] = []
+    append_probe = probe_out.append
+    append_build = build_out.append
+    for position, key in enumerate(probe_values):
+        if key is None:
+            continue
+        bucket = buckets.get(key)
+        if bucket is None:
+            continue
+        if len(bucket) == 1:
+            append_probe(position)
+            append_build(bucket[0])
+        else:
+            probe_out.extend([position] * len(bucket))
+            build_out.extend(bucket)
+    return probe_out, build_out
+
+
+class VectorizedExecutor:
+    """Lowers algebra plans to batch pipelines and runs them.
+
+    Owned by an :class:`~repro.db.executor.Executor` in ``vectorized`` mode.
+    Lowered pipelines are cached in an LRU keyed by the plan object, so a
+    prepared statement's slot-compiled template re-executes with zero
+    lowering work; the cache is dropped on DDL together with the executor's
+    resolver-context closures.
+    """
+
+    #: Lowered-plan cache entries kept before LRU eviction.
+    OP_CACHE_LIMIT = 256
+
+    def __init__(self, executor) -> None:
+        self._executor = executor
+        self._tables = executor._tables
+        #: plan -> lowered BatchOp (or the unvectorizable sentinel), LRU.
+        self._ops: OrderedDict[algebra.PlanNode, BatchOp] = OrderedDict()
+        #: materializer-layout signature -> code-generated row constructor,
+        #: LRU-evicted like the executor's compile caches.
+        self._makers: OrderedDict[tuple, Callable] = OrderedDict()
+        #: queries served entirely by this tier.
+        self.executions = 0
+        #: queries that bailed to the compiled tier (no lowering, or a
+        #: kernel raised at run time).
+        self.fallbacks = 0
+        #: subtrees executed on the compiled tier inside a vectorized run.
+        self.subtree_fallbacks = 0
+
+    # -- public API ------------------------------------------------------
+
+    def try_execute(self, plan: algebra.PlanNode) -> Optional[list[Row]]:
+        """Execute ``plan`` vectorized, or return ``None`` to fall back.
+
+        Any exception other than :class:`~repro.db.executor.ExecutionError`
+        (which the row tiers raise identically, e.g. for unknown tables)
+        aborts the vectorized attempt; the caller re-runs the plan on the
+        compiled tier, which reproduces genuine user-visible errors with
+        row-tier semantics.
+        """
+        op = self._op(plan)
+        if op is None:
+            self.fallbacks += 1
+            return None
+        try:
+            batch = op()
+            rows = self._materialize(batch)
+        except ExecutionError:
+            raise
+        except Exception:
+            self.fallbacks += 1
+            return None
+        self.executions += 1
+        return rows
+
+    def invalidate(self) -> None:
+        """Drop every cached lowered pipeline (call on DDL)."""
+        self._ops.clear()
+
+    # -- lowering --------------------------------------------------------
+
+    def _op(self, plan: algebra.PlanNode) -> Optional[BatchOp]:
+        """The cached lowering of ``plan`` (None when unvectorizable)."""
+        try:
+            cached = self._ops.get(plan)
+        except TypeError:  # unhashable literal buried in the plan
+            return self._lower(plan)
+        if cached is None:
+            op = self._lower(plan)
+            if len(self._ops) >= self.OP_CACHE_LIMIT:
+                self._ops.popitem(last=False)
+            self._ops[plan] = op if op is not None else _UNVECTORIZABLE
+            return op
+        self._ops.move_to_end(plan)
+        return None if cached is _UNVECTORIZABLE else cached
+
+    def _lower(self, plan: algebra.PlanNode) -> Optional[BatchOp]:
+        if isinstance(plan, algebra.Scan):
+            return self._lower_scan(plan)
+        if isinstance(plan, algebra.Select):
+            return self._lower_select(plan)
+        if isinstance(plan, algebra.Project):
+            return self._lower_project(plan)
+        if isinstance(plan, algebra.Join):
+            return self._lower_join(plan)
+        if isinstance(plan, algebra.Aggregate):
+            return self._lower_aggregate(plan)
+        if isinstance(plan, algebra.Sort):
+            return self._lower_sort(plan)
+        if isinstance(plan, algebra.Limit):
+            return self._lower_limit(plan)
+        return None
+
+    def _source(self, plan: algebra.PlanNode) -> BatchOp:
+        """The lowering of a child plan, with per-subtree fallback.
+
+        A child outside the vectorizable subset executes on the compiled
+        tier and its rows are adapted into a batch, so one unsupported
+        operator or expression does not force the whole query off the
+        vectorized path.
+        """
+        op = self._op(plan)
+        if op is not None:
+            return op
+        executor = self._executor
+
+        def run() -> ColumnBatch:
+            self.subtree_fallbacks += 1
+            return _batch_from_rows(list(executor._execute(plan)))
+
+        return run
+
+    def _kernel(self, expression: Expression) -> Optional[BatchKernel]:
+        return expression.compile_batch(self._resolve_column)
+
+    def _resolve_column(self, column: ColumnRef) -> BatchKernel:
+        """The batch resolver: columns resolve dynamically per batch."""
+
+        def kernel(batch: ColumnBatch) -> list:
+            return batch.column_values(column)
+
+        return kernel
+
+    # -- operators -------------------------------------------------------
+
+    def _lower_scan(self, plan: algebra.Scan) -> BatchOp:
+        tables = self._tables
+        name = plan.table
+        alias = plan.effective_alias
+
+        def run() -> ColumnBatch:
+            table = tables.get(name)
+            if table is None:
+                raise ExecutionError(f"unknown table {name!r}")
+            store = table.columns()
+            columns: dict[str, tuple[list, Optional[list[int]]]] = {}
+            for column, array in store.items():
+                columns[column] = (array, None)
+            for column, array in store.items():
+                columns[f"{alias}.{column}"] = (array, None)
+            key_order = tuple(store) + tuple(
+                f"{alias}.{column}" for column in store
+            )
+            return ColumnBatch(columns, len(table.rows), key_order)
+
+        return run
+
+    def _lower_select(self, plan: algebra.Select) -> Optional[BatchOp]:
+        kernels = []
+        for conjunct in _flatten_and(plan.predicate):
+            kernel = self._kernel(conjunct)
+            if kernel is None:
+                return None
+            kernels.append(kernel)
+        child = self._source(plan.child)
+
+        def run() -> ColumnBatch:
+            batch = child()
+            # Conjuncts shrink the selection stage by stage: each kernel
+            # only sees rows that survived the previous conjunct, which is
+            # the batch equivalent of the row tiers' short-circuit AND.
+            for kernel in kernels:
+                if batch.length == 0:
+                    return batch
+                values = kernel(batch)
+                keep = [i for i, v in enumerate(values) if v]
+                if len(keep) != batch.length:
+                    batch = batch.take(keep)
+            return batch
+
+        return run
+
+    def _lower_project(self, plan: algebra.Project) -> Optional[BatchOp]:
+        outputs = []
+        for output in plan.outputs:
+            kernel = self._kernel(output.expression)
+            if kernel is None:
+                return None
+            outputs.append((output.name, kernel))
+        child = self._source(plan.child)
+        key_order = tuple(name for name, _ in outputs)
+
+        def run() -> ColumnBatch:
+            batch = child()
+            columns: dict[str, tuple[list, Optional[list[int]]]] = {}
+            for name, kernel in outputs:
+                columns[name] = (kernel(batch), None)
+            return ColumnBatch(columns, batch.length, key_order)
+
+        return run
+
+    def _lower_join(self, plan: algebra.Join) -> Optional[BatchOp]:
+        equi = _equi_join_columns(plan.condition)
+        if equi is None:
+            # Theta and cross joins stay on the row tiers.
+            return None
+        left_col, right_col = equi
+        left_source = self._source(plan.left)
+        right_source = self._source(plan.right)
+        right_plan = plan.right
+        tables = self._tables
+        # For a join of two bare scans the matching positions are a pure
+        # function of the two tables' contents, so the computed selection
+        # pair is memoized against their versions — a join index in the
+        # spirit of Table.index_for, letting repeated executions skip the
+        # probe entirely.  Filtered or parameterized inputs are excluded
+        # (their batches depend on more than the table versions).
+        cacheable = isinstance(plan.left, algebra.Scan) and isinstance(
+            plan.right, algebra.Scan
+        )
+        selection_cache: dict[tuple, tuple] = {}
+
+        def run() -> ColumnBatch:
+            left_batch = left_source()
+            if left_batch.length == 0:
+                # Empty probe side: never execute or build the right side,
+                # but still validate its table references (row-tier rule).
+                for scan in algebra.find_scans(right_plan):
+                    if scan.table not in tables:
+                        raise ExecutionError(f"unknown table {scan.table!r}")
+                return _empty_batch()
+            right_batch = right_source()
+            probe_name = left_batch.resolve(left_col)
+            build_name = right_batch.resolve(right_col)
+            if probe_name is None or build_name is None:
+                # The condition may name the sides right-to-left.
+                probe_name = left_batch.resolve(right_col)
+                build_name = right_batch.resolve(left_col)
+            if probe_name is None or build_name is None:
+                # Neither orientation resolves; let the row tier decide
+                # (it matches nothing, or raises on ambiguity).
+                raise BatchResolutionError(
+                    f"{left_col.qualified_name} = {right_col.qualified_name}"
+                )
+            if cacheable:
+                left_table = tables[plan.left.table]
+                right_table = tables[plan.right.table]
+                stamp = (
+                    probe_name,
+                    build_name,
+                    id(left_table),
+                    left_table.version,
+                    id(right_table),
+                    right_table.version,
+                )
+                cached = selection_cache.get(stamp)
+                if cached is None:
+                    cached = _hash_join_positions(
+                        left_batch.values_for(probe_name),
+                        right_batch.values_for(build_name),
+                    )
+                    selection_cache.clear()
+                    selection_cache[stamp] = cached
+                probe_positions, build_positions = cached
+            else:
+                probe_positions, build_positions = _hash_join_positions(
+                    left_batch.values_for(probe_name),
+                    right_batch.values_for(build_name),
+                )
+            taken_right = right_batch.take(build_positions)
+            if probe_positions is None:
+                left_columns = left_batch.columns
+            else:
+                left_columns = left_batch.take(probe_positions).columns
+            # Merge like _merge_rows: right keys first, left overwrites
+            # colliding bare names (qualified keys never collide).
+            columns = dict(taken_right.columns)
+            columns.update(left_columns)
+            key_order = taken_right.key_order + tuple(
+                key
+                for key in left_batch.key_order
+                if key not in taken_right.columns
+            )
+            return ColumnBatch(columns, len(build_positions), key_order)
+
+        return run
+
+    def _lower_aggregate(self, plan: algebra.Aggregate) -> Optional[BatchOp]:
+        group_kernels = []
+        for column in plan.group_by:
+            kernel = self._kernel(column)
+            if kernel is None:
+                return None
+            group_kernels.append(kernel)
+        # Aggregates often share their argument (sum(x) next to avg(x)):
+        # evaluate each distinct argument column once per batch.
+        planned = plan_aggregate_arguments(plan.aggregates, self._kernel)
+        if planned is None:
+            return None
+        arg_kernels, spec_slots = planned
+        child = self._source(plan.child)
+        group_by = plan.group_by
+
+        def run() -> ColumnBatch:
+            batch = child()
+            arg_columns = [kernel(batch) for kernel in arg_kernels]
+
+            def emit_into(out: Row, positions: Iterable[int]) -> Row:
+                cache: list[Optional[list]] = [None] * len(arg_columns)
+                for spec, slot in spec_slots:
+                    if slot is None:
+                        out[spec.name] = len(positions)  # type: ignore[arg-type]
+                        continue
+                    values = cache[slot]
+                    if values is None:
+                        column = arg_columns[slot]
+                        values = [
+                            v
+                            for v in (column[p] for p in positions)
+                            if v is not None
+                        ]
+                        cache[slot] = values
+                    out[spec.name] = _compute_aggregate(spec.function, values)
+                return out
+
+            if not group_by:
+                return _batch_from_rows(
+                    [emit_into({}, range(batch.length))]
+                )
+            # Bucketing mirrors Executor._aggregate (over positions instead
+            # of rows; kept inline because a shared helper would cost one
+            # tuple per row on both hot paths) — change the two together.
+            key_columns = [kernel(batch) for kernel in group_kernels]
+            groups: dict[Any, list[int]] = {}
+            if len(key_columns) == 1:
+                # Scalar group keys: skip the per-row tuple construction.
+                for position, key in enumerate(key_columns[0]):
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [position]
+                    else:
+                        bucket.append(position)
+                group_items: Iterable[tuple[tuple, list[int]]] = (
+                    ((key,), positions) for key, positions in groups.items()
+                )
+            else:
+                for position, key in enumerate(zip(*key_columns)):
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [position]
+                    else:
+                        bucket.append(position)
+                group_items = groups.items()
+            rows: list[Row] = []
+            for key, positions in group_items:
+                out: Row = {}
+                for column, value in zip(group_by, key):
+                    out[column.name] = value
+                    out[column.qualified_name] = value
+                rows.append(emit_into(out, positions))
+            return _batch_from_rows(rows)
+
+        return run
+
+    def _lower_sort(self, plan: algebra.Sort) -> Optional[BatchOp]:
+        key_kernels = []
+        for key in plan.keys:
+            kernel = self._kernel(key.column)
+            if kernel is None:
+                return None
+            key_kernels.append(kernel)
+        child = self._source(plan.child)
+        keys = plan.keys
+
+        def run() -> ColumnBatch:
+            batch = child()
+            if batch.length == 0:
+                return batch
+            positions = list(range(batch.length))
+            # Sort by the last key first; stable sorts make earlier keys
+            # take precedence, exactly like the row tiers.
+            for key, kernel in zip(reversed(keys), reversed(key_kernels)):
+                decorated = [_sort_key(v) for v in kernel(batch)]
+                positions.sort(
+                    key=decorated.__getitem__, reverse=not key.ascending
+                )
+            return batch.take(positions)
+
+        return run
+
+    def _lower_limit(self, plan: algebra.Limit) -> BatchOp:
+        child = self._source(plan.child)
+        count = plan.count
+
+        def run() -> ColumnBatch:
+            batch = child()
+            if count >= batch.length:
+                return batch
+            return batch.take(list(range(count)))
+
+        return run
+
+    # -- late materialization --------------------------------------------
+
+    def _materialize(self, batch: ColumnBatch) -> list[Row]:
+        """Build the output row dicts — the only per-row dict work.
+
+        The row constructor is code-generated per column layout: every
+        distinct selection vector becomes one ``zip`` variable and every
+        output key becomes one entry of a dict display (identity-selected
+        columns are zipped directly; selected columns are subscripted once
+        per distinct array and reused via assignment expressions).  The
+        constructors are cached by layout, so steady-state queries pay a
+        single comprehension per execution.
+        """
+        if batch.rows is not None:
+            return batch.rows
+        if batch.length == 0:
+            return []
+        if not batch.key_order:
+            return [{} for _ in range(batch.length)]
+        arrays: list[list] = []
+        array_slots: dict[int, int] = {}
+        zips: list[list] = []
+        zip_slots: dict[int, int] = {}
+        entries: list[tuple[str, int, int]] = []
+        for key in batch.key_order:
+            array, selection = batch.columns[key]
+            if selection is None:
+                slot = zip_slots.get(id(array))
+                if slot is None:
+                    slot = len(zips)
+                    zips.append(array)
+                    zip_slots[id(array)] = slot
+                entries.append((key, -1, slot))
+            else:
+                zip_slot = zip_slots.get(id(selection))
+                if zip_slot is None:
+                    zip_slot = len(zips)
+                    zips.append(selection)
+                    zip_slots[id(selection)] = zip_slot
+                array_slot = array_slots.get(id(array))
+                if array_slot is None:
+                    array_slot = len(arrays)
+                    arrays.append(array)
+                    array_slots[id(array)] = array_slot
+                entries.append((key, array_slot, zip_slot))
+        maker = self._row_maker(tuple(entries), len(arrays), len(zips))
+        return maker(zip, *arrays, *zips)
+
+    def _row_maker(
+        self, entries: tuple[tuple[str, int, int], ...], narrays: int, nzips: int
+    ) -> Callable:
+        """The (cached) code-generated row constructor for one layout."""
+        signature = (entries, narrays, nzips)
+        maker = self._makers.get(signature)
+        if maker is not None:
+            self._makers.move_to_end(signature)
+            return maker
+        bound: dict[tuple[int, int], str] = {}
+        items = []
+        for key, array_slot, zip_slot in entries:
+            if array_slot < 0:
+                items.append(f"{key!r}: v{zip_slot}")
+                continue
+            pair = (array_slot, zip_slot)
+            name = bound.get(pair)
+            if name is None:
+                name = f"w{array_slot}_{zip_slot}"
+                bound[pair] = name
+                items.append(f"{key!r}: ({name} := a{array_slot}[v{zip_slot}])")
+            else:
+                items.append(f"{key!r}: {name}")
+        params = "".join(f"a{i}, " for i in range(narrays)) + ", ".join(
+            f"z{i}" for i in range(nzips)
+        )
+        loop_vars = ", ".join(f"v{i}" for i in range(nzips))
+        zip_args = ", ".join(f"z{i}" for i in range(nzips))
+        source = (
+            f"lambda _zip, {params}: "
+            f"[{{{', '.join(items)}}} for ({loop_vars},) in _zip({zip_args})]"
+        )
+        maker = eval(source)  # noqa: S307 - internal codegen, keys repr-escaped
+        if len(self._makers) >= 512:
+            self._makers.popitem(last=False)
+        self._makers[signature] = maker
+        return maker

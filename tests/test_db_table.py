@@ -195,3 +195,37 @@ class TestUpdateFailureInvalidation:
         assert [r["name"] for r in people.index_for("city")["delhi"]] == ["ann"]
         assert len(people.index_for("city")["pune"]) == 1
         assert people.distinct_count("city") == 3
+
+
+class TestColumnarView:
+    def test_columns_are_aligned_value_arrays(self, people):
+        store = people.columns()
+        assert list(store) == ["person_id", "name", "city"]
+        assert store["person_id"] == [1, 2, 3]
+        assert store["name"] == ["ann", "bob", "carol"]
+        assert store["city"] == ["pune", "mumbai", "pune"]
+
+    def test_columns_cached_until_mutation(self, people):
+        first = people.columns()
+        assert people.columns() is first  # same object while unchanged
+
+    def test_insert_invalidates_columnar_view(self, people):
+        before = people.columns()
+        people.insert({"person_id": 4, "name": "dave", "city": "delhi"})
+        after = people.columns()
+        assert after is not before
+        assert after["city"] == ["pune", "mumbai", "pune", "delhi"]
+        # The stale view was not mutated in place.
+        assert before["city"] == ["pune", "mumbai", "pune"]
+
+    def test_update_invalidates_columnar_view(self, people):
+        before = people.columns()
+        people.update_rows(lambda row: row["city"] == "pune", {"city": "goa"})
+        after = people.columns()
+        assert after is not before
+        assert after["city"] == ["goa", "mumbai", "goa"]
+
+    def test_clear_invalidates_columnar_view(self, people):
+        people.columns()
+        people.clear()
+        assert people.columns() == {"person_id": [], "name": [], "city": []}

@@ -320,11 +320,26 @@ class TestSlotInvalidationInteraction:
     def test_ddl_clears_executor_context_cache(self):
         """DDL drops the resolver-context closures keyed by table identity."""
         database = make_database()
+        # Pin the compiled tier: the vectorized default serves this shape
+        # from its own lowered-plan cache without touching context compiles.
+        database._executor = type(database._executor)(
+            database.tables, mode="compiled"
+        )
         statement = database.prepare("select * from orders where o_total > ?")
         statement.execute((10.0,))
         assert database._executor._context_cache
         database.create_table("extra", [Column("x", ColumnType.INT)])
         assert database._executor._context_cache == {}
+
+    def test_ddl_clears_vectorized_plan_cache(self):
+        """DDL drops the vectorized tier's lowered-plan cache too."""
+        database = make_database()
+        statement = database.prepare("select * from orders where o_total > ?")
+        statement.execute((10.0,))
+        vectorized = database._executor._vectorized
+        assert vectorized is not None and vectorized._ops
+        database.create_table("extra", [Column("x", ColumnType.INT)])
+        assert not vectorized._ops
 
     def test_table_mutation_reflected_on_next_execution(self):
         database = make_database()

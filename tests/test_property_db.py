@@ -1,10 +1,12 @@
 """Property-based tests for the database engine (hypothesis).
 
 The executor is checked against brute-force Python implementations of the
-same relational operations on randomly generated tables, the SQL generator
-is checked to round-trip through the parser, and the async / pipelined
-client paths are checked to be row-identical to the synchronous path over
-generated workloads.
+same relational operations on randomly generated tables, the three
+execution tiers (vectorized / compiled / interpreted) are checked to be
+row-identical (values *and* order) over generated schemas and query shapes,
+the SQL generator is checked to round-trip through the parser, and the
+async / pipelined client paths are checked to be row-identical to the
+synchronous path over generated workloads.
 """
 
 from __future__ import annotations
@@ -16,7 +18,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.db import algebra
 from repro.db.database import Database
-from repro.db.expressions import BinaryOp, ColumnRef, Literal
+from repro.db.executor import Executor
+from repro.db.expressions import BinaryOp, BooleanOp, ColumnRef, IsNull, Literal
 from repro.db.schema import Column, ColumnType
 from repro.db.sqlgen import to_sql
 from repro.db.sqlparser import parse_sql
@@ -181,6 +184,155 @@ class TestSqlRoundTrip:
         rendered = to_sql(parse_sql(sql))
         via_roundtrip = database.execute_sql(rendered).rows
         assert direct == via_roundtrip
+
+
+COMPARISONS = ["=", "!=", "<", "<=", ">", ">="]
+
+COLUMN_POOL = ["c0", "c1", "c2", "c3"]
+
+
+@st.composite
+def tier_case(draw):
+    """A generated schema, rows (with NULLs), and a plan over them."""
+    ncols = draw(st.integers(min_value=1, max_value=4))
+    names = COLUMN_POOL[:ncols]
+    value = st.one_of(st.none(), st.integers(min_value=-3, max_value=5))
+    nrows = draw(st.integers(min_value=0, max_value=25))
+    rows = [
+        {name: draw(value) for name in names} for _ in range(nrows)
+    ]
+    alias = draw(st.sampled_from(["t", "x"]))
+    plan: algebra.PlanNode = algebra.Scan("t", alias)
+    column = lambda: ColumnRef(  # noqa: E731
+        draw(st.sampled_from(names)),
+        draw(st.sampled_from([None, alias])),
+    )
+    if draw(st.booleans()):
+        predicate: object = BinaryOp(
+            draw(st.sampled_from(COMPARISONS)),
+            column(),
+            Literal(draw(st.integers(min_value=-3, max_value=5))),
+        )
+        if draw(st.booleans()):
+            predicate = BooleanOp(
+                draw(st.sampled_from(["and", "or"])),
+                (predicate, IsNull(column(), negated=draw(st.booleans()))),
+            )
+        plan = algebra.Select(plan, predicate)
+    shape = draw(st.sampled_from(["plain", "project", "aggregate", "sort"]))
+    if shape == "project":
+        plan = algebra.Project(
+            plan,
+            (
+                algebra.OutputColumn(column(), "out_a"),
+                algebra.OutputColumn(
+                    BinaryOp(
+                        draw(st.sampled_from(["+", "-", "*"])),
+                        column(),
+                        Literal(draw(st.integers(min_value=1, max_value=3))),
+                    ),
+                    "out_b",
+                ),
+            ),
+        )
+    elif shape == "aggregate":
+        plan = algebra.Aggregate(
+            plan,
+            group_by=(column(),) if draw(st.booleans()) else (),
+            aggregates=(
+                algebra.AggregateSpec(
+                    draw(st.sampled_from(["sum", "min", "max", "avg", "count"])),
+                    column(),
+                    "agg",
+                ),
+                algebra.AggregateSpec("count", None, "n"),
+            ),
+        )
+    elif shape == "sort":
+        plan = algebra.Sort(
+            plan,
+            (
+                algebra.SortKey(column(), draw(st.booleans())),
+                algebra.SortKey(column(), draw(st.booleans())),
+            ),
+        )
+        if draw(st.booleans()):
+            plan = algebra.Limit(plan, draw(st.integers(min_value=0, max_value=10)))
+    return names, rows, plan
+
+
+class TestTierEquivalence:
+    """vectorized ≡ compiled ≡ interpreted: identical rows, identical order."""
+
+    @staticmethod
+    def assert_tiers_agree(database: Database, plan: algebra.PlanNode) -> None:
+        vectorized = Executor(database.tables, mode="vectorized")
+        compiled = Executor(database.tables, mode="compiled")
+        interpreted = Executor(database.tables, mode="interpreted")
+        expected = interpreted.execute(plan)
+        assert compiled.execute(plan) == expected
+        assert vectorized.execute(plan) == expected
+
+    @given(case=tier_case())
+    @settings(max_examples=120, deadline=None)
+    def test_generated_single_table_plans(self, case):
+        names, rows, plan = case
+        database = Database()
+        database.create_table(
+            "t", [Column(name, ColumnType.INT) for name in names]
+        )
+        database.insert("t", rows)
+        database.analyze()
+        self.assert_tiers_agree(database, plan)
+
+    @given(
+        left=left_rows,
+        right=right_rows,
+        threshold=row_values,
+        wide=st.booleans(),
+        filter_side=st.sampled_from(["left", "right", "none"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_joins(self, left, right, threshold, wide, filter_side):
+        database = build_database(left, right)
+        join = algebra.Join(
+            algebra.Scan("left_t", "l"),
+            algebra.Scan("right_t", "r"),
+            BinaryOp("=", ColumnRef("k", "l"), ColumnRef("k", "r")),
+        )
+        plan: algebra.PlanNode = join
+        if filter_side == "left":
+            plan = algebra.Select(
+                plan, BinaryOp(">", ColumnRef("a", "l"), Literal(threshold))
+            )
+        elif filter_side == "right":
+            plan = algebra.Select(
+                plan, BinaryOp("<=", ColumnRef("b", "r"), Literal(threshold))
+            )
+        if not wide:
+            plan = algebra.Project(
+                plan,
+                (
+                    algebra.OutputColumn(ColumnRef("k", "l"), "k"),
+                    algebra.OutputColumn(ColumnRef("a", "l"), "a"),
+                    algebra.OutputColumn(ColumnRef("b", "r"), "b"),
+                ),
+            )
+        self.assert_tiers_agree(database, plan)
+
+    @given(left=left_rows, threshold=row_values)
+    @settings(max_examples=40, deadline=None)
+    def test_generated_sql_workload(self, left, threshold):
+        database = build_database(left, [])
+        for sql in (
+            f"select * from left_t where a > {threshold}",
+            f"select k, a * 2 as scaled from left_t where a != {threshold}",
+            "select k, count(*), sum(a) from left_t group by k",
+            "select * from left_t order by a desc, k asc",
+            f"select * from left_t where a >= {threshold} limit 5",
+        ):
+            plan = parse_sql(sql)
+            self.assert_tiers_agree(database, plan)
 
 
 #: Parameterized workload queries replayed through every client path: plain
