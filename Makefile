@@ -19,8 +19,10 @@ bench-suite:
 
 # Scaled-down benchmark run used by CI (covers every bench entry, including
 # the vectorized-tier ones — scan_filter_vectorized, hash_join_wide_vectorized,
-# aggregate_vectorized — whose cross-tier row equality is asserted as part of
-# the run); does not overwrite BENCH_engine.json.
+# aggregate_vectorized — and the sharded ones — sharded_point_lookup,
+# sharded_scan_filter, sharded_aggregate — whose cross-tier / sharded-vs-
+# unsharded row equality is asserted as part of the run); does not overwrite
+# BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null

@@ -34,6 +34,15 @@ benchmark families are timed:
   concurrently through ``repro.api.aio`` (overlapping in-flight requests on
   the shared clock pay max-latency, not sum-latency).
 
+* **Sharded execution** — the same data hash-partitioned over 8 shards:
+  ``sharded_point_lookup`` times a shard-key point predicate through the
+  router's single-shard routed class (and the shard-aware prepared fast
+  path) against the same plan forced through scatter-gather;
+  ``sharded_scan_filter`` and ``sharded_aggregate`` time scatter-gather
+  filtering and partial-aggregate merging against unsharded execution.
+  Result equality (routed ≡ scatter ≡ unsharded, as row sets) is asserted
+  as part of the run.
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
@@ -472,6 +481,196 @@ def bench_async_concurrent_clients(rows: int) -> dict:
     }
 
 
+#: Shard partitions used by the sharded-execution benchmarks.
+SHARD_COUNT = 8
+
+#: Point lookups per timed run of the sharded-routing benchmark.
+SHARDED_LOOKUPS = 200
+
+
+def _build_sharded_pair(rows: int):
+    """Identically-populated (sharded, unsharded) benchmark databases."""
+    sharded = build_benchmark_database(rows)
+    sharded.shard_table("customers", "c_id", SHARD_COUNT)
+    sharded.shard_table("orders", "o_c_id", SHARD_COUNT)
+    sharded.analyze()
+    unsharded = build_benchmark_database(rows)
+    return sharded, unsharded
+
+
+def _normalized(rows: list) -> list:
+    return sorted(
+        rows, key=lambda row: [(k, repr(v)) for k, v in sorted(row.items())]
+    )
+
+
+def bench_sharded(rows: int) -> dict:
+    """Sharded execution: routed vs scatter-gather, and sharded overheads.
+
+    * ``sharded_point_lookup`` — the same shard-key point predicate executed
+      through the router's **single-shard routed** class (one partition does
+      the work) and through forced **scatter-gather** (every partition
+      executes and a gather node concatenates).  Routing must win by at
+      least the shard count — it scans 1/N of the rows and pays one
+      pipeline instead of N.
+    * ``sharded_scan_filter`` — a non-shard-key filter, which *must*
+      scatter, timed against the same plan on an unsharded database
+      (the cost of distribution when no pruning is possible).
+    * ``sharded_aggregate`` — a grouped aggregate executed as per-shard
+      partial aggregates merged at the gather node, against the unsharded
+      single-pass aggregation.  Integer aggregates, so results are asserted
+      exactly equal.
+    """
+    from repro.db.expressions import ParameterSlot
+
+    sharded, unsharded = _build_sharded_pair(rows)
+    router = sharded._router
+    customers = max(rows // 10, 1)
+
+    # -- sharded_point_lookup: routed vs forced scatter-gather -----------
+    # The *routed* runner is the engine's real point-lookup path: a prepared
+    # statement whose fast path probes only the secondary index of the shard
+    # the key hashes to.  The *routed executor* runner is the generic
+    # single-shard routed class (a vectorized filter over one partition, no
+    # index).  The *scatter* runner forces the same plan through
+    # scatter-gather: every partition executes and a gather concatenates.
+    slots: list = [None]
+    lookup_plan = algebra.Select(
+        algebra.Scan("customers", "c"),
+        BinaryOp("=", ColumnRef("c_id", "c"), ParameterSlot(0, slots)),
+    )
+    sql = "select * from customers where c_id = ?"
+    statement = sharded.prepare(sql)
+    if statement.point_lookup is None:
+        raise AssertionError("prepared lookup lost its fast path")
+    keys = [(i * 7919) % customers for i in range(SHARDED_LOOKUPS)]
+
+    def routed() -> int:
+        fetched = 0
+        for key in keys:
+            fetched += len(statement.execute((key,)).rows)
+        return fetched
+
+    def routed_executor() -> int:
+        fetched = 0
+        for key in keys:
+            slots[0] = key
+            fetched += len(sharded._executor.execute(lookup_plan))
+        return fetched
+
+    names = frozenset({"customers"})
+
+    def scattered() -> int:
+        fetched = 0
+        for key in keys:
+            slots[0] = key
+            fetched += len(router._scatter(lookup_plan, names, SHARD_COUNT))
+        return fetched
+
+    slots[0] = keys[0]
+    routed_rows = statement.execute((keys[0],)).rows
+    executor_rows = sharded._executor.execute(lookup_plan)
+    scatter_rows = router._scatter(lookup_plan, names, SHARD_COUNT)
+    # The prepared statement scans without an alias while the hand-built
+    # plan aliases the table: compare on the bare-column view.
+    alias_free = lambda rows: _normalized(  # noqa: E731
+        [{k: v for k, v in row.items() if "." not in k} for row in rows]
+    )
+    if not (
+        alias_free(routed_rows)
+        == alias_free(executor_rows)
+        == alias_free(scatter_rows)
+    ):
+        raise AssertionError("routed and scatter-gather lookups differ")
+    if router.stats.routed == 0:
+        raise AssertionError("point lookup did not route to a single shard")
+    routed_s = _best_time(routed)
+    routed_executor_s = _best_time(routed_executor)
+    scatter_s = _best_time(scattered)
+    point_lookup = {
+        "lookups": len(keys),
+        "shards": SHARD_COUNT,
+        "table_rows": customers,
+        "routed_seconds": routed_s,
+        "routed_executor_seconds": routed_executor_s,
+        "scatter_seconds": scatter_s,
+        # Headline: the engine's routed point-lookup path vs forcing the
+        # same statement through every shard.
+        "speedup": scatter_s / routed_s if routed_s else None,
+        "speedup_executor_routed": (
+            scatter_s / routed_executor_s if routed_executor_s else None
+        ),
+    }
+
+    # -- sharded_scan_filter: scatter-gather vs unsharded -----------------
+    filter_plan = executor_plans()["scan_filter"]
+    sharded_rows = sharded._executor.execute(filter_plan)
+    unsharded_rows = unsharded._executor.execute(filter_plan)
+    if _normalized(sharded_rows) != _normalized(unsharded_rows):
+        raise AssertionError("sharded and unsharded scan_filter results differ")
+    scatter_before = router.stats.scatter
+    sharded._executor.execute(filter_plan)
+    if router.stats.scatter == scatter_before:
+        raise AssertionError("scan_filter did not scatter-gather")
+    output_rows = len(sharded_rows)
+    del sharded_rows, unsharded_rows
+    sharded_filter_s = _best_time(lambda: sharded._executor.execute(filter_plan))
+    unsharded_filter_s = _best_time(
+        lambda: unsharded._executor.execute(filter_plan)
+    )
+    scan_filter = {
+        "output_rows": output_rows,
+        "shards": SHARD_COUNT,
+        "unsharded_seconds": unsharded_filter_s,
+        "sharded_seconds": sharded_filter_s,
+        "relative_overhead": (
+            sharded_filter_s / unsharded_filter_s if unsharded_filter_s else None
+        ),
+    }
+
+    # -- sharded_aggregate: partial aggregates merged at the gather -------
+    aggregate_plan = algebra.Aggregate(
+        algebra.Scan("orders"),
+        group_by=(ColumnRef("o_c_id"),),
+        aggregates=(
+            algebra.AggregateSpec("count", None, "n"),
+            algebra.AggregateSpec("sum", ColumnRef("o_id"), "total"),
+            algebra.AggregateSpec("min", ColumnRef("o_id"), "low"),
+            algebra.AggregateSpec("max", ColumnRef("o_id"), "high"),
+        ),
+    )
+    sharded_rows = sharded._executor.execute(aggregate_plan)
+    unsharded_rows = unsharded._executor.execute(aggregate_plan)
+    # Integer partials merge exactly; only group order may differ.
+    if _normalized(sharded_rows) != _normalized(unsharded_rows):
+        raise AssertionError("sharded and unsharded aggregates differ")
+    local_before = router.stats.local
+    sharded._executor.execute(aggregate_plan)
+    if router.stats.local == local_before:
+        raise AssertionError("aggregate did not run as per-shard partials")
+    groups = len(sharded_rows)
+    del sharded_rows, unsharded_rows
+    sharded_agg_s = _best_time(lambda: sharded._executor.execute(aggregate_plan))
+    unsharded_agg_s = _best_time(
+        lambda: unsharded._executor.execute(aggregate_plan)
+    )
+    aggregate = {
+        "groups": groups,
+        "shards": SHARD_COUNT,
+        "unsharded_seconds": unsharded_agg_s,
+        "sharded_seconds": sharded_agg_s,
+        "relative_overhead": (
+            sharded_agg_s / unsharded_agg_s if unsharded_agg_s else None
+        ),
+    }
+
+    return {
+        "sharded_point_lookup": point_lookup,
+        "sharded_scan_filter": scan_filter,
+        "sharded_aggregate": aggregate,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -515,6 +714,7 @@ def main() -> dict:
         "async_concurrent_clients": bench_async_concurrent_clients(rows),
         "optimizer": bench_optimizer(),
     }
+    report.update(bench_sharded(rows))
     report["harness_seconds"] = time.perf_counter() - started
     out_path = os.environ.get(
         "BENCH_ENGINE_OUT", os.path.join(_REPO_ROOT, "BENCH_engine.json")

@@ -42,6 +42,7 @@ from repro.core.cost_model import CostParameters
 from repro.core.heuristic import HeuristicOptimizer, HeuristicResult
 from repro.core.optimizer import CobraOptimizer, OptimizationResult
 from repro.db.database import Database, PreparedStatement, StatementCacheStats
+from repro.db.sharding import ShardedTable
 from repro.net.clock import VirtualClock
 from repro.net.connection import ConnectionStats, Cursor, SimulatedConnection
 from repro.net.network import PRESETS, NetworkConditions
@@ -91,6 +92,7 @@ class EngineBuilder:
         self._statement_cost: float = DEFAULT_STATEMENT_COST
         self._region_rules: Optional[Sequence] = None
         self._fir_rules: Optional[Sequence] = None
+        self._shards: Optional[tuple[int, Optional[dict[str, str]]]] = None
 
     # -- data sources ----------------------------------------------------
 
@@ -162,6 +164,34 @@ class EngineBuilder:
         self._statement_cost = seconds
         return self
 
+    def shards(
+        self, count: int, key_by: Optional[dict[str, str]] = None
+    ) -> "EngineBuilder":
+        """Shard the database horizontally over ``count`` hash partitions.
+
+        ``key_by`` maps table name to shard-key column; tables it omits
+        stay unsharded.  Without ``key_by``, every table with a primary key
+        is sharded on that key.  Applied after the workload database is
+        built, so it composes with :meth:`orders_workload` /
+        :meth:`wilos_workload` / :meth:`database`::
+
+            engine = (
+                Engine.builder()
+                .orders_workload(num_orders=100_000)
+                .shards(8, key_by={
+                    "orders": "o_customer_sk",
+                    "customer": "c_customer_sk",
+                })
+                .build()
+            )
+        """
+        if count < 1:
+            raise EngineConfigError(
+                f"shard count must be at least 1, got {count}"
+            )
+        self._shards = (count, dict(key_by) if key_by is not None else None)
+        return self
+
     def region_rules(self, rules: Sequence) -> "EngineBuilder":
         """Override the optimizer's region transformation rules."""
         self._region_rules = rules
@@ -183,6 +213,17 @@ class EngineBuilder:
         if self._amortization != 1.0:
             parameters = parameters.with_amortization(self._amortization)
         database = self._database if self._database is not None else Database()
+        if self._shards is not None:
+            count, key_by = self._shards
+            if key_by is None:
+                key_by = {
+                    name: table.schema.primary_key
+                    for name, table in database.tables.items()
+                    if table.schema.primary_key is not None
+                    and not isinstance(table, ShardedTable)
+                }
+            for table_name, key in key_by.items():
+                database.shard_table(table_name, key, count)
         return Engine(
             database=database,
             network=network,
@@ -385,6 +426,7 @@ class Engine:
                 "queries_executed": self.database.queries_executed,
             },
             "execution": self.database.execution_stats(),
+            "sharding": self.database.sharding_stats(),
         }
 
     # -- ORM and application runtime -------------------------------------

@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=int, default=2_000, help="workload scale (row count)"
     )
     optimize.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "hash-shard every workload table with a primary key over N "
+            "partitions (0 = unsharded)"
+        ),
+    )
+    optimize.add_argument(
         "--show-alternatives",
         action="store_true",
         help="print every alternative of every region with its estimated cost",
@@ -132,6 +141,8 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         builder.orders_workload(
             num_orders=args.scale, num_customers=max(args.scale // 10, 10)
         )
+    if getattr(args, "shards", 0):
+        builder.shards(args.shards)
     return builder.build()
 
 
@@ -175,16 +186,29 @@ def run_optimize(args: argparse.Namespace, out) -> int:
 
 
 def _print_stats(engine: Engine, out) -> None:
-    """Render ``engine.stats()`` as aligned ``group.counter : value`` lines."""
+    """Render ``engine.stats()`` as aligned ``group.counter : value`` lines.
+
+    Nested counter groups (the executor's per-tier and vectorized
+    fallback-reason counters, the sharding routed/local/scatter counts)
+    flatten into dotted paths, one counter per line.
+    """
     print("\nengine statistics:", file=out)
-    stats = engine.stats()
-    for group, counters in stats.items():
+
+    def emit(prefix: str, counters: dict) -> None:
         for name, value in counters.items():
-            if isinstance(value, float):
-                rendered = f"{value:.6f}"
+            path = f"{prefix}.{name}"
+            if isinstance(value, dict):
+                if not value:
+                    print(f"  {path:<30}: (none)", file=out)
+                else:
+                    emit(path, value)
+            elif isinstance(value, float):
+                print(f"  {path:<30}: {value:.6f}", file=out)
             else:
-                rendered = str(value)
-            print(f"  {group}.{name:<18}: {rendered}", file=out)
+                print(f"  {path:<30}: {value}", file=out)
+
+    for group, counters in engine.stats().items():
+        emit(group, counters)
 
 
 def run_experiment(args: argparse.Namespace, out) -> int:

@@ -25,6 +25,7 @@ from repro.db.database import (
     StatementCacheStats,
 )
 from repro.db.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.db.sharding import ShardedTable, ShardingError, ShardRouter
 from repro.db.statistics import TableStatistics
 
 __all__ = [
@@ -35,6 +36,9 @@ __all__ = [
     "PreparedStatement",
     "QueryResult",
     "Schema",
+    "ShardRouter",
+    "ShardedTable",
+    "ShardingError",
     "StatementCacheStats",
     "TableSchema",
     "TableStatistics",

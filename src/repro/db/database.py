@@ -58,6 +58,11 @@ from repro.db.sqlparser import (
     parse_sql,
     parse_update,
 )
+from repro.db.sharding import (
+    ShardedTable,
+    ShardRouter,
+    merge_execution_counters,
+)
 from repro.db.statistics import StatisticsCatalog, TableStatistics
 from repro.db.table import Row, Table
 
@@ -134,19 +139,32 @@ class _PointLookup:
     drift from the generic path's row shape.
     """
 
-    __slots__ = ("table", "column", "value", "_fused")
+    __slots__ = ("table", "column", "value", "_fused", "_router")
 
     def __init__(
-        self, table: str, alias: str, column: str, value: Any, storage: Table
+        self,
+        table: str,
+        alias: str,
+        column: str,
+        value: Any,
+        storage: Table,
+        router: Optional[ShardRouter] = None,
     ) -> None:
         self.table = table
         self.column = column
         #: a :class:`Parameter` (bound per execution) or a constant.
         self.value = value
         self._fused = _FusedScan(storage, alias, [])
+        self._router = router
 
     def rows(self, table: Table, params: Sequence[Any]) -> Optional[list[Row]]:
-        """Matching output rows, or ``None`` when the fast path cannot run."""
+        """Matching output rows, or ``None`` when the fast path cannot run.
+
+        Over a :class:`~repro.db.sharding.ShardedTable` the fast path is
+        **shard-aware**: a lookup on the shard key probes only the secondary
+        index of the shard the value hashes to (counted as a routed
+        execution); lookups on other columns use the aggregate index.
+        """
         value = self.value
         if isinstance(value, Parameter):
             if value.index >= len(params):
@@ -154,10 +172,21 @@ class _PointLookup:
                     f"missing value for parameter ?{value.index}"
                 )
             value = params[value.index]
+        sharded = isinstance(table, ShardedTable)
+        shard_routed = sharded and self.column == table.shard_key
+        if shard_routed:
+            index = table.shard_for(value).index_for(self.column)
+        else:
+            index = table.index_for(self.column)
         try:
-            bucket = table.index_for(self.column).get(value, ())
+            bucket = index.get(value, ())
         except TypeError:  # unhashable lookup value; generic path handles it
             return None
+        if sharded and self._router is not None:
+            if shard_routed:
+                self._router.stats.routed += 1
+            else:
+                self._router.stats.fallback += 1
         return [self._fused.materialize(row) for row in bucket]
 
 
@@ -421,7 +450,14 @@ class PreparedStatement:
         alias = scan.effective_alias
         if column.qualifier is not None and column.qualifier != alias:
             return None
-        return _PointLookup(scan.table, alias, column.name, value, storage)
+        return _PointLookup(
+            scan.table,
+            alias,
+            column.name,
+            value,
+            storage,
+            router=self.database._router,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "query" if self.is_query else "update"
@@ -476,6 +512,9 @@ class Database:
             self.tables, compiled=compiled_execution, mode=execution_mode
         )
         self.queries_executed = 0
+        #: set once a table is sharded; consulted by the executor before
+        #: normal execution and by the point-lookup fast path.
+        self._router: Optional[ShardRouter] = None
         #: LRU prepared-statement cache, keyed by SQL text.
         self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
         self.statement_cache_size = statement_cache_size
@@ -507,7 +546,51 @@ class Database:
         self.stats_generation += 1
         self.invalidate_statements()
         self._executor.invalidate_context_cache()
+        if self._router is not None:
+            self._router.invalidate()
         return table
+
+    def shard_table(
+        self,
+        name: str,
+        key: Optional[str] = None,
+        shards: int = 2,
+    ) -> ShardedTable:
+        """Convert ``name`` into a hash-sharded table on ``key``.
+
+        ``key`` defaults to the table's primary key.  Existing rows are
+        redistributed over ``shards`` partitions, preserving insertion
+        order in the aggregate view.  Sharding is DDL-like: the statement
+        cache and the executor's table-identity-keyed caches are dropped,
+        and the shard router is (re)installed so subsequent plans route
+        through single-shard / shard-local / scatter-gather execution.
+        """
+        table = self.table(name)
+        if isinstance(table, ShardedTable):
+            raise ValueError(f"table {name!r} is already sharded")
+        if key is None:
+            key = table.schema.primary_key
+            if key is None:
+                raise ValueError(
+                    f"table {name!r} has no primary key; pass an explicit "
+                    f"shard key"
+                )
+        sharded = ShardedTable(table.schema, key, shards)
+        sharded.insert_many(table.rows)
+        self.tables[name] = sharded
+        self.schema_generation += 1
+        self.stats_generation += 1
+        self.invalidate_statements()
+        self._executor.invalidate_context_cache()
+        if self._router is None:
+            self._router = ShardRouter(self.tables, mode=self._executor.mode)
+            self._executor.router = self._router
+        else:
+            # Reuse the router (it reads the live table mapping): dropping
+            # it would zero the sharding stats and the retired per-shard
+            # executor counters invalidate() exists to preserve.
+            self._router.invalidate()
+        return sharded
 
     def insert(self, table: str, rows: Iterable[Row]) -> int:
         """Insert rows into ``table``; returns the number inserted."""
@@ -649,14 +732,53 @@ class Database:
         ``tiers`` counts which tier produced each query's rows (a
         vectorized attempt that fell back is counted under the tier that
         actually served it); ``vectorized`` details the vectorized tier's
-        own fallback counters.  Surfaced by ``Engine.stats()``.
+        own fallback counters, including per-reason counts
+        (``fallback_reasons``).  Under sharding, routed / shard-local /
+        scatter executions run on per-shard executors — their counters are
+        folded in here (one count per shard that executed), so tier and
+        fallback observability survives sharding.  Surfaced by
+        ``Engine.stats()``.
         """
         executor = self._executor
+        tiers = dict(executor.tier_counts)
+        vectorized = executor.vectorized_stats
+        if self._router is not None:
+            shard_tiers, shard_vectorized = self._router.execution_counters()
+            merge_execution_counters(
+                tiers, vectorized, shard_tiers, shard_vectorized
+            )
         return {
             "mode": executor.mode,
-            "tiers": dict(executor.tier_counts),
-            "vectorized": executor.vectorized_stats,
+            "tiers": tiers,
+            "vectorized": vectorized,
         }
+
+    def sharding_stats(self) -> dict:
+        """Shard-routing counters and per-table shard configuration.
+
+        ``routed`` counts single-shard executions (point predicates on the
+        shard key, including the prepared point-lookup fast path),
+        ``local`` counts shard-local parallel executions (co-partitioned
+        equi-joins and partial-aggregate merges), ``scatter`` counts
+        scatter-gather executions, and ``fallback`` counts plans over
+        sharded tables that ran unrouted against the aggregate view.  All
+        zeros (and an empty ``tables`` map) when nothing is sharded.
+        """
+        router = self._router
+        if router is None:
+            return {
+                "routed": 0,
+                "local": 0,
+                "scatter": 0,
+                "fallback": 0,
+                "tables": {},
+            }
+        stats = router.stats.as_dict()
+        stats["tables"] = {
+            name: table.shard_count
+            for name, table in router.sharded_tables().items()
+        }
+        return stats
 
     def row_count(self, table: str) -> int:
         """Number of rows currently stored in ``table``."""

@@ -131,6 +131,11 @@ class Executor:
             "compiled": 0,
             "interpreted": 0,
         }
+        #: optional :class:`repro.db.sharding.ShardRouter` consulted before
+        #: normal execution; plans it declines run unrouted against the
+        #: (aggregate) table views.  Shard-local executors never carry a
+        #: router themselves.
+        self.router = None
         if mode == "vectorized":
             from repro.db.vectorized import VectorizedExecutor
 
@@ -144,6 +149,10 @@ class Executor:
 
     def execute(self, plan: algebra.PlanNode) -> list[Row]:
         """Execute ``plan`` and return the output rows as a list of dicts."""
+        if self.router is not None:
+            routed = self.router.try_execute(plan)
+            if routed is not None:
+                return routed
         if self._vectorized is not None:
             rows = self._vectorized.try_execute(plan)
             if rows is not None:
@@ -158,11 +167,17 @@ class Executor:
     def vectorized_stats(self) -> dict[str, int]:
         """Vectorized-tier counters (zeros outside vectorized mode)."""
         if self._vectorized is None:
-            return {"executions": 0, "fallbacks": 0, "subtree_fallbacks": 0}
+            return {
+                "executions": 0,
+                "fallbacks": 0,
+                "subtree_fallbacks": 0,
+                "fallback_reasons": {},
+            }
         return {
             "executions": self._vectorized.executions,
             "fallbacks": self._vectorized.fallbacks,
             "subtree_fallbacks": self._vectorized.subtree_fallbacks,
+            "fallback_reasons": dict(self._vectorized.fallback_reasons),
         }
 
     def invalidate_context_cache(self) -> None:
@@ -815,8 +830,9 @@ class Executor:
         if not plan.group_by:
             yield emit_into({}, list(rows_iter))
             return
-        # Bucketing is mirrored by the vectorized tier's _lower_aggregate
-        # (over positions instead of rows) — change the two together.
+        # The vectorized tier computes the same grouping with single-pass
+        # partial-aggregate kernels (_lower_aggregate); group order must
+        # stay first-encounter in both — change the two together.
         keys = [compile_expr(column) for column in plan.group_by]
         if len(keys) == 1:
             # Scalar group keys: skip the per-row tuple construction.

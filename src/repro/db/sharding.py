@@ -1,0 +1,952 @@
+"""Horizontal hash sharding: partitioned tables and scatter-gather execution.
+
+This module makes partitioned storage a first-class layer of the engine:
+
+* :class:`ShardedTable` splits one logical table into N :class:`~repro.db.
+  table.Table` partitions, hash-routed on a declared **shard key**.  It
+  subclasses ``Table``, so the aggregate view (rows in global insertion
+  order, primary-key index, secondary indexes, columnar view, distinct
+  counts) behaves exactly like an unsharded table — unrouted plans execute
+  identically on all three tiers — while the shard partitions *share the
+  stored row dicts* with the aggregate view, so in-place updates are visible
+  everywhere without copying.
+
+* :class:`ShardRouter` classifies plans over sharded tables into three
+  execution classes:
+
+  - **single-shard routed** — a point-equality predicate on the shard key
+    (a literal or a :class:`~repro.db.expressions.ParameterSlot` resolved
+    from the prepared statement's buffer at execution time) pins the whole
+    plan to one shard; the plan runs unchanged against a table mapping
+    where the sharded table is replaced by that one partition.  The pin
+    requires the shard-key equality to be the *first* predicate applied to
+    the scanned rows, so the engine's strict error semantics survive:
+    unsharded execution short-circuits every other shard's row on that
+    same conjunct, and a predicate error on a pruned row could not have
+    fired anyway.
+  - **shard-local parallel** — co-partitioned equi-joins on the shard key
+    run join-per-shard; grouped/scalar aggregations over a distributable
+    child run as per-shard *partial* aggregates (avg decomposed into
+    sum + count) merged at the gather node with the same
+    :data:`~repro.db.vectorized.AGGREGATE_MERGERS` kernels the vectorized
+    tier accumulates with.
+  - **scatter-gather** — everything else distributable: the plan executes
+    per shard and the results are concatenated at a gather node, in shard
+    order.  On the vectorized tier the gather ships
+    :class:`~repro.db.vectorized.ColumnBatch` objects (selection vectors
+    composed per shard) and materializes rows only once, at the root; the
+    compiled tier chains per-shard fused iterators; the interpreted tier
+    concatenates per-shard row lists.
+
+  Plans the router cannot prove distributable (``Limit``, non-co-partitioned
+  joins of two sharded tables, operators over sharded subtrees it cannot
+  reason about) **fall back** to unrouted execution over the aggregate
+  view, which is always correct — sharding can restrict where a plan runs,
+  never what it returns.
+
+Ordering contract: routed and fallback executions are row-identical to the
+unsharded engine *including order*.  Scatter-gather and partial-aggregate
+merges concatenate in shard order, so their output is deterministic and
+identical across the three tiers, and matches unsharded execution up to
+row order (exactly, after a ``Sort`` whose keys are total; up to ties
+otherwise — the usual distributed-engine contract).  Floating-point sums
+may likewise differ in the last ulp because per-shard partials reassociate
+the addition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.db import algebra
+from repro.db.executor import (
+    ExecutionError,
+    Executor,
+    _equi_join_columns,
+    _flatten_and,
+    _sort_key,
+)
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    ParameterSlot,
+)
+from repro.db.schema import TableSchema
+from repro.db.table import Row, Table
+from repro.db.vectorized import (
+    AGGREGATE_MERGERS,
+    finalize_avg,
+    gather_batches,
+)
+
+
+class ShardingError(Exception):
+    """Raised for invalid sharding configurations."""
+
+
+def shard_index(value: Any, shard_count: int) -> int:
+    """The shard a key value routes to: ``hash(value) % shard_count``.
+
+    ``None`` and unhashable values route to shard 0 — deterministically, so
+    insertion and lookup always agree.  Python guarantees equal builtin
+    values hash equally (``hash(2) == hash(2.0)``), so a predicate comparing
+    across numeric types still routes to the shard holding the matches.
+    """
+    if value is None:
+        return 0
+    try:
+        return hash(value) % shard_count
+    except TypeError:
+        return 0
+
+
+class ShardedTable(Table):
+    """A logical table hash-partitioned over N internal :class:`Table` shards.
+
+    Presents the full ``Table`` surface (``insert`` / ``insert_many`` /
+    ``update_rows`` / ``scan`` / ``lookup_pk`` / ``columns`` / ``index_for``
+    / ``version`` / ...) through the inherited aggregate view, which keeps
+    rows in **global insertion order** — so any plan executed against the
+    sharded table *without* routing is bit-identical to the unsharded
+    engine.  Each stored row dict is additionally filed (by reference) in
+    the shard partition its shard-key value hashes to; the partitions are
+    plain ``Table`` objects the router substitutes into per-shard executor
+    table mappings.
+    """
+
+    def __init__(
+        self, schema: TableSchema, shard_key: str, shard_count: int
+    ) -> None:
+        if shard_count < 1:
+            raise ShardingError(
+                f"shard count must be at least 1, got {shard_count}"
+            )
+        schema.column(shard_key)  # raises SchemaError for unknown columns
+        super().__init__(schema)
+        self.shard_key = shard_key
+        self.shard_count = shard_count
+        #: the shard partitions; plain Tables sharing this table's schema
+        #: and (by reference) its stored row dicts.
+        self.shards: list[Table] = [Table(schema) for _ in range(shard_count)]
+
+    # -- routing ---------------------------------------------------------
+
+    def shard_index(self, value: Any) -> int:
+        """The shard partition index a shard-key ``value`` routes to."""
+        return shard_index(value, self.shard_count)
+
+    def shard_for(self, value: Any) -> Table:
+        """The shard partition a shard-key ``value`` routes to."""
+        return self.shards[shard_index(value, self.shard_count)]
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, row: Row) -> Row:
+        stored = super().insert(row)
+        self.shards[self.shard_index(stored[self.shard_key])].adopt_row(stored)
+        return stored
+
+    def clear(self) -> None:
+        super().clear()
+        for shard in self.shards:
+            shard.clear()
+
+    def update_rows(self, predicate, assignments: dict) -> int:
+        # The shard partitions share the stored dicts, so the update itself
+        # is visible there immediately; only their caches (and, if the shard
+        # key or primary key moved, their row placement) need repair.
+        rehome = self.shard_key in assignments or (
+            self.schema.primary_key is not None
+            and self.schema.primary_key in assignments
+        )
+        try:
+            updated = super().update_rows(predicate, assignments)
+        except BaseException:
+            # A callable assignment raised mid-loop: some rows may already
+            # have mutated, so repair the partitions conservatively.
+            self._sync_shards(rehome=True)
+            raise
+        if updated:
+            self._sync_shards(rehome=rehome)
+        return updated
+
+    def _sync_shards(self, rehome: bool) -> None:
+        if not rehome:
+            for shard in self.shards:
+                shard._invalidate_caches()
+            return
+        key = self.shard_key
+        for shard in self.shards:
+            shard.clear()
+        for row in self.rows:
+            self.shards[self.shard_index(row[key])].adopt_row(row)
+
+    # -- introspection ---------------------------------------------------
+
+    def shard_row_counts(self) -> list[int]:
+        """Rows stored per shard partition (balance diagnostics)."""
+        return [len(shard) for shard in self.shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTable({self.schema.name!r}, key={self.shard_key!r}, "
+            f"shards={self.shard_count}, rows={len(self.rows)})"
+        )
+
+
+# -- routing classification ----------------------------------------------
+
+
+class ShardingStats:
+    """Counters for the router's execution classes."""
+
+    __slots__ = ("routed", "local", "scatter", "fallback")
+
+    def __init__(self) -> None:
+        self.routed = 0
+        self.local = 0
+        self.scatter = 0
+        self.fallback = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "routed": self.routed,
+            "local": self.local,
+            "scatter": self.scatter,
+            "fallback": self.fallback,
+        }
+
+
+class _Route:
+    """A cached routing decision for one plan object.
+
+    ``post`` is a tuple of row-list transforms (compiled once at
+    classification time) the gather node applies after collecting the
+    per-shard results — the root ``Sort`` of a scatter, or the
+    ``Select`` / ``Project`` / ``Sort`` spine sitting above a partially
+    aggregated node.
+    """
+
+    __slots__ = ("kind", "names", "table", "getter", "node", "post", "partial")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        names: frozenset[str] = frozenset(),
+        table: Optional[ShardedTable] = None,
+        getter: Optional[Callable[[], Any]] = None,
+        node: Optional[algebra.PlanNode] = None,
+        post: tuple = (),
+        partial: Optional["_PartialAggregate"] = None,
+    ) -> None:
+        self.kind = kind
+        self.names = names
+        self.table = table
+        self.getter = getter
+        self.node = node
+        self.post = post
+        self.partial = partial
+
+    def apply_post(self, rows: list[Row]) -> list[Row]:
+        for transform in self.post:
+            rows = transform(rows)
+        return rows
+
+
+#: Routing decisions cached for plans that do not touch sharded tables.
+_NOT_SHARDED = _Route("not-sharded")
+#: Sharded plans the router cannot distribute (unrouted execution).
+_FALLBACK = _Route("fallback")
+
+
+class _PartialAggregate:
+    """A grouped/scalar aggregate decomposed for per-shard execution.
+
+    ``plan`` is the per-shard partial plan (avg specs replaced by sum +
+    count partials); ``emitters`` describe how the gather node merges the
+    per-shard partial rows and finalizes each original output column.
+    """
+
+    __slots__ = ("plan", "group_by", "emitters")
+
+    def __init__(self, aggregate: algebra.Aggregate) -> None:
+        self.group_by = aggregate.group_by
+        partial_specs: list[algebra.AggregateSpec] = []
+        #: (output name, "avg" | primitive function, partial column names)
+        self.emitters: list[tuple[str, str, tuple[str, ...]]] = []
+        for position, spec in enumerate(aggregate.aggregates):
+            if spec.function == "avg":
+                sum_name = f"__shard_sum_{position}"
+                count_name = f"__shard_count_{position}"
+                partial_specs.append(
+                    algebra.AggregateSpec("sum", spec.argument, sum_name)
+                )
+                partial_specs.append(
+                    algebra.AggregateSpec("count", spec.argument, count_name)
+                )
+                self.emitters.append((spec.name, "avg", (sum_name, count_name)))
+            else:
+                partial_specs.append(spec)
+                self.emitters.append((spec.name, spec.function, (spec.name,)))
+        self.plan = algebra.Aggregate(
+            aggregate.child, aggregate.group_by, tuple(partial_specs)
+        )
+
+    def merge(self, shard_rows: Iterable[Row]) -> list[Row]:
+        """Merge per-shard partial rows into final output rows.
+
+        Groups are keyed by their group-by values (first-encounter order
+        across the concatenated shard outputs); each partial column is
+        folded with its :data:`AGGREGATE_MERGERS` kernel, and ``avg`` is
+        finalized from its sum + count pair.  With no group keys, every
+        shard contributes exactly one partial row and the merge emits
+        exactly one output row, like the unsharded scalar aggregate.
+        """
+        group_by = self.group_by
+        states: "OrderedDict[tuple, Row]" = OrderedDict()
+        for row in shard_rows:
+            # Key on the *qualified* names: per-shard aggregate rows write
+            # both the bare and qualified key for every group column, and
+            # two group columns sharing a bare name (group by l.k, u.k)
+            # collide on the bare key (last one wins, like _merge_rows).
+            key = tuple(row[column.qualified_name] for column in group_by)
+            state = states.get(key)
+            if state is None:
+                states[key] = dict(row)
+                continue
+            for name, function, partials in self.emitters:
+                if function == "avg":
+                    sum_name, count_name = partials
+                    state[sum_name] = AGGREGATE_MERGERS["sum"](
+                        state[sum_name], row[sum_name]
+                    )
+                    state[count_name] = AGGREGATE_MERGERS["count"](
+                        state[count_name], row[count_name]
+                    )
+                else:
+                    merge = AGGREGATE_MERGERS[function]
+                    state[name] = merge(state[name], row[name])
+        out_rows: list[Row] = []
+        for key, state in states.items():
+            out: Row = {}
+            for column, value in zip(group_by, key):
+                out[column.name] = value
+                out[column.qualified_name] = value
+            for name, function, partials in self.emitters:
+                if function == "avg":
+                    out[name] = finalize_avg(
+                        state[partials[0]], state[partials[1]]
+                    )
+                else:
+                    out[name] = state[name]
+            out_rows.append(out)
+        return out_rows
+
+
+class ShardRouter:
+    """Classifies and executes plans over sharded tables.
+
+    Owned by the :class:`~repro.db.database.Database`; the main
+    :class:`~repro.db.executor.Executor` consults :meth:`try_execute` first
+    and keeps its normal (aggregate-view) path for everything the router
+    declines.  Per-shard execution runs on cached shard executors — one
+    per (substituted tables, shard index) — in the same tier mode as the
+    main executor, so all three tiers participate in routing.
+    """
+
+    #: Cached routing decisions kept before LRU eviction.
+    ROUTE_CACHE_LIMIT = 256
+
+    def __init__(self, tables: Mapping[str, Table], mode: str) -> None:
+        self._tables = tables
+        self._mode = mode
+        #: plan -> _Route, LRU-evicted (plans embed query literals).
+        self._routes: OrderedDict[algebra.PlanNode, _Route] = OrderedDict()
+        #: (frozenset of substituted names, shard index) -> Executor.
+        self._executors: dict[tuple[frozenset[str], int], Executor] = {}
+        self.stats = ShardingStats()
+        #: tier/vectorized counters of shard executors dropped by
+        #: invalidate(), folded so execution_counters() stays complete.
+        self._retired_tiers: dict[str, int] = {
+            "vectorized": 0,
+            "compiled": 0,
+            "interpreted": 0,
+        }
+        self._retired_vectorized: dict[str, Any] = {
+            "executions": 0,
+            "fallbacks": 0,
+            "subtree_fallbacks": 0,
+            "fallback_reasons": {},
+        }
+
+    # -- public API ------------------------------------------------------
+
+    def try_execute(self, plan: algebra.PlanNode) -> Optional[list[Row]]:
+        """Execute ``plan`` through sharding, or return ``None`` to decline.
+
+        ``None`` means the caller should run the plan unrouted against the
+        aggregate views (counted as a fallback when the plan touches a
+        sharded table at all).
+        """
+        route = self._route(plan)
+        kind = route.kind
+        if kind == "not-sharded":
+            return None
+        if kind == "fallback":
+            self.stats.fallback += 1
+            return None
+        if kind == "routed":
+            index = route.table.shard_index(route.getter())
+            executor = self._shard_executor(route.names, index)
+            rows = executor.execute(plan)
+            self.stats.routed += 1
+            return rows
+        count = self._shard_count(route.names)
+        if kind == "local-aggregate":
+            partial = route.partial
+            shard_rows = self._scatter(partial.plan, route.names, count)
+            rows = route.apply_post(partial.merge(shard_rows))
+            self.stats.local += 1
+            return rows
+        # scatter (single sharded table) / local (co-partitioned join)
+        rows = route.apply_post(self._scatter(route.node, route.names, count))
+        if kind == "local-join":
+            self.stats.local += 1
+        else:
+            self.stats.scatter += 1
+        return rows
+
+    def invalidate(self) -> None:
+        """Drop cached routes and shard executors (call on DDL).
+
+        The dropped executors' tier/vectorized counters are folded into
+        retired totals first, so :meth:`execution_counters` never loses
+        history to DDL.
+        """
+        tiers, vectorized = self._sum_live_counters()
+        merge_execution_counters(
+            self._retired_tiers, self._retired_vectorized, tiers, vectorized
+        )
+        self._routes.clear()
+        self._executors.clear()
+
+    def execution_counters(self) -> tuple[dict[str, int], dict[str, Any]]:
+        """Summed (tier counts, vectorized stats) of every shard executor.
+
+        Routed / shard-local / scatter executions run on per-shard
+        executors whose counters would otherwise be invisible; the owning
+        database folds these into ``execution_stats()`` so per-tier and
+        fallback-reason observability survives sharding.
+        """
+        tiers, vectorized = self._sum_live_counters()
+        merge_execution_counters(
+            tiers, vectorized, self._retired_tiers, self._retired_vectorized
+        )
+        return tiers, vectorized
+
+    def _sum_live_counters(self) -> tuple[dict[str, int], dict[str, Any]]:
+        tiers = {"vectorized": 0, "compiled": 0, "interpreted": 0}
+        vectorized: dict[str, Any] = {
+            "executions": 0,
+            "fallbacks": 0,
+            "subtree_fallbacks": 0,
+            "fallback_reasons": {},
+        }
+        for executor in self._executors.values():
+            merge_execution_counters(
+                tiers, vectorized, executor.tier_counts, executor.vectorized_stats
+            )
+        return tiers, vectorized
+
+    def sharded_tables(self) -> dict[str, ShardedTable]:
+        """Name -> sharded table, for every sharded table in the mapping."""
+        return {
+            name: table
+            for name, table in self._tables.items()
+            if isinstance(table, ShardedTable)
+        }
+
+    # -- execution -------------------------------------------------------
+
+    def _shard_count(self, names: frozenset[str]) -> int:
+        for name in names:
+            return self._tables[name].shard_count  # type: ignore[union-attr]
+        raise ShardingError("no sharded tables to scatter over")
+
+    def _shard_executor(self, names: frozenset[str], index: int) -> Executor:
+        key = (names, index)
+        executor = self._executors.get(key)
+        if executor is None:
+            overlay = {
+                name: (
+                    table.shards[index]
+                    if name in names and isinstance(table, ShardedTable)
+                    else table
+                )
+                for name, table in self._tables.items()
+            }
+            executor = Executor(overlay, mode=self._mode)
+            self._executors[key] = executor
+        return executor
+
+    def _scatter(
+        self, node: algebra.PlanNode, names: frozenset[str], count: int
+    ) -> list[Row]:
+        """Execute ``node`` on every shard and gather, in shard order."""
+        executors = [self._shard_executor(names, i) for i in range(count)]
+        if self._mode == "vectorized":
+            rows = self._scatter_batches(executors, node)
+            if rows is not None:
+                return rows
+        if self._mode == "interpreted":
+            return [
+                row
+                for executor in executors
+                for row in executor.execute(node)
+            ]
+        # Compiled (and the vectorized row-fallback): chain the per-shard
+        # fused iterators lazily; the gather materializes one output list.
+        gathered: list[Row] = []
+        for executor in executors:
+            gathered.extend(executor._execute(node))
+            executor.tier_counts["compiled"] += 1
+        return gathered
+
+    def _scatter_batches(
+        self, executors: Sequence[Executor], node: algebra.PlanNode
+    ) -> Optional[list[Row]]:
+        """Vectorized scatter: gather per-shard ColumnBatches, then
+        materialize rows exactly once at the gather root.
+
+        Returns ``None`` when any shard has no vectorized lowering or a
+        kernel errors (the row-tier scatter takes over), mirroring the
+        single-node tier's fallback contract.
+        """
+        batches = []
+        for executor in executors:
+            vectorized = executor._vectorized
+            op = vectorized._op(node)
+            if op is None:
+                vectorized.fallbacks += 1
+                vectorized._count_reason(vectorized._last_reason)
+                return None
+            try:
+                batches.append(op())
+            except ExecutionError:
+                raise
+            except Exception:
+                vectorized.fallbacks += 1
+                vectorized._count_reason("kernel_error")
+                return None
+        gathered = gather_batches(batches)
+        if gathered is None:
+            return None
+        try:
+            rows = executors[0]._vectorized._materialize(gathered)
+        except Exception:
+            executors[0]._vectorized.fallbacks += 1
+            executors[0]._vectorized._count_reason("kernel_error")
+            return None
+        for executor in executors:
+            executor._vectorized.executions += 1
+            executor.tier_counts["vectorized"] += 1
+        return rows
+
+    # -- classification --------------------------------------------------
+
+    def _route(self, plan: algebra.PlanNode) -> _Route:
+        try:
+            cached = self._routes.get(plan)
+        except TypeError:  # unhashable literal buried in the plan
+            return self._classify(plan)
+        if cached is None:
+            cached = self._classify(plan)
+            if len(self._routes) >= self.ROUTE_CACHE_LIMIT:
+                self._routes.popitem(last=False)
+            self._routes[plan] = cached
+        else:
+            self._routes.move_to_end(plan)
+        return cached
+
+    def _classify(self, plan: algebra.PlanNode) -> _Route:
+        sharded = [
+            (scan, table)
+            for scan in algebra.find_scans(plan)
+            if isinstance(table := self._tables.get(scan.table), ShardedTable)
+        ]
+        if not sharded:
+            return _NOT_SHARDED
+        routed = self._point_route(plan, sharded)
+        if routed is not None:
+            return routed
+        # A partially-aggregated route: peel the Select/Project/Sort spine
+        # above an Aggregate (SQL aggregates parse as Project(Aggregate));
+        # the spine re-applies over the merged rows at the gather node.
+        spine: list[algebra.PlanNode] = []
+        node: algebra.PlanNode = plan
+        while isinstance(node, (algebra.Sort, algebra.Project, algebra.Select)):
+            spine.append(node)
+            node = node.child
+        if isinstance(node, algebra.Aggregate):
+            child_class = self._distribute(node.child)
+            if child_class is None or not child_class[1]:
+                return _FALLBACK
+            return _Route(
+                "local-aggregate",
+                names=child_class[1],
+                post=tuple(self._compile_spine(spine)),
+                partial=_PartialAggregate(node),
+            )
+        # Scatter / co-partitioned join: Select and Project distribute into
+        # the per-shard plans; only a root Sort runs at the gather node.
+        node = plan
+        post: tuple = ()
+        if isinstance(node, algebra.Sort):
+            post = (self._compile_sort(node),)
+            node = node.child
+        distributed = self._distribute(node)
+        if distributed is None or not distributed[1]:
+            return _FALLBACK
+        kind, names = distributed
+        return _Route(
+            "local-join" if len(names) > 1 else "scatter",
+            names=names,
+            node=node,
+            post=post,
+        )
+
+    def _compile_spine(
+        self, spine: list[algebra.PlanNode]
+    ) -> list[Callable[[list[Row]], list[Row]]]:
+        """Row-list transforms for a Select/Project/Sort spine, in
+        application (innermost-first) order.
+
+        Expressions compile without a resolver, which is exactly how the
+        tiers evaluate them over materialized aggregate output rows, so
+        spine semantics (including errors) cannot diverge.
+        """
+        transforms: list[Callable[[list[Row]], list[Row]]] = []
+        for node in reversed(spine):
+            if isinstance(node, algebra.Select):
+                conjuncts = [
+                    conjunct.compile()
+                    for conjunct in _flatten_and(node.predicate)
+                ]
+
+                def filter_rows(rows, conjuncts=conjuncts):
+                    for evaluate in conjuncts:
+                        rows = [row for row in rows if evaluate(row)]
+                    return rows
+
+                transforms.append(filter_rows)
+            elif isinstance(node, algebra.Project):
+                outputs = [
+                    (output.name, output.expression.compile())
+                    for output in node.outputs
+                ]
+
+                def project_rows(rows, outputs=outputs):
+                    return [
+                        {name: evaluate(row) for name, evaluate in outputs}
+                        for row in rows
+                    ]
+
+                transforms.append(project_rows)
+            else:
+                transforms.append(self._compile_sort(node))
+        return transforms
+
+    def _compile_sort(
+        self, sort: algebra.Sort
+    ) -> Callable[[list[Row]], list[Row]]:
+        """A root ``Sort`` applied at the gather node (stable, like the tiers)."""
+        keys = [(key.column.compile(), key.ascending) for key in sort.keys]
+
+        def sort_rows(rows: list[Row]) -> list[Row]:
+            for evaluate, ascending in reversed(keys):
+                rows.sort(
+                    key=lambda row: _sort_key(evaluate(row)),
+                    reverse=not ascending,
+                )
+            return rows
+
+        return sort_rows
+
+    # -- point routing ---------------------------------------------------
+
+    def _point_route(
+        self,
+        plan: algebra.PlanNode,
+        sharded: list[tuple[algebra.Scan, ShardedTable]],
+    ) -> Optional[_Route]:
+        """Detect a shard-key point predicate that pins the plan to one shard.
+
+        The pin must preserve not only the result rows but the engine's
+        strict error semantics (a predicate error raised on *any* scanned
+        row surfaces identically on every tier).  That holds exactly when
+        the shard-key equality ``shard_key = <literal | parameter slot>``
+        is the **first predicate applied** to the scanned rows: unsharded
+        execution then short-circuits every other shard's row on that same
+        conjunct, so later predicates only ever see the pinned shard's
+        rows.  Concretely: walking up from the sharded table's (only)
+        scan, every node below the innermost ``Select`` must be
+        error-transparent and row-preserving (``Sort``, equi-/cross-joins
+        — their key evaluation never raises user-visible errors), and that
+        Select's first flattened conjunct must be the shard-key equality.
+        Operators *above* the Select are unconstrained — shard partitions
+        preserve global relative row order, so the filtered stream is
+        identical either way.  The comparison value is read at execution
+        time (parameter slots resolve from the statement buffer), so one
+        prepared template routes each execution to the right shard.
+        """
+        scanned_names = [scan.table for scan, _ in sharded]
+        for scan, table in sharded:
+            if scanned_names.count(scan.table) > 1:
+                continue  # self-join of a sharded table: no single pin
+            path = _path_to(plan, scan)
+            if path is None:
+                continue
+            for node in reversed(path[:-1]):  # just above the scan, upward
+                if isinstance(node, algebra.Select):
+                    # Binding is judged in the Select's input subtree: the
+                    # conjunct evaluates on those rows, so renames or
+                    # same-named columns above the Select are irrelevant.
+                    getter = self._shard_key_equality(
+                        _flatten_and(node.predicate)[0],
+                        scan,
+                        table,
+                        node.child,
+                    )
+                    if getter is not None:
+                        return _Route(
+                            "routed",
+                            names=frozenset({scan.table}),
+                            table=table,
+                            getter=getter,
+                        )
+                    break  # inner predicates run first: no outer pin
+                if isinstance(node, algebra.Sort):
+                    continue
+                if isinstance(node, algebra.Join) and (
+                    node.condition is None
+                    or _equi_join_columns(node.condition) is not None
+                ):
+                    continue  # key getters swallow per-row errors
+                break  # Project/Aggregate/Limit/theta join: unsound
+        return None
+
+    def _shard_key_equality(
+        self,
+        conjunct: Expression,
+        scan: algebra.Scan,
+        table: ShardedTable,
+        context: algebra.PlanNode,
+    ) -> Optional[Callable[[], Any]]:
+        """A value getter when ``conjunct`` is ``shard_key = const-like``.
+
+        ``context`` is the subtree producing the rows the conjunct
+        evaluates on (the Select's child, or a join side).
+        """
+        if not isinstance(conjunct, BinaryOp) or conjunct.op not in {"=", "=="}:
+            return None
+        for column, value in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if isinstance(column, ColumnRef) and isinstance(
+                value, (Literal, ParameterSlot)
+            ):
+                break
+        else:
+            return None
+        if column.name != table.shard_key:
+            return None
+        if not self._binds_to_scan(column, scan, context):
+            return None
+        if isinstance(value, Literal):
+            constant = value.value
+            return lambda: constant
+        slots, index = value.slots, value.index
+        return lambda: slots[index]
+
+    def _binds_to_scan(
+        self, column: ColumnRef, scan: algebra.Scan, plan: algebra.PlanNode
+    ) -> bool:
+        """True when ``column`` statically resolves to ``scan``'s table."""
+        alias = scan.effective_alias
+        if column.qualifier is not None:
+            return column.qualifier == alias
+        # Bare reference: only safe when nothing else in the plan exposes
+        # the same column name — another table's schema, or a Project /
+        # Aggregate output renamed to it — since the row layout would make
+        # the reference ambiguous or bind it elsewhere.
+        for other in algebra.find_scans(plan):
+            if other is scan:
+                continue
+            other_table = self._tables.get(other.table)
+            if other_table is None:
+                continue
+            if other_table.schema.has_column(column.name):
+                return False
+        return not _renames_column(plan, column.name)
+
+    # -- distributability ------------------------------------------------
+
+    def _distribute(
+        self, plan: algebra.PlanNode
+    ) -> Optional[tuple[str, frozenset[str]]]:
+        """Classify a subtree for per-shard execution.
+
+        Returns ``("whole", frozenset())`` when the subtree references no
+        sharded tables (it may be executed intact inside every shard's
+        overlay — broadcast), ``("sharded", names)`` when substituting the
+        shards of ``names`` (all with equal shard counts) makes the union
+        of per-shard results equal the global result, or ``None`` when the
+        subtree cannot be distributed (the plan then falls back to the
+        aggregate view).
+        """
+        if isinstance(plan, algebra.Scan):
+            table = self._tables.get(plan.table)
+            if isinstance(table, ShardedTable):
+                return ("sharded", frozenset({plan.table}))
+            return ("whole", frozenset())
+        if isinstance(plan, (algebra.Select, algebra.Project)):
+            return self._distribute(plan.child)
+        if isinstance(plan, algebra.Join):
+            return self._distribute_join(plan)
+        # Aggregate / Sort / Limit inside the tree: only safe when the
+        # subtree is entirely unsharded (broadcast).
+        if not any(
+            isinstance(self._tables.get(scan.table), ShardedTable)
+            for scan in algebra.find_scans(plan)
+        ):
+            return ("whole", frozenset())
+        return None
+
+    def _distribute_join(
+        self, plan: algebra.Join
+    ) -> Optional[tuple[str, frozenset[str]]]:
+        left = self._distribute(plan.left)
+        right = self._distribute(plan.right)
+        if left is None or right is None:
+            return None
+        left_names, right_names = left[1], right[1]
+        if not left_names and not right_names:
+            return ("whole", frozenset())
+        if not left_names or not right_names:
+            # One sharded side, one broadcast side: an inner join (any
+            # condition, including theta and cross) distributes over the
+            # union of the sharded side's partitions.
+            return ("sharded", left_names | right_names)
+        # Both sides sharded: only co-partitioned equi-joins on the shard
+        # keys keep per-shard execution equivalent.
+        condition = plan.condition
+        if not isinstance(condition, BinaryOp) or condition.op not in {
+            "=",
+            "==",
+        }:
+            return None
+        lhs, rhs = condition.left, condition.right
+        if not isinstance(lhs, ColumnRef) or not isinstance(rhs, ColumnRef):
+            return None
+        names = left_names | right_names
+        counts = {
+            self._tables[name].shard_count  # type: ignore[union-attr]
+            for name in names
+        }
+        if len(counts) != 1:
+            return None
+        for probe, build in ((lhs, rhs), (rhs, lhs)):
+            if self._binds_to_shard_key(
+                probe, plan.left, left_names
+            ) and self._binds_to_shard_key(build, plan.right, right_names):
+                return ("sharded", names)
+        return None
+
+    def _binds_to_shard_key(
+        self,
+        column: ColumnRef,
+        side: algebra.PlanNode,
+        names: frozenset[str],
+    ) -> bool:
+        """True when ``column`` is the shard key of a sharded scan in ``side``."""
+        for scan in algebra.find_scans(side):
+            if scan.table not in names:
+                continue
+            table = self._tables.get(scan.table)
+            if not isinstance(table, ShardedTable):
+                continue
+            if column.name != table.shard_key:
+                continue
+            path = _path_to(side, scan)
+            if path is None or not _row_preserving_path(path[1:]):
+                # A Project/Aggregate between the side's root and the scan
+                # could rename another column to the shard key's name.
+                continue
+            if self._binds_to_scan(column, scan, side):
+                return True
+        return False
+
+
+def _path_to(
+    plan: algebra.PlanNode, target: algebra.PlanNode
+) -> Optional[list[algebra.PlanNode]]:
+    """The root-to-``target`` node path in ``plan`` (identity match)."""
+    if plan is target:
+        return [plan]
+    for child in plan.children():
+        path = _path_to(child, target)
+        if path is not None:
+            return [plan] + path
+    return None
+
+
+def _row_preserving_path(nodes: Sequence[algebra.PlanNode]) -> bool:
+    """True when every node keeps the scanned rows' set and column names.
+
+    ``Select`` / ``Join`` / ``Sort`` never drop a matching row or rename a
+    column; ``Limit`` picks *different* rows when the scan is restricted to
+    one shard, and ``Project`` / ``Aggregate`` can rename another column to
+    the shard key's name — either would make a shard-key binding unsound.
+    """
+    return all(
+        isinstance(node, (algebra.Select, algebra.Join, algebra.Sort, algebra.Scan))
+        for node in nodes
+    )
+
+
+def merge_execution_counters(
+    tiers_into: dict[str, int],
+    vectorized_into: dict[str, Any],
+    tiers_from: Mapping[str, int],
+    vectorized_from: Mapping[str, Any],
+) -> None:
+    """Fold one (tier counts, vectorized stats) pair into another, in place.
+
+    Shared by the router's live/retired folding and the database's
+    ``execution_stats()`` aggregation, so a new vectorized counter only
+    needs to be added in one place.
+    """
+    for tier, count in tiers_from.items():
+        tiers_into[tier] = tiers_into.get(tier, 0) + count
+    for key in ("executions", "fallbacks", "subtree_fallbacks"):
+        vectorized_into[key] += vectorized_from[key]
+    reasons = vectorized_into["fallback_reasons"]
+    for reason, count in vectorized_from["fallback_reasons"].items():
+        reasons[reason] = reasons.get(reason, 0) + count
+
+
+def _renames_column(plan: algebra.PlanNode, name: str) -> bool:
+    """True when any Project/Aggregate output in ``plan`` is named ``name``."""
+    for node in algebra.walk(plan):
+        if isinstance(node, algebra.Project):
+            if any(output.name == name for output in node.outputs):
+                return True
+        elif isinstance(node, algebra.Aggregate):
+            if any(spec.name == name for spec in node.aggregates):
+                return True
+    return False

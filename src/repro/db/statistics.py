@@ -21,7 +21,7 @@ using textbook System-R style formulas:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 from repro.db import algebra
 from repro.db.expressions import (
@@ -68,6 +68,8 @@ class StatisticsCatalog:
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
         self._stats: dict[str, TableStatistics] = {}
+        #: sharded table name -> per-shard statistics (see refresh()).
+        self._shard_stats: dict[str, list[TableStatistics]] = {}
         # Plan-keyed memo tables.  Plan nodes are immutable value objects
         # (frozen dataclasses), so structurally identical plans — e.g. the
         # same SQL text parsed twice by two cost-model instances — hit the
@@ -79,10 +81,24 @@ class StatisticsCatalog:
     # -- maintenance -----------------------------------------------------
 
     def refresh(self, tables: Mapping[str, Table]) -> None:
-        """Recompute statistics from current table contents (ANALYZE)."""
+        """Recompute statistics from current table contents (ANALYZE).
+
+        Sharded tables are analysed **per shard** and the partials merged:
+        row counts sum, and the shard key's distinct count is the exact sum
+        of the per-shard counts (hash partitions are disjoint in the shard
+        key).  Other columns fall back to the aggregate view's exact
+        distinct count.  The per-shard statistics are retained
+        (:meth:`shard_stats`) for balance diagnostics and future per-shard
+        costing.
+        """
         self._stats.clear()
+        self._shard_stats.clear()
         self._invalidate_estimates()
         for name, table in tables.items():
+            shards = getattr(table, "shards", None)
+            if shards is not None:
+                self._stats[name] = self._refresh_sharded(name, table, shards)
+                continue
             stats = TableStatistics(
                 row_count=len(table),
                 row_width=table.row_width,
@@ -90,6 +106,40 @@ class StatisticsCatalog:
             for column in table.schema.columns:
                 stats.distinct[column.name] = table.distinct_count(column.name)
             self._stats[name] = stats
+
+    def _refresh_sharded(
+        self, name: str, table: Table, shards: Sequence[Table]
+    ) -> TableStatistics:
+        """Per-shard statistics plus their merged table-level aggregate."""
+        per_shard: list[TableStatistics] = []
+        for shard in shards:
+            stats = TableStatistics(
+                row_count=len(shard),
+                row_width=shard.row_width,
+            )
+            for column in shard.schema.columns:
+                stats.distinct[column.name] = shard.distinct_count(column.name)
+            per_shard.append(stats)
+        self._shard_stats[name] = per_shard
+        shard_key = getattr(table, "shard_key", None)
+        merged = TableStatistics(
+            row_count=sum(stats.row_count for stats in per_shard),
+            row_width=table.row_width,
+        )
+        for column in table.schema.columns:
+            if column.name == shard_key:
+                # Hash partitions are disjoint in the shard key: the sum of
+                # per-shard distinct counts is exact.
+                merged.distinct[column.name] = sum(
+                    stats.distinct.get(column.name, 0) for stats in per_shard
+                )
+            else:
+                merged.distinct[column.name] = table.distinct_count(column.name)
+        return merged
+
+    def shard_stats(self, table: str) -> Optional[list[TableStatistics]]:
+        """Per-shard statistics of ``table`` (None when not sharded)."""
+        return self._shard_stats.get(table)
 
     def set_table_stats(self, table: str, stats: TableStatistics) -> None:
         """Install statistics for ``table`` explicitly (used by tests and by

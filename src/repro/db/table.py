@@ -82,6 +82,21 @@ class Table:
             count += 1
         return count
 
+    def adopt_row(self, stored: Row) -> Row:
+        """Append an already-validated stored row dict *by reference*.
+
+        Used by :class:`repro.db.sharding.ShardedTable` to file one stored
+        dict both in its aggregate view and in the owning shard partition, so
+        in-place updates are visible through every view without copying.  The
+        caller is responsible for having validated ``stored`` against this
+        table's schema (shard partitions share the parent's schema).
+        """
+        self.rows.append(stored)
+        if self._pk_index is not None:
+            self._pk_index[stored[self.schema.primary_key]] = stored
+        self._invalidate_caches()
+        return stored
+
     def clear(self) -> None:
         """Remove all rows."""
         self.rows.clear()

@@ -34,12 +34,12 @@ property-tested row-identical.
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import repeat
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.db import algebra
 from repro.db.executor import (
     ExecutionError,
-    _compute_aggregate,
     _equi_join_columns,
     _flatten_and,
     _sort_key,
@@ -61,8 +61,19 @@ class BatchResolutionError(Exception):
 #: A lowered batch operator: produces one ColumnBatch per execution.
 BatchOp = Callable[[], "ColumnBatch"]
 
-#: Sentinel cached for plans that have no vectorized lowering.
-_UNVECTORIZABLE: BatchOp = lambda: _empty_batch()  # pragma: no cover
+
+class _Unvectorizable:
+    """Cached lowering failure: remembers *why* the plan fell back.
+
+    Stored in the lowered-plan cache in place of a :data:`BatchOp`, so
+    repeated executions of an unvectorizable shape keep counting the same
+    fallback reason without re-deriving the failed lowering.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
 
 class ColumnBatch:
@@ -167,6 +178,147 @@ def _empty_batch() -> ColumnBatch:
     return ColumnBatch({}, 0, ())
 
 
+def gather_batches(batches: Sequence[ColumnBatch]) -> Optional[ColumnBatch]:
+    """Concatenate per-shard batches into one batch (the gather node).
+
+    Used by the sharding layer's scatter-gather execution: each shard runs
+    the same lowered pipeline over its own columnar view, and the resulting
+    batches are shipped to the gather node, which concatenates them in shard
+    order so late materialization still happens exactly once, at the root.
+    Returns ``None`` when the shard layouts disagree (the caller then falls
+    back to gathering rows instead).
+    """
+    live = [batch for batch in batches if batch.length]
+    if not live:
+        return _empty_batch()
+    if len(live) == 1:
+        # One shard produced every surviving row (skewed filters are
+        # common): its batch still points zero-copy at the shard's arrays.
+        return live[0]
+    key_order = live[0].key_order
+    for batch in live[1:]:
+        if batch.key_order != key_order:
+            return None
+    columns: dict[str, tuple[list, Optional[list[int]]]] = {}
+    for key in key_order:
+        values: list = []
+        for batch in live:
+            values.extend(batch.values_for(key))
+        columns[key] = (values, None)
+    rows: Optional[list[Row]] = None
+    if all(batch.rows is not None for batch in live):
+        rows = [row for batch in live for row in batch.rows]
+    return ColumnBatch(columns, sum(batch.length for batch in live), key_order, rows)
+
+
+# -- partial-aggregate / merge kernels -----------------------------------
+#
+# Grouped aggregation is computed in two phases that share these kernels:
+# an *accumulate* phase folds a value column into one partial state per
+# group in a single pass (used by the vectorized aggregate operator below),
+# and a *merge* phase combines partial states computed independently (used
+# by the sharding layer's gather node to merge per-shard partial
+# aggregates).  ``avg`` is decomposed into sum + count partials and
+# finalized with :func:`finalize_avg`, so the merge table only needs the
+# four primitive functions.
+
+
+def _accumulate_count(values: Sequence, group_ids: Sequence[int], ngroups: int) -> list:
+    counts = [0] * ngroups
+    for gid, value in zip(group_ids, values):
+        if value is not None:
+            counts[gid] += 1
+    return counts
+
+
+def _accumulate_sum(values: Sequence, group_ids: Sequence[int], ngroups: int) -> list:
+    sums: list = [None] * ngroups
+    for gid, value in zip(group_ids, values):
+        if value is None:
+            continue
+        state = sums[gid]
+        # Seed with 0 + value, exactly like the row tiers' sum(): a
+        # non-numeric value must raise here so the kernel-error fallback
+        # reproduces the row-tier TypeError instead of silently summing.
+        sums[gid] = 0 + value if state is None else state + value
+    return sums
+
+
+def _accumulate_min(values: Sequence, group_ids: Sequence[int], ngroups: int) -> list:
+    mins: list = [None] * ngroups
+    for gid, value in zip(group_ids, values):
+        if value is None:
+            continue
+        state = mins[gid]
+        if state is None or value < state:
+            mins[gid] = value
+    return mins
+
+
+def _accumulate_max(values: Sequence, group_ids: Sequence[int], ngroups: int) -> list:
+    maxs: list = [None] * ngroups
+    for gid, value in zip(group_ids, values):
+        if value is None:
+            continue
+        state = maxs[gid]
+        if state is None or value > state:
+            maxs[gid] = value
+    return maxs
+
+
+#: function -> single-pass per-group accumulation kernel.
+AGGREGATE_ACCUMULATORS = {
+    "count": _accumulate_count,
+    "sum": _accumulate_sum,
+    "min": _accumulate_min,
+    "max": _accumulate_max,
+}
+
+
+def _merge_count(a, b):
+    return a + b
+
+
+def _merge_sum(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+def _merge_min(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return b if b < a else a
+
+
+def _merge_max(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return b if b > a else a
+
+
+#: function -> merge of two independently-computed partial states.
+AGGREGATE_MERGERS = {
+    "count": _merge_count,
+    "sum": _merge_sum,
+    "min": _merge_min,
+    "max": _merge_max,
+}
+
+
+def finalize_avg(partial_sum, partial_count):
+    """Finalize an ``avg`` decomposed into sum + count partial states."""
+    if not partial_count:
+        return None
+    return partial_sum / partial_count
+
+
 def _batch_from_rows(rows: list[Row]) -> ColumnBatch:
     """Adapt row-tier output (a fallback subtree) into a column batch."""
     if not rows:
@@ -257,6 +409,15 @@ class VectorizedExecutor:
         self.fallbacks = 0
         #: subtrees executed on the compiled tier inside a vectorized run.
         self.subtree_fallbacks = 0
+        #: fallback reason -> count, across whole-plan and subtree
+        #: fallbacks: ``theta_join`` (non-equi join condition),
+        #: ``unknown_function`` (an expression with no batch kernel —
+        #: unknown scalar functions and foreign expression types),
+        #: ``unsupported_operator`` (a plan node outside the vectorized
+        #: subset), ``kernel_error`` (a kernel raised at run time).
+        self.fallback_reasons: dict[str, int] = {}
+        #: reason of the most recent lowering failure (set by _lower).
+        self._last_reason = "unsupported_operator"
 
     # -- public API ------------------------------------------------------
 
@@ -272,6 +433,7 @@ class VectorizedExecutor:
         op = self._op(plan)
         if op is None:
             self.fallbacks += 1
+            self._count_reason(self._last_reason)
             return None
         try:
             batch = op()
@@ -280,6 +442,7 @@ class VectorizedExecutor:
             raise
         except Exception:
             self.fallbacks += 1
+            self._count_reason("kernel_error")
             return None
         self.executions += 1
         return rows
@@ -289,6 +452,14 @@ class VectorizedExecutor:
         self._ops.clear()
 
     # -- lowering --------------------------------------------------------
+
+    def _count_reason(self, reason: str) -> None:
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
+    def _fallback(self, reason: str) -> None:
+        """Record why the current lowering failed; returns ``None``."""
+        self._last_reason = reason
+        return None
 
     def _op(self, plan: algebra.PlanNode) -> Optional[BatchOp]:
         """The cached lowering of ``plan`` (None when unvectorizable)."""
@@ -300,10 +471,15 @@ class VectorizedExecutor:
             op = self._lower(plan)
             if len(self._ops) >= self.OP_CACHE_LIMIT:
                 self._ops.popitem(last=False)
-            self._ops[plan] = op if op is not None else _UNVECTORIZABLE
+            self._ops[plan] = (
+                op if op is not None else _Unvectorizable(self._last_reason)
+            )
             return op
         self._ops.move_to_end(plan)
-        return None if cached is _UNVECTORIZABLE else cached
+        if isinstance(cached, _Unvectorizable):
+            self._last_reason = cached.reason
+            return None
+        return cached
 
     def _lower(self, plan: algebra.PlanNode) -> Optional[BatchOp]:
         if isinstance(plan, algebra.Scan):
@@ -320,7 +496,7 @@ class VectorizedExecutor:
             return self._lower_sort(plan)
         if isinstance(plan, algebra.Limit):
             return self._lower_limit(plan)
-        return None
+        return self._fallback("unsupported_operator")
 
     def _source(self, plan: algebra.PlanNode) -> BatchOp:
         """The lowering of a child plan, with per-subtree fallback.
@@ -333,10 +509,12 @@ class VectorizedExecutor:
         op = self._op(plan)
         if op is not None:
             return op
+        reason = self._last_reason
         executor = self._executor
 
         def run() -> ColumnBatch:
             self.subtree_fallbacks += 1
+            self._count_reason(reason)
             return _batch_from_rows(list(executor._execute(plan)))
 
         return run
@@ -381,7 +559,7 @@ class VectorizedExecutor:
         for conjunct in _flatten_and(plan.predicate):
             kernel = self._kernel(conjunct)
             if kernel is None:
-                return None
+                return self._fallback("unknown_function")
             kernels.append(kernel)
         child = self._source(plan.child)
 
@@ -406,7 +584,7 @@ class VectorizedExecutor:
         for output in plan.outputs:
             kernel = self._kernel(output.expression)
             if kernel is None:
-                return None
+                return self._fallback("unknown_function")
             outputs.append((output.name, kernel))
         child = self._source(plan.child)
         key_order = tuple(name for name, _ in outputs)
@@ -424,7 +602,7 @@ class VectorizedExecutor:
         equi = _equi_join_columns(plan.condition)
         if equi is None:
             # Theta and cross joins stay on the row tiers.
-            return None
+            return self._fallback("theta_join")
         left_col, right_col = equi
         left_source = self._source(plan.left)
         right_source = self._source(plan.right)
@@ -511,74 +689,129 @@ class VectorizedExecutor:
         for column in plan.group_by:
             kernel = self._kernel(column)
             if kernel is None:
-                return None
+                return self._fallback("unknown_function")
             group_kernels.append(kernel)
         # Aggregates often share their argument (sum(x) next to avg(x)):
         # evaluate each distinct argument column once per batch.
         planned = plan_aggregate_arguments(plan.aggregates, self._kernel)
         if planned is None:
-            return None
+            return self._fallback("unknown_function")
         arg_kernels, spec_slots = planned
         child = self._source(plan.child)
         group_by = plan.group_by
+        # Each output spec maps onto one or two *partial-aggregate kernels*
+        # over its argument slot (avg decomposes into sum + count); distinct
+        # (function, slot) partials are accumulated once even when several
+        # specs share them.  The same kernels back the sharding layer's
+        # per-shard partial aggregation (merged by AGGREGATE_MERGERS at the
+        # gather node).
+        partial_keys: list[tuple[str, int]] = []
+        partial_index: dict[tuple[str, int], int] = {}
+
+        def partial_slot(function: str, slot: int) -> int:
+            key = (function, slot)
+            index = partial_index.get(key)
+            if index is None:
+                index = len(partial_keys)
+                partial_index[key] = index
+                partial_keys.append(key)
+            return index
+
+        #: (spec name, emit kind, partial indices) per output spec, where
+        #: kind is "size" (count(*)), "avg" (sum+count pair), or "partial".
+        emitters: list[tuple[str, str, tuple[int, ...]]] = []
+        needs_sizes = False
+        for spec, slot in spec_slots:
+            if slot is None:  # count(*): group sizes, no argument column
+                needs_sizes = True
+                emitters.append((spec.name, "size", ()))
+            elif spec.function == "avg":
+                pair = (
+                    partial_slot("sum", slot),
+                    partial_slot("count", slot),
+                )
+                emitters.append((spec.name, "avg", pair))
+            else:
+                index = partial_slot(spec.function, slot)
+                emitters.append((spec.name, "partial", (index,)))
+        accumulators = [
+            (AGGREGATE_ACCUMULATORS[function], slot)
+            for function, slot in partial_keys
+        ]
 
         def run() -> ColumnBatch:
             batch = child()
             arg_columns = [kernel(batch) for kernel in arg_kernels]
-
-            def emit_into(out: Row, positions: Iterable[int]) -> Row:
-                cache: list[Optional[list]] = [None] * len(arg_columns)
-                for spec, slot in spec_slots:
-                    if slot is None:
-                        out[spec.name] = len(positions)  # type: ignore[arg-type]
-                        continue
-                    values = cache[slot]
-                    if values is None:
-                        column = arg_columns[slot]
-                        values = [
-                            v
-                            for v in (column[p] for p in positions)
-                            if v is not None
-                        ]
-                        cache[slot] = values
-                    out[spec.name] = _compute_aggregate(spec.function, values)
-                return out
-
+            # Phase 1: one pass over the grouping arrays assigns every row a
+            # dense group id (group order = first encounter, matching the
+            # row tiers' dict-insertion order).
+            length = batch.length
             if not group_by:
-                return _batch_from_rows(
-                    [emit_into({}, range(batch.length))]
-                )
-            # Bucketing mirrors Executor._aggregate (over positions instead
-            # of rows; kept inline because a shared helper would cost one
-            # tuple per row on both hot paths) — change the two together.
-            key_columns = [kernel(batch) for kernel in group_kernels]
-            groups: dict[Any, list[int]] = {}
-            if len(key_columns) == 1:
-                # Scalar group keys: skip the per-row tuple construction.
-                for position, key in enumerate(key_columns[0]):
-                    bucket = groups.get(key)
-                    if bucket is None:
-                        groups[key] = [position]
-                    else:
-                        bucket.append(position)
-                group_items: Iterable[tuple[tuple, list[int]]] = (
-                    ((key,), positions) for key, positions in groups.items()
-                )
+                ngroups = 1
+                group_ids: Any = repeat(0)
+                sizes = [length]
+                group_keys: Iterable[Any] = ()
             else:
-                for position, key in enumerate(zip(*key_columns)):
-                    bucket = groups.get(key)
-                    if bucket is None:
-                        groups[key] = [position]
-                    else:
-                        bucket.append(position)
-                group_items = groups.items()
+                ids_of: dict[Any, int] = {}
+                get_gid = ids_of.get
+                group_ids = []
+                append = group_ids.append
+                if len(group_kernels) == 1:
+                    keys_iter: Iterable[Any] = group_kernels[0](batch)
+                else:
+                    keys_iter = zip(*(kernel(batch) for kernel in group_kernels))
+                for key in keys_iter:
+                    gid = get_gid(key)
+                    if gid is None:
+                        gid = len(ids_of)
+                        ids_of[key] = gid
+                    append(gid)
+                ngroups = len(ids_of)
+                group_keys = ids_of
+                if needs_sizes:
+                    sizes = [0] * ngroups
+                    for gid in group_ids:
+                        sizes[gid] += 1
+            # Phase 2: one single-pass accumulation per distinct partial.
+            partials = [
+                accumulate(arg_columns[slot], group_ids, ngroups)
+                for accumulate, slot in accumulators
+            ]
+            # Phase 3: emit one output row per group.
             rows: list[Row] = []
-            for key, positions in group_items:
+            if not group_by:
                 out: Row = {}
-                for column, value in zip(group_by, key):
-                    out[column.name] = value
-                    out[column.qualified_name] = value
-                rows.append(emit_into(out, positions))
+                for name, kind, indices in emitters:
+                    if kind == "size":
+                        out[name] = sizes[0]
+                    elif kind == "avg":
+                        out[name] = finalize_avg(
+                            partials[indices[0]][0], partials[indices[1]][0]
+                        )
+                    else:
+                        out[name] = partials[indices[0]][0]
+                return _batch_from_rows([out])
+            single_key = len(group_by) == 1
+            only_column = group_by[0] if single_key else None
+            for gid, key in enumerate(group_keys):
+                out = {}
+                if single_key:
+                    out[only_column.name] = key
+                    out[only_column.qualified_name] = key
+                else:
+                    for column, value in zip(group_by, key):
+                        out[column.name] = value
+                        out[column.qualified_name] = value
+                for name, kind, indices in emitters:
+                    if kind == "size":
+                        out[name] = sizes[gid]
+                    elif kind == "avg":
+                        out[name] = finalize_avg(
+                            partials[indices[0]][gid], partials[indices[1]][gid]
+                        )
+                    else:
+                        out[name] = partials[indices[0]][gid]
+                rows.append(out)
             return _batch_from_rows(rows)
 
         return run
@@ -588,7 +821,7 @@ class VectorizedExecutor:
         for key in plan.keys:
             kernel = self._kernel(key.column)
             if kernel is None:
-                return None
+                return self._fallback("unknown_function")
             key_kernels.append(kernel)
         child = self._source(plan.child)
         keys = plan.keys

@@ -335,6 +335,202 @@ class TestTierEquivalence:
             self.assert_tiers_agree(database, plan)
 
 
+def build_sharded_database(
+    left, right, shards: int = 3, mode: str = "vectorized"
+) -> Database:
+    """Like :func:`build_database`, but with both tables hash-sharded on k."""
+    database = Database(execution_mode=mode)
+    database.create_table(
+        "left_t", [Column("k", ColumnType.INT), Column("a", ColumnType.INT)]
+    )
+    database.create_table(
+        "right_t", [Column("k", ColumnType.INT), Column("b", ColumnType.INT)]
+    )
+    database.shard_table("left_t", "k", shards)
+    database.shard_table("right_t", "k", shards)
+    database.insert("left_t", left)
+    database.insert("right_t", right)
+    database.analyze()
+    return database
+
+
+def _canon(rows):
+    """Order-insensitive row normalization (dict equality stays exact)."""
+    return sorted(
+        rows, key=lambda row: [(k, repr(v)) for k, v in sorted(row.items())]
+    )
+
+
+class TestShardedEquivalence:
+    """Sharded execution ≡ unsharded execution, across all three tiers.
+
+    Routed and fallback plans are row-identical *including order*;
+    scatter-gather and partial-aggregate plans concatenate in shard order,
+    so they are compared as normalized row sets — and exactly, including
+    order, after a ``Sort`` whose keys are total (the distributed-engine
+    ordering contract).  The three sharded tiers must agree exactly with
+    each other in every case.
+    """
+
+    MODES = ("vectorized", "compiled", "interpreted")
+
+    @staticmethod
+    def assert_sharded_matches_unsharded(
+        left, right, plan, shards, *, exact_order=False
+    ) -> None:
+        reference = Executor(
+            build_database(left, right).tables, mode="interpreted"
+        ).execute(plan)
+        outputs = []
+        for mode in TestShardedEquivalence.MODES:
+            database = build_sharded_database(left, right, shards, mode=mode)
+            outputs.append(database._executor.execute(plan))
+        # The three sharded tiers agree exactly (same routing, same gather
+        # order), and each matches the unsharded interpreted reference.
+        assert outputs[1] == outputs[0]
+        assert outputs[2] == outputs[0]
+        if exact_order:
+            assert outputs[0] == reference
+        else:
+            assert _canon(outputs[0]) == _canon(reference)
+
+    @given(case=tier_case(), shards=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_single_table_plans_sharded(self, case, shards):
+        names, rows, plan = case
+        reference_db = Database()
+        reference_db.create_table(
+            "t", [Column(name, ColumnType.INT) for name in names]
+        )
+        reference_db.insert("t", rows)
+        reference_db.analyze()
+        reference = Executor(
+            reference_db.tables, mode="interpreted"
+        ).execute(plan)
+        outputs = []
+        for mode in self.MODES:
+            database = Database(execution_mode=mode)
+            database.create_table(
+                "t", [Column(name, ColumnType.INT) for name in names]
+            )
+            database.shard_table("t", names[0], shards)
+            database.insert("t", rows)
+            database.analyze()
+            outputs.append(database._executor.execute(plan))
+        assert outputs[1] == outputs[0]
+        assert outputs[2] == outputs[0]
+        assert _canon(outputs[0]) == _canon(reference)
+
+    @given(
+        left=left_rows,
+        right=right_rows,
+        threshold=row_values,
+        wide=st.booleans(),
+        shards=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_co_partitioned_joins_sharded(
+        self, left, right, threshold, wide, shards
+    ):
+        join = algebra.Join(
+            algebra.Scan("left_t", "l"),
+            algebra.Scan("right_t", "r"),
+            BinaryOp("=", ColumnRef("k", "l"), ColumnRef("k", "r")),
+        )
+        plan: algebra.PlanNode = algebra.Select(
+            join, BinaryOp(">", ColumnRef("a", "l"), Literal(threshold))
+        )
+        if not wide:
+            plan = algebra.Project(
+                plan,
+                (
+                    algebra.OutputColumn(ColumnRef("k", "l"), "k"),
+                    algebra.OutputColumn(ColumnRef("a", "l"), "a"),
+                    algebra.OutputColumn(ColumnRef("b", "r"), "b"),
+                ),
+            )
+        self.assert_sharded_matches_unsharded(left, right, plan, shards)
+
+    @given(
+        left=left_rows,
+        shards=st.integers(min_value=1, max_value=4),
+        descending=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sort_with_total_keys_is_exactly_ordered(
+        self, left, shards, descending
+    ):
+        # Unique shard-key values make the sort keys total, so sharded
+        # output must match unsharded output exactly, order included.
+        rows = [
+            {"k": index, "a": row["a"]} for index, row in enumerate(left)
+        ]
+        plan = algebra.Sort(
+            algebra.Select(
+                algebra.Scan("left_t"),
+                BinaryOp(">=", ColumnRef("a"), Literal(0)),
+            ),
+            (
+                algebra.SortKey(ColumnRef("a"), not descending),
+                algebra.SortKey(ColumnRef("k"), True),
+            ),
+        )
+        self.assert_sharded_matches_unsharded(
+            rows, [], plan, shards, exact_order=True
+        )
+
+    @given(
+        left=left_rows,
+        shards=st.integers(min_value=1, max_value=4),
+        group=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partial_aggregates_match_unsharded(self, left, shards, group):
+        plan = algebra.Aggregate(
+            algebra.Scan("left_t"),
+            group_by=(ColumnRef("k"),) if group else (),
+            aggregates=(
+                algebra.AggregateSpec("count", None, "n"),
+                algebra.AggregateSpec("sum", ColumnRef("a"), "total"),
+                algebra.AggregateSpec("avg", ColumnRef("a"), "mean"),
+                algebra.AggregateSpec("min", ColumnRef("a"), "low"),
+                algebra.AggregateSpec("max", ColumnRef("a"), "high"),
+            ),
+        )
+        self.assert_sharded_matches_unsharded(left, [], plan, shards)
+
+    @given(
+        left=left_rows,
+        right=right_rows,
+        shards=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theta_join_fallback_is_row_identical(self, left, right, shards):
+        # Two sharded tables under a theta join cannot be distributed: the
+        # router falls back to the aggregate view, which preserves global
+        # insertion order — so the result is *exactly* the unsharded one.
+        plan = algebra.Join(
+            algebra.Scan("left_t", "l"),
+            algebra.Scan("right_t", "r"),
+            BinaryOp("<", ColumnRef("k", "l"), ColumnRef("k", "r")),
+        )
+        self.assert_sharded_matches_unsharded(
+            left, right, plan, shards, exact_order=True
+        )
+
+    @given(left=left_rows, shards=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_prepared_point_routing_matches_unsharded(self, left, shards):
+        database = build_sharded_database(left, [], shards)
+        reference = build_database(left, [])
+        statement = database.prepare("select * from left_t where k = ?")
+        expected = reference.prepare("select * from left_t where k = ?")
+        for key in sorted({row["k"] for row in left}) or [0]:
+            assert _canon(statement.execute((key,)).rows) == _canon(
+                expected.execute((key,)).rows
+            )
+
+
 #: Parameterized workload queries replayed through every client path: plain
 #: filters, conjunctions, projections with arithmetic, grouped aggregates,
 #: joins, and ordering — the shapes the slotted prepared path must cover.

@@ -164,6 +164,114 @@ class TestTierCounters:
         }
 
 
+class TestFallbackReasons:
+    """Why the vectorized tier fell back, as counters per reason."""
+
+    def test_theta_join_reason(self):
+        database = make_database()
+        executor = Executor(database.tables, mode="vectorized")
+        plan = algebra.Join(
+            algebra.Scan("orders", "o"),
+            algebra.Scan("customers", "c"),
+            BinaryOp("<", ColumnRef("o_c_id", "o"), ColumnRef("c_id", "c")),
+        )
+        executor.execute(plan)
+        executor.execute(plan)  # the cached lowering keeps the reason
+        assert executor.vectorized_stats["fallback_reasons"] == {
+            "theta_join": 2
+        }
+
+    def test_unknown_function_reason(self):
+        database = make_database()
+        executor = Executor(database.tables, mode="vectorized")
+        plan = algebra.Project(
+            algebra.Scan("orders"),
+            (
+                algebra.OutputColumn(
+                    FunctionCall("abs", (FunctionCall("nope", ()),)), "out"
+                ),
+            ),
+        )
+        with pytest.raises(ExpressionError):
+            executor.execute(plan)
+        assert (
+            executor.vectorized_stats["fallback_reasons"]["unknown_function"]
+            == 1
+        )
+
+    def test_kernel_error_reason(self):
+        database = make_database()
+        executor = Executor(database.tables, mode="vectorized")
+        # o_total contains NULLs mixed with floats: comparing against a
+        # string raises inside the kernel, re-runs compiled, and raises the
+        # row-tier error to the caller.
+        plan = algebra.Select(
+            algebra.Scan("orders"),
+            BinaryOp(">", ColumnRef("o_total"), Literal("oops")),
+        )
+        with pytest.raises(TypeError):
+            executor.execute(plan)
+        assert executor.vectorized_stats["fallback_reasons"] == {
+            "kernel_error": 1
+        }
+
+    def test_subtree_fallback_counts_its_reason(self):
+        database = make_database()
+        executor = Executor(database.tables, mode="vectorized")
+        theta_join = algebra.Join(
+            algebra.Scan("orders", "o"),
+            algebra.Scan("customers", "c"),
+            BinaryOp("<", ColumnRef("o_c_id", "o"), ColumnRef("c_id", "c")),
+        )
+        plan = algebra.Sort(
+            theta_join, (algebra.SortKey(ColumnRef("o_id"), False),)
+        )
+        executor.execute(plan)
+        assert executor.vectorized_stats["fallback_reasons"] == {
+            "theta_join": 1
+        }
+        assert executor.vectorized_stats["subtree_fallbacks"] == 1
+
+    def test_reasons_surface_in_database_and_engine_stats(self):
+        from repro.api import connect
+
+        database = make_database()
+        engine = connect(database=database)
+        with engine.cursor() as cursor:
+            cursor.execute("select * from orders where o_total > 2.0")
+            cursor.fetchall()
+        plan = algebra.Join(
+            algebra.Scan("orders", "o"),
+            algebra.Scan("customers", "c"),
+            BinaryOp("<", ColumnRef("o_c_id", "o"), ColumnRef("c_id", "c")),
+        )
+        database.execute_plan(plan)
+        reasons = database.execution_stats()["vectorized"]["fallback_reasons"]
+        assert reasons == {"theta_join": 1}
+        assert (
+            engine.stats()["execution"]["vectorized"]["fallback_reasons"]
+            == reasons
+        )
+
+    def test_cli_stats_render_fallback_reasons(self, tmp_path, capsys):
+        import io
+
+        from repro import cli
+
+        program = tmp_path / "program.py"
+        program.write_text(
+            "def report(runtime):\n"
+            "    return runtime.query('select * from orders limit 1')\n"
+        )
+        out = io.StringIO()
+        cli.main(
+            ["optimize", str(program), "--stats", "--shards", "2"], out=out
+        )
+        rendered = out.getvalue()
+        assert "execution.vectorized.fallback_reasons" in rendered
+        assert "sharding.routed" in rendered
+
+
 class TestOperatorEquivalence:
     def test_scan_layout(self):
         database = make_database()
