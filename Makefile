@@ -1,4 +1,4 @@
-.PHONY: test test-async bench bench-suite bench-smoke ci
+.PHONY: test test-async test-faults bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -8,6 +8,13 @@ test:
 test-async:
 	python -m pytest tests/test_aio.py tests/test_pipeline.py \
 		tests/test_param_slots.py -q
+
+# The robustness suites (WAL/recovery, transactions, fault injection) with a
+# widened seed sweep: FAULT_SEEDS adds extra seeds to every seed-parametrized
+# fault test.
+test-faults:
+	FAULT_SEEDS="21 42 99 1234" python -m pytest tests/test_faults.py \
+		tests/test_wal.py tests/test_transactions.py -q
 
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
@@ -19,15 +26,16 @@ bench-suite:
 
 # Scaled-down benchmark run used by CI (covers every bench entry, including
 # the vectorized-tier ones — scan_filter_vectorized, hash_join_wide_vectorized,
-# aggregate_vectorized — and the sharded ones — sharded_point_lookup,
-# sharded_scan_filter, sharded_aggregate — whose cross-tier / sharded-vs-
-# unsharded row equality is asserted as part of the run); does not overwrite
+# aggregate_vectorized — the sharded ones — sharded_point_lookup,
+# sharded_scan_filter, sharded_aggregate — and the robustness ones —
+# wal_overhead (recovery equivalence asserted) and fault_retry_convergence
+# (faulty ≡ fault-free row equality asserted); does not overwrite
 # BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null
 	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
 
-# What CI runs: the full test suite (includes the async/pipeline suites)
-# plus a benchmark smoke run.
-ci: test test-async bench-smoke
+# What CI runs: the full test suite (includes the async/pipeline suites),
+# the fault suite across extra seeds, plus a benchmark smoke run.
+ci: test test-async test-faults bench-smoke

@@ -43,6 +43,16 @@ benchmark families are timed:
   Result equality (routed ≡ scatter ≡ unsharded, as row sets) is asserted
   as part of the run.
 
+* **WAL overhead** — the write path (bulk insert + predicate UPDATEs) with
+  and without the write-ahead log; recovery equivalence (log replay
+  reproduces the live state row-for-row) is asserted as part of the run.
+
+* **Fault-retry convergence** — a seeded fault-injected workload (timeouts,
+  drops, transient server errors, retried with capped exponential backoff
+  on the virtual clock) against the identical fault-free workload;
+  row-for-row equality of every result and of the final table state is
+  asserted, and the virtual-time cost of the faults is reported.
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
@@ -671,6 +681,171 @@ def bench_sharded(rows: int) -> dict:
     }
 
 
+#: Rows inserted (and then updated) per timed run of the WAL benchmark.
+WAL_BENCH_UPDATES = 5
+
+#: Operations / fault rate / seed for the fault-retry convergence benchmark.
+FAULT_BENCH_OPS = 300
+FAULT_BENCH_RATE = 0.1
+FAULT_BENCH_SEED = 42
+
+
+def bench_wal_overhead(rows: int) -> dict:
+    """Write path with and without the write-ahead log.
+
+    Each timed run builds a fresh table, bulk-inserts it, and runs a few
+    predicate UPDATEs — once on a plain database and once with the WAL
+    enabled (every write logged as a typed record plus a commit marker
+    before it applies).  The headline is the relative overhead of
+    durability on the write path; recovery equivalence (replaying the log
+    reproduces the live state row-for-row) is asserted as part of the run.
+    """
+    count = max(rows // 5, 1_000)
+    payload = [
+        {"e_id": i, "e_grp": i % 10, "e_val": float((i * 7919) % 1000)}
+        for i in range(count)
+    ]
+    columns = [
+        Column("e_id", ColumnType.INT),
+        Column("e_grp", ColumnType.INT),
+        Column("e_val", ColumnType.FLOAT),
+    ]
+
+    def run(wal: bool) -> Database:
+        database = Database(wal=wal)
+        database.create_table("events", columns, primary_key="e_id")
+        database.insert("events", payload)
+        for i in range(WAL_BENCH_UPDATES):
+            database.update_table(
+                "events",
+                lambda row, i=i: row["e_grp"] == i,
+                {"e_val": float(i)},
+            )
+        return database
+
+    unlogged_s = _best_time(lambda: run(False), repeats=3)
+    logged_s = _best_time(lambda: run(True), repeats=3)
+
+    database = run(True)
+    recovered = Database.recover(database.wal)
+    live_rows = [dict(r) for r in database.table("events").rows]
+    recovered_rows = [dict(r) for r in recovered.table("events").rows]
+    if live_rows != recovered_rows:
+        raise AssertionError("WAL recovery diverged from the live database")
+    stats = database.wal.stats
+    return {
+        "rows": count,
+        "updates": WAL_BENCH_UPDATES,
+        "unlogged_seconds": unlogged_s,
+        "logged_seconds": logged_s,
+        "relative_overhead": (
+            logged_s / unlogged_s if unlogged_s else None
+        ),
+        "wal_records": stats.records,
+        "wal_rows_logged": stats.rows_logged,
+    }
+
+
+def bench_fault_retry_convergence(rows: int) -> dict:
+    """Seeded fault-injected workload vs the same workload fault-free.
+
+    The faulty engine injects deterministic timeouts/drops/transient errors
+    at ``FAULT_BENCH_RATE`` and retries them with capped exponential
+    backoff; faults that exhaust the retry budget are re-issued at the
+    application level (safe: request-path faults never executed
+    server-side).  Row-for-row equality of every query result and of the
+    final table state against the fault-free run is asserted — the
+    convergence property — and the extra *virtual* time the faults cost is
+    the headline number.
+    """
+    from repro.api.engine import Engine
+    from repro.net.faults import FaultError, RetryPolicy
+    from repro.net.network import SLOW_REMOTE
+
+    customers = max(rows // 10, 1)
+    sql = "select * from customers where c_id = ?"
+
+    def run(engine: Engine, *, reissue: bool) -> tuple:
+        connection = engine.connect()
+        statement = connection.prepare(sql)
+        outputs = []
+        for i in range(FAULT_BENCH_OPS):
+            key = (i * 7919) % customers
+            if i % 5 == 4:
+                op = lambda: connection.execute_update(
+                    f"update customers set c_tier = {i % 5} "
+                    f"where c_id = {key}"
+                )
+            else:
+                op = lambda: connection.execute_prepared(
+                    statement, (key,)
+                ).rows
+            while True:
+                try:
+                    outputs.append(op())
+                    break
+                except FaultError:
+                    if not reissue:
+                        raise
+        return outputs, connection.elapsed
+
+    clean_engine = (
+        Engine.builder()
+        .database(build_benchmark_database(rows))
+        .network(SLOW_REMOTE)
+        .build()
+    )
+    faulty_engine = (
+        Engine.builder()
+        .database(build_benchmark_database(rows))
+        .network(SLOW_REMOTE)
+        .fault_rate(FAULT_BENCH_RATE, seed=FAULT_BENCH_SEED)
+        .retries(RetryPolicy(max_attempts=3, seed=FAULT_BENCH_SEED))
+        .build()
+    )
+
+    started = time.perf_counter()
+    clean_out, clean_virtual = run(clean_engine, reissue=False)
+    clean_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    faulty_out, faulty_virtual = run(faulty_engine, reissue=True)
+    faulty_wall = time.perf_counter() - started
+
+    if clean_out != faulty_out:
+        raise AssertionError(
+            "fault-injected run diverged from the fault-free run"
+        )
+    clean_rows = [
+        dict(r) for r in clean_engine.database.table("customers").rows
+    ]
+    faulty_rows = [
+        dict(r) for r in faulty_engine.database.table("customers").rows
+    ]
+    if clean_rows != faulty_rows:
+        raise AssertionError(
+            "final table state diverged between faulty and fault-free runs"
+        )
+    stats = faulty_engine.faults.stats
+    if stats.injected != stats.retries + stats.exhausted + stats.ambiguous:
+        raise AssertionError("a fault was neither retried nor surfaced")
+    return {
+        "operations": FAULT_BENCH_OPS,
+        "fault_rate": FAULT_BENCH_RATE,
+        "seed": FAULT_BENCH_SEED,
+        "network": SLOW_REMOTE.name,
+        "faults_injected": stats.injected,
+        "retries": stats.retries,
+        "reissued_after_exhaustion": stats.exhausted,
+        "clean_virtual_seconds": clean_virtual,
+        "faulty_virtual_seconds": faulty_virtual,
+        "fault_virtual_overhead": (
+            faulty_virtual / clean_virtual if clean_virtual else None
+        ),
+        "clean_wall_seconds": clean_wall,
+        "faulty_wall_seconds": faulty_wall,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -712,6 +887,8 @@ def main() -> dict:
         "prepared_point_lookup": bench_prepared_point_lookup(rows),
         "pipelined_executemany": bench_pipelined_executemany(rows),
         "async_concurrent_clients": bench_async_concurrent_clients(rows),
+        "wal_overhead": bench_wal_overhead(rows),
+        "fault_retry_convergence": bench_fault_retry_convergence(rows),
         "optimizer": bench_optimizer(),
     }
     report.update(bench_sharded(rows))

@@ -41,7 +41,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, AsyncIterator, Iterable, Optional, Sequence, TYPE_CHECKING
 
-from repro.db.database import PreparedStatement, QueryResult
+from repro.db.database import PreparedStatement, QueryResult, Transaction
 from repro.net.clock import VirtualClock
 from repro.net.connection import (
     Cursor,
@@ -51,6 +51,7 @@ from repro.net.connection import (
     SimulatedConnection,
     _install_executemany_results,
 )
+from repro.net.faults import AmbiguousCommitError, FaultError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.engine import Engine
@@ -66,9 +67,20 @@ async def _overlap(connection: SimulatedConnection, measure):
     before anyone advances the clock; finally the clock moves forward to
     this request's completion time.  Concurrent requests thus cost
     ``max(durations)``, sequential ones remain additive.
+
+    A surfaced fault (:class:`repro.net.faults.FaultError` /
+    :class:`repro.net.faults.AmbiguousCommitError`) carries
+    ``virtual_elapsed`` — the virtual time the failed exchange burned,
+    retries and backoff included — which overlaps the clock the same way
+    before the exception propagates.
     """
     start = connection.clock.now
-    value, elapsed = measure()
+    try:
+        value, elapsed = measure()
+    except (FaultError, AmbiguousCommitError) as exc:
+        await asyncio.sleep(0)
+        connection.clock.advance_to(start + exc.virtual_elapsed)
+        raise
     await asyncio.sleep(0)
     connection.clock.advance_to(start + elapsed)
     return value
@@ -102,7 +114,13 @@ class AsyncConnection:
         connection = self._connection
         return await _overlap(
             connection,
-            lambda: connection._measure_prepared(statement, tuple(params)),
+            lambda: connection._with_faults(
+                "query",
+                lambda: connection._measure_prepared(
+                    statement, tuple(params)
+                ),
+                idempotent=True,
+            ),
         )
 
     async def execute_update(
@@ -116,12 +134,22 @@ class AsyncConnection:
     async def execute_update_prepared(
         self, statement: PreparedStatement, params: Sequence[Any] = ()
     ) -> int:
-        """Execute an already-prepared UPDATE with overlap accounting."""
+        """Execute an already-prepared UPDATE with overlap accounting.
+
+        Writes are not idempotent: under an active fault policy a
+        response-path fault surfaces as
+        :class:`repro.net.faults.AmbiguousCommitError` rather than being
+        retried, exactly like the synchronous path.
+        """
         connection = self._connection
         return await _overlap(
             connection,
-            lambda: connection._measure_update_prepared(
-                statement, tuple(params)
+            lambda: connection._with_faults(
+                "update",
+                lambda: connection._measure_update_prepared(
+                    statement, tuple(params)
+                ),
+                idempotent=False,
             ),
         )
 
@@ -131,6 +159,80 @@ class AsyncConnection:
         """Async point lookup through the cached per-(table, column) plan."""
         statement = self._connection.lookup_statement(table, key_column)
         return await self.execute_prepared(statement, (key_value,))
+
+    # -- transactions ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction begun on this connection is open."""
+        return self._connection.in_transaction
+
+    async def begin(self) -> Transaction:
+        """Open a server transaction on this connection (one round trip)."""
+        connection = self._connection
+        connection._check_open()
+
+        def measure() -> tuple[Transaction, float]:
+            txn = connection.database.begin()
+            connection._txn = txn
+            connection.stats.round_trips += 1
+            connection.stats.network_time += (
+                connection.network.round_trip_seconds
+            )
+            return txn, connection.network.round_trip_seconds
+
+        return await _overlap(connection, measure)
+
+    async def commit(self) -> None:
+        """Commit the open transaction (no-op without one, per PEP 249).
+
+        A lost in-flight COMMIT reply surfaces as
+        :class:`repro.net.faults.AmbiguousCommitError` — see
+        :meth:`repro.net.connection.SimulatedConnection.commit`.
+        """
+        connection = self._connection
+        connection._check_open()
+        txn = connection._txn
+        if txn is None or not txn.active:
+            connection._txn = None
+            return
+
+        def measure() -> tuple[None, float]:
+            txn.commit()
+            connection.stats.round_trips += 1
+            connection.stats.network_time += (
+                connection.network.round_trip_seconds
+            )
+            return None, connection.network.round_trip_seconds
+
+        try:
+            await _overlap(
+                connection,
+                lambda: connection._with_faults(
+                    "commit", measure, idempotent=False
+                ),
+            )
+        finally:
+            connection._txn = None
+
+    async def rollback(self) -> None:
+        """Roll back the open transaction (no-op without one, not faulted)."""
+        connection = self._connection
+        connection._check_open()
+        txn = connection._txn
+        connection._txn = None
+        if txn is None or not txn.active:
+            return
+
+        def measure() -> tuple[None, float]:
+            txn.rollback()
+            connection.stats.round_trips += 1
+            connection.stats.network_time += (
+                connection.network.round_trip_seconds
+            )
+            return None, connection.network.round_trip_seconds
+
+        await _overlap(connection, measure)
 
     # -- derived objects -------------------------------------------------
 
@@ -201,11 +303,16 @@ class AsyncPipeline:
         return len(self._pipeline)
 
     async def flush(self) -> None:
-        """Ship the queued batch in one overlapping round trip."""
+        """Ship the queued batch in one overlapping round trip.
+
+        Partial-failure semantics match the synchronous pipeline: the clock
+        is charged, every handle is filled (results, error, or aborted
+        marker), and the first statement error is re-raised.
+        """
         connection = self._pipeline.connection
-        await _overlap(
-            connection, lambda: (None, self._pipeline._measure_flush())
-        )
+        error = await _overlap(connection, self._pipeline._measure_flush)
+        if error is not None:
+            raise error
 
     async def __aenter__(self) -> "AsyncPipeline":
         return self

@@ -43,8 +43,10 @@ from repro.core.heuristic import HeuristicOptimizer, HeuristicResult
 from repro.core.optimizer import CobraOptimizer, OptimizationResult
 from repro.db.database import Database, PreparedStatement, StatementCacheStats
 from repro.db.sharding import ShardedTable
+from repro.db.wal import WriteAheadLog
 from repro.net.clock import VirtualClock
 from repro.net.connection import ConnectionStats, Cursor, SimulatedConnection
+from repro.net.faults import FaultPolicy, FaultStats, RetryPolicy
 from repro.net.network import PRESETS, NetworkConditions
 from repro.orm.mapping import MappingRegistry
 from repro.orm.session import Session
@@ -93,6 +95,9 @@ class EngineBuilder:
         self._region_rules: Optional[Sequence] = None
         self._fir_rules: Optional[Sequence] = None
         self._shards: Optional[tuple[int, Optional[dict[str, str]]]] = None
+        self._wal: Union[bool, WriteAheadLog] = False
+        self._faults: Optional[FaultPolicy] = None
+        self._retries: Optional[RetryPolicy] = None
 
     # -- data sources ----------------------------------------------------
 
@@ -192,6 +197,39 @@ class EngineBuilder:
         self._shards = (count, dict(key_by) if key_by is not None else None)
         return self
 
+    def wal(
+        self, log: Union[bool, WriteAheadLog] = True
+    ) -> "EngineBuilder":
+        """Enable write-ahead logging on the built database.
+
+        Applied after the workload is built and sharded, so the log starts
+        with a self-contained checkpoint (schema + sharding DDL + bulk
+        inserts) and ``Database.recover`` reproduces the full engine state.
+        Pass an existing :class:`~repro.db.wal.WriteAheadLog` to append to
+        it instead of starting fresh.
+        """
+        self._wal = log
+        return self
+
+    def faults(self, policy: FaultPolicy) -> "EngineBuilder":
+        """Inject deterministic network faults on every connection.
+
+        Unless :meth:`retries` is also called, a default
+        :class:`~repro.net.faults.RetryPolicy` is installed alongside, so
+        retryable faults converge instead of surfacing immediately.
+        """
+        self._faults = policy
+        return self
+
+    def fault_rate(self, rate: float, seed: int = 0) -> "EngineBuilder":
+        """Shorthand for :meth:`faults` with a fresh seeded policy."""
+        return self.faults(FaultPolicy(rate, seed=seed))
+
+    def retries(self, policy: RetryPolicy) -> "EngineBuilder":
+        """Retry policy applied by connections to injected faults."""
+        self._retries = policy
+        return self
+
     def region_rules(self, rules: Sequence) -> "EngineBuilder":
         """Override the optimizer's region transformation rules."""
         self._region_rules = rules
@@ -224,6 +262,13 @@ class EngineBuilder:
                 }
             for table_name, key in key_by.items():
                 database.shard_table(table_name, key, count)
+        if self._wal and database.wal is None:
+            database.enable_wal(
+                self._wal if isinstance(self._wal, WriteAheadLog) else None
+            )
+        retries = self._retries
+        if retries is None and self._faults is not None:
+            retries = RetryPolicy()
         return Engine(
             database=database,
             network=network,
@@ -232,6 +277,8 @@ class EngineBuilder:
             statement_cost=self._statement_cost,
             region_rules=self._region_rules,
             fir_rules=self._fir_rules,
+            faults=self._faults,
+            retries=retries,
         )
 
 
@@ -253,12 +300,18 @@ class Engine:
         statement_cost: float = DEFAULT_STATEMENT_COST,
         region_rules: Optional[Sequence] = None,
         fir_rules: Optional[Sequence] = None,
+        faults: Optional[FaultPolicy] = None,
+        retries: Optional[RetryPolicy] = None,
     ) -> None:
         self.database = database
         self.network = network
         self.parameters = parameters
         self.registry = registry
         self.statement_cost = statement_cost
+        #: fault/retry policies shared by every connection this engine
+        #: hands out (None = reliable network, no retry layer).
+        self.faults = faults
+        self.retries = retries
         self._region_rules = region_rules
         self._fir_rules = fir_rules
         self._connection: Optional[SimulatedConnection] = None
@@ -295,7 +348,13 @@ class Engine:
         if self._closed:
             raise EngineClosedError("engine is closed")
         self._prune_closed()
-        connection = SimulatedConnection(self.database, self.network, clock=clock)
+        connection = SimulatedConnection(
+            self.database,
+            self.network,
+            clock=clock,
+            faults=self.faults,
+            retries=self.retries,
+        )
         self._connections.append(connection)
         self._total_connections += 1
         return connection
@@ -427,6 +486,12 @@ class Engine:
             },
             "execution": self.database.execution_stats(),
             "sharding": self.database.sharding_stats(),
+            "wal": self.database.wal_stats(),
+            "faults": (
+                self.faults.stats.as_dict()
+                if self.faults is not None
+                else FaultStats().as_dict()
+            ),
         }
 
     # -- ORM and application runtime -------------------------------------

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli optimize PROGRAM.py [--function NAME]
         [--catalog catalog.json | --network slow-remote|fast-local]
         [--amortization AF] [--workload orders|wilos] [--scale N]
+        [--shards N] [--wal] [--fault-rate P] [--fault-seed N]
         [--show-alternatives] [--heuristic] [--stats]
 
     python -m repro.cli experiment fig13a|fig13b|fig13c|fig14|fig15|fig16|opt-time
@@ -92,9 +93,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show the always-push-to-SQL heuristic rewrite",
     )
     optimize.add_argument(
+        "--wal",
+        action="store_true",
+        help="enable write-ahead logging on the workload database",
+    )
+    optimize.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "inject seeded network faults at this per-operation probability "
+            "(retried with capped exponential backoff on the virtual clock)"
+        ),
+    )
+    optimize.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault injector",
+    )
+    optimize.add_argument(
         "--stats",
         action="store_true",
-        help="print aggregated engine statistics (statement cache, network)",
+        help=(
+            "print aggregated engine statistics (statement cache, network, "
+            "WAL, fault/retry counters)"
+        ),
     )
 
     experiment = sub.add_parser("experiment", help="run a paper-figure reproduction")
@@ -143,6 +167,10 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         )
     if getattr(args, "shards", 0):
         builder.shards(args.shards)
+    if getattr(args, "wal", False):
+        builder.wal()
+    if getattr(args, "fault_rate", 0.0):
+        builder.fault_rate(args.fault_rate, seed=getattr(args, "fault_seed", 0))
     return builder.build()
 
 

@@ -23,10 +23,13 @@ from repro.db.database import (
     PreparedStatement,
     QueryResult,
     StatementCacheStats,
+    Transaction,
+    TransactionError,
 )
 from repro.db.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
 from repro.db.sharding import ShardedTable, ShardingError, ShardRouter
 from repro.db.statistics import TableStatistics
+from repro.db.wal import WalError, WalRecord, WriteAheadLog
 
 __all__ = [
     "Column",
@@ -42,4 +45,9 @@ __all__ = [
     "StatementCacheStats",
     "TableSchema",
     "TableStatistics",
+    "Transaction",
+    "TransactionError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
 ]

@@ -65,6 +65,16 @@ from repro.db.sharding import (
 )
 from repro.db.statistics import StatisticsCatalog, TableStatistics
 from repro.db.table import Row, Table
+from repro.db.wal import (
+    AbortRecord,
+    CommitRecord,
+    CreateTableRecord,
+    InsertRecord,
+    ShardTableRecord,
+    UpdateRecord,
+    WalError,
+    WriteAheadLog,
+)
 
 #: Server-side per-row processing cost, in seconds, used for CFQ/CLQ estimates.
 DEFAULT_SERVER_ROW_COST = 2e-6
@@ -341,10 +351,13 @@ class PreparedStatement:
                     assignments[column] = expression.compile()
             self._compiled_update = (predicate, assignments)
         predicate, assignments = self._compiled_update
-        table = self.database.table(self._exec_update.table)
         self.database.queries_executed += 1
         self.executions += 1
-        return table.update_rows(predicate, assignments)
+        # Route through the database-level chokepoint so the write-ahead
+        # log and any active transaction observe the statement.
+        return self.database.update_table(
+            self._exec_update.table, predicate, assignments
+        )
 
     def _bind_slots(self, params: Sequence[Any]) -> None:
         """Write ``params`` into the slot buffer, validating the count."""
@@ -487,6 +500,79 @@ def _plan_output_columns(
     return None
 
 
+class TransactionError(Exception):
+    """Raised on invalid transaction usage (nested begin, finished reuse)."""
+
+
+@dataclass
+class TransactionStats:
+    """Counters for the database's transaction activity."""
+
+    begun: int = 0
+    committed: int = 0
+    rolled_back: int = 0
+
+
+class Transaction:
+    """One explicit server-side transaction (single-writer model).
+
+    Created by :meth:`Database.begin`.  While active, every write to the
+    database belongs to this transaction: its WAL records are tagged with
+    the transaction id (durable only once the :class:`CommitRecord` lands),
+    and an in-memory undo list of before-images makes :meth:`rollback`
+    restore the pre-transaction state exactly — inserts are truncated away
+    (storage is append-only) and updates re-apply their old values through
+    the same :meth:`repro.db.table.Table.apply_update` hook the live path
+    uses, so shard rehoming on rollback matches the forward path.
+
+    The engine is deliberately **single-writer**: beginning a second
+    transaction while one is active raises :class:`TransactionError` (MVCC
+    snapshot isolation is future work — see ROADMAP).  Reads are always
+    allowed and see the transaction's own writes.
+    """
+
+    def __init__(self, database: "Database", txn_id: int) -> None:
+        self.database = database
+        self.txn_id = txn_id
+        self.active = True
+        #: undo entries, applied in reverse on rollback:
+        #: ("insert", table, length_before) | ("update", table, before_images)
+        self._undo: list[tuple] = []
+
+    def _record_insert(self, table: str, length_before: int) -> None:
+        self._undo.append(("insert", table, length_before))
+
+    def _record_update(
+        self, table: str, before_images: list[tuple[Row, dict]]
+    ) -> None:
+        self._undo.append(("update", table, before_images))
+
+    def commit(self) -> None:
+        """Make the transaction's writes durable (appends the commit record)."""
+        self.database._commit(self)
+
+    def rollback(self) -> None:
+        """Undo every write of this transaction and mark it aborted."""
+        self.database._rollback(self)
+
+    def __enter__(self) -> "Transaction":
+        if not self.active:
+            raise TransactionError("transaction is no longer active")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "finished"
+        return f"<Transaction {self.txn_id} {state}>"
+
+
 class Database:
     """An in-memory database: schema, tables, statistics, SQL execution."""
 
@@ -497,6 +583,7 @@ class Database:
         compiled_execution: bool = True,
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         execution_mode: Optional[str] = None,
+        wal: Any = None,
     ) -> None:
         self.schema = Schema()
         self.tables: dict[str, Table] = {}
@@ -523,6 +610,14 @@ class Database:
         self.schema_generation = 0
         #: bumped on analyze()/set_table_statistics; invalidates estimates.
         self.stats_generation = 0
+        #: the write-ahead log (None = durability off, the default).
+        self._wal: Optional[WriteAheadLog] = None
+        #: the single active explicit transaction (single-writer model).
+        self._txn: Optional[Transaction] = None
+        self._next_txn_id = 1
+        self.txn_stats = TransactionStats()
+        if wal:
+            self.enable_wal(wal if isinstance(wal, WriteAheadLog) else None)
 
     # -- DDL / DML -------------------------------------------------------
 
@@ -533,11 +628,27 @@ class Database:
         primary_key: Optional[str] = None,
         foreign_keys: Optional[Iterable[ForeignKey]] = None,
     ) -> Table:
-        """Create a table and register it in the schema and catalog."""
+        """Create a table and register it in the schema and catalog.
+
+        DDL is autocommit-only (raises :class:`TransactionError` inside an
+        explicit transaction) and, when the write-ahead log is enabled, is
+        logged as a :class:`~repro.db.wal.CreateTableRecord` before apply.
+        """
+        self._check_no_transaction("create_table")
         schema = TableSchema(name, columns, primary_key, foreign_keys)
+        ddl_txn = self._log_ddl(
+            lambda txn_id: CreateTableRecord(
+                txn_id,
+                name,
+                tuple(schema.columns),
+                schema.primary_key,
+                tuple(schema.foreign_keys),
+            )
+        )
         self.schema.add(schema)
         table = Table(schema)
         self.tables[name] = table
+        self._finish_autocommit(ddl_txn)
         # DDL: plans compiled against the old schema may now resolve
         # differently (and their fast-path analysis is stale), so the whole
         # statement cache is dropped, along with the executor's
@@ -565,6 +676,7 @@ class Database:
         and the shard router is (re)installed so subsequent plans route
         through single-shard / shard-local / scatter-gather execution.
         """
+        self._check_no_transaction("shard_table")
         table = self.table(name)
         if isinstance(table, ShardedTable):
             raise ValueError(f"table {name!r} is already sharded")
@@ -575,6 +687,10 @@ class Database:
                     f"table {name!r} has no primary key; pass an explicit "
                     f"shard key"
                 )
+        table.schema.column(key)  # validate before logging the DDL record
+        ddl_txn = self._log_ddl(
+            lambda txn_id: ShardTableRecord(txn_id, name, key, shards)
+        )
         sharded = ShardedTable(table.schema, key, shards)
         sharded.insert_many(table.rows)
         self.tables[name] = sharded
@@ -590,11 +706,292 @@ class Database:
             # it would zero the sharding stats and the retired per-shard
             # executor counters invalidate() exists to preserve.
             self._router.invalidate()
+        self._finish_autocommit(ddl_txn)
         return sharded
 
     def insert(self, table: str, rows: Iterable[Row]) -> int:
-        """Insert rows into ``table``; returns the number inserted."""
-        return self.table(table).insert_many(rows)
+        """Insert rows into ``table``; returns the number inserted.
+
+        With the write-ahead log enabled, the rows are first normalised
+        (validated against the schema), logged as one
+        :class:`~repro.db.wal.InsertRecord` holding their stored form, and
+        only then applied — the WAL's log-before-apply rule.  Inside an
+        explicit transaction the record is tagged with the transaction id
+        and becomes durable at COMMIT; standalone inserts autocommit.
+        """
+        storage = self.table(table)
+        txn, wal = self._txn, self._wal
+        if txn is None and wal is None:
+            return storage.insert_many(rows)
+        stored_rows = [storage.prepare_row(row) for row in rows]
+        if txn is not None:
+            txn._record_insert(table, len(storage.rows))
+        auto_txn = self._log_write(
+            lambda txn_id: InsertRecord(
+                txn_id, table, tuple(dict(row) for row in stored_rows)
+            )
+        )
+        for stored in stored_rows:
+            storage.insert_stored(stored)
+        self._finish_autocommit(auto_txn)
+        return len(stored_rows)
+
+    def update_table(self, table: str, predicate, assignments: dict) -> int:
+        """Statement-atomic UPDATE on ``table`` with WAL + transaction hooks.
+
+        Runs the two-phase update: :meth:`repro.db.table.Table.plan_update`
+        computes and validates every change first (an error leaves the table
+        untouched), the physical ``(position, new values)`` changes are
+        logged before apply, the transaction (if any) records before-images
+        for rollback, and only then are the changes applied.  This is the
+        single UPDATE chokepoint: prepared statements, cursors, and the
+        application runtime all route through it.
+        """
+        storage = self.table(table)
+        txn, wal = self._txn, self._wal
+        if txn is None and wal is None:
+            return storage.update_rows(predicate, assignments)
+        planned = storage.plan_update(predicate, assignments)
+        if not planned:
+            return 0
+        if txn is not None:
+            txn._record_update(
+                table,
+                [
+                    (row, {column: row[column] for column in new_values})
+                    for _, row, new_values in planned
+                ],
+            )
+        auto_txn = self._log_write(
+            lambda txn_id: UpdateRecord(
+                txn_id,
+                table,
+                tuple(
+                    (position, dict(new_values))
+                    for position, _, new_values in planned
+                ),
+            )
+        )
+        storage.apply_update(
+            (row, new_values) for _, row, new_values in planned
+        )
+        self._finish_autocommit(auto_txn)
+        return len(planned)
+
+    # -- durability and transactions --------------------------------------
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log, or ``None`` when durability is off."""
+        return self._wal
+
+    def enable_wal(
+        self, log: Optional[WriteAheadLog] = None
+    ) -> WriteAheadLog:
+        """Attach a write-ahead log; every subsequent write is logged.
+
+        If the database already holds data, a **checkpoint** is written
+        first — the schema DDL, sharding DDL, and one bulk insert record per
+        table, inside a single committed transaction — so the log alone
+        reproduces the full database under :meth:`recover`, not just the
+        post-enable delta.
+        """
+        if self._wal is not None:
+            raise WalError("write-ahead log is already enabled")
+        if self._txn is not None:
+            raise TransactionError(
+                "cannot enable the WAL inside an active transaction"
+            )
+        log = log if log is not None else WriteAheadLog()
+        if self.tables:
+            txn_id = self._allocate_txn_id()
+            for name, table in self.tables.items():
+                schema = table.schema
+                log.append(
+                    CreateTableRecord(
+                        txn_id,
+                        name,
+                        tuple(schema.columns),
+                        schema.primary_key,
+                        tuple(schema.foreign_keys),
+                    )
+                )
+                if isinstance(table, ShardedTable):
+                    log.append(
+                        ShardTableRecord(
+                            txn_id, name, table.shard_key, table.shard_count
+                        )
+                    )
+                if table.rows:
+                    log.append(
+                        InsertRecord(
+                            txn_id,
+                            name,
+                            tuple(dict(row) for row in table.rows),
+                        )
+                    )
+            log.append(CommitRecord(txn_id))
+        self._wal = log
+        return log
+
+    @classmethod
+    def recover(
+        cls, log: WriteAheadLog, *, wal: bool = True, **kwargs: Any
+    ) -> "Database":
+        """Rebuild a database from the committed prefix of ``log``.
+
+        Replays the records of committed transactions in log order —
+        uncommitted tails (a crash mid-transaction, or mid-autocommit before
+        the commit record landed) and aborted transactions are discarded, so
+        recovery yields exactly the last committed state.  Inserts re-adopt
+        the logged stored rows; updates re-apply their physical changes
+        through :meth:`repro.db.table.Table.apply_update_at`, which on a
+        sharded table rehomes shard-key moves exactly like the live path.
+
+        ``kwargs`` are forwarded to the :class:`Database` constructor
+        (``execution_mode=...`` etc.).  Unless ``wal=False``, the recovered
+        database carries a fresh log seeded with the committed history, so
+        it keeps logging (and can itself be recovered) seamlessly.
+        """
+        database = cls(**kwargs)
+        committed = log.committed_records()
+        for record in committed:
+            if isinstance(record, CreateTableRecord):
+                database.create_table(
+                    record.name,
+                    list(record.columns),
+                    record.primary_key,
+                    list(record.foreign_keys) or None,
+                )
+            elif isinstance(record, ShardTableRecord):
+                database.shard_table(record.name, record.key, record.shards)
+            elif isinstance(record, InsertRecord):
+                storage = database.table(record.table)
+                for row in record.rows:
+                    storage.insert_stored(dict(row))
+            elif isinstance(record, UpdateRecord):
+                database.table(record.table).apply_update_at(
+                    (position, dict(new_values))
+                    for position, new_values in record.changes
+                )
+            # CommitRecords carry no data to apply.
+        if wal:
+            database._wal = WriteAheadLog(committed)
+        database._next_txn_id = max(
+            database._next_txn_id, log.max_txn_id() + 1
+        )
+        return database
+
+    def begin(self) -> Transaction:
+        """Start an explicit transaction (single-writer: one at a time).
+
+        Until :meth:`Transaction.commit`, every write — from any connection
+        — belongs to the transaction: none of it is durable (the WAL commit
+        record is the durability boundary) and all of it is undone by
+        :meth:`Transaction.rollback`.  Beginning a second transaction while
+        one is active raises :class:`TransactionError`.
+        """
+        if self._txn is not None:
+            raise TransactionError(
+                "a transaction is already active; the engine is "
+                "single-writer (MVCC is future work)"
+            )
+        txn = Transaction(self, self._allocate_txn_id())
+        self._txn = txn
+        self.txn_stats.begun += 1
+        return txn
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is active."""
+        return self._txn is not None
+
+    @property
+    def current_transaction(self) -> Optional[Transaction]:
+        """The active explicit transaction, if any."""
+        return self._txn
+
+    def wal_stats(self) -> dict:
+        """WAL record/commit counters plus transaction activity counters."""
+        stats: dict[str, Any] = {"enabled": self._wal is not None}
+        if self._wal is not None:
+            stats.update(self._wal.stats.as_dict())
+        stats["transactions"] = {
+            "begun": self.txn_stats.begun,
+            "committed": self.txn_stats.committed,
+            "rolled_back": self.txn_stats.rolled_back,
+            "active": 1 if self._txn is not None else 0,
+        }
+        return stats
+
+    # -- durability internals ---------------------------------------------
+
+    def _allocate_txn_id(self) -> int:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
+
+    def _check_no_transaction(self, operation: str) -> None:
+        if self._txn is not None:
+            raise TransactionError(
+                f"{operation} is autocommit-only: finish the active "
+                f"transaction first"
+            )
+
+    def _log_write(self, make_record) -> Optional[int]:
+        """Append a data record ahead of its apply (the WAL rule).
+
+        Inside a transaction the record joins it (durable at COMMIT) and
+        ``None`` is returned; standalone writes get their own transaction id
+        whose commit record the caller appends *after* a successful apply
+        via :meth:`_finish_autocommit`.
+        """
+        txn, wal = self._txn, self._wal
+        if txn is not None:
+            if wal is not None:
+                wal.append(make_record(txn.txn_id))
+            return None
+        if wal is None:
+            return None
+        txn_id = self._allocate_txn_id()
+        wal.append(make_record(txn_id))
+        return txn_id
+
+    def _log_ddl(self, make_record) -> Optional[int]:
+        """Append a DDL record (always autocommit; WAL may be off)."""
+        if self._wal is None:
+            return None
+        txn_id = self._allocate_txn_id()
+        self._wal.append(make_record(txn_id))
+        return txn_id
+
+    def _finish_autocommit(self, txn_id: Optional[int]) -> None:
+        if txn_id is not None:
+            self._wal.append(CommitRecord(txn_id))
+
+    def _commit(self, txn: Transaction) -> None:
+        if not txn.active or txn is not self._txn:
+            raise TransactionError("transaction is no longer active")
+        txn.active = False
+        self._txn = None
+        if self._wal is not None:
+            self._wal.append(CommitRecord(txn.txn_id))
+        self.txn_stats.committed += 1
+
+    def _rollback(self, txn: Transaction) -> None:
+        if not txn.active or txn is not self._txn:
+            raise TransactionError("transaction is no longer active")
+        txn.active = False
+        self._txn = None
+        for kind, name, payload in reversed(txn._undo):
+            storage = self.table(name)
+            if kind == "insert":
+                storage.truncate_to(payload)
+            else:
+                storage.apply_update(payload)
+        if self._wal is not None:
+            self._wal.append(AbortRecord(txn.txn_id))
+        self.txn_stats.rolled_back += 1
 
     def table(self, name: str) -> Table:
         """Return the :class:`Table` called ``name``."""

@@ -144,8 +144,8 @@ class ShardedTable(Table):
 
     # -- mutation --------------------------------------------------------
 
-    def insert(self, row: Row) -> Row:
-        stored = super().insert(row)
+    def insert_stored(self, row: Row) -> Row:
+        stored = super().insert_stored(row)
         self.shards[self.shard_index(stored[self.shard_key])].adopt_row(stored)
         return stored
 
@@ -154,24 +154,31 @@ class ShardedTable(Table):
         for shard in self.shards:
             shard.clear()
 
-    def update_rows(self, predicate, assignments: dict) -> int:
+    def apply_update(self, changes) -> int:
         # The shard partitions share the stored dicts, so the update itself
         # is visible there immediately; only their caches (and, if the shard
-        # key or primary key moved, their row placement) need repair.
-        rehome = self.shard_key in assignments or (
-            self.schema.primary_key is not None
-            and self.schema.primary_key in assignments
+        # key or primary key moved, their row placement) need repair.  This
+        # hook covers every update route identically — live ``update_rows``,
+        # transaction-rollback before-images, and WAL replay via
+        # ``apply_update_at`` — so a replayed shard-key update rehomes the
+        # row exactly like the live path did.
+        changes = list(changes)
+        primary_key = self.schema.primary_key
+        rehome = any(
+            self.shard_key in new_values
+            or (primary_key is not None and primary_key in new_values)
+            for _, new_values in changes
         )
-        try:
-            updated = super().update_rows(predicate, assignments)
-        except BaseException:
-            # A callable assignment raised mid-loop: some rows may already
-            # have mutated, so repair the partitions conservatively.
-            self._sync_shards(rehome=True)
-            raise
+        updated = super().apply_update(changes)
         if updated:
             self._sync_shards(rehome=rehome)
         return updated
+
+    def truncate_to(self, length: int) -> int:
+        removed = super().truncate_to(length)
+        if removed:
+            self._sync_shards(rehome=True)
+        return removed
 
     def _sync_shards(self, rehome: bool) -> None:
         if not rehome:

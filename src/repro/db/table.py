@@ -52,11 +52,13 @@ class Table:
 
     # -- mutation --------------------------------------------------------
 
-    def insert(self, row: Row) -> Row:
-        """Insert one row (a mapping of column name to value).
+    def prepare_row(self, row: Row) -> Row:
+        """Validate and normalise one incoming row **without storing it**.
 
         Missing columns are filled with ``None``; unknown columns raise
-        :class:`SchemaError`.  Returns the stored row dict.
+        :class:`SchemaError`.  Returns the normalised stored-form dict —
+        the write-ahead log records this form *before* it is applied, so a
+        replayed insert reproduces the stored row exactly.
         """
         stored: Row = {}
         for column in self.schema.columns:
@@ -67,12 +69,28 @@ class Table:
                 f"unknown columns {sorted(unknown)} for table "
                 f"{self.schema.name!r}"
             )
+        return stored
+
+    def insert_stored(self, stored: Row) -> Row:
+        """Store an already-normalised row produced by :meth:`prepare_row`.
+
+        Subclasses hook here for additional filing (the sharded table files
+        the stored dict into its home partition as well).
+        """
         self.rows.append(stored)
         if self._pk_index is not None:
             key = stored[self.schema.primary_key]
             self._pk_index[key] = stored
         self._invalidate_caches()
         return stored
+
+    def insert(self, row: Row) -> Row:
+        """Insert one row (a mapping of column name to value).
+
+        Missing columns are filled with ``None``; unknown columns raise
+        :class:`SchemaError`.  Returns the stored row dict.
+        """
+        return self.insert_stored(self.prepare_row(row))
 
     def insert_many(self, rows: Iterable[Row]) -> int:
         """Insert many rows; returns the number inserted."""
@@ -104,57 +122,116 @@ class Table:
             self._pk_index.clear()
         self._invalidate_caches()
 
+    def plan_update(
+        self, predicate, assignments: dict
+    ) -> list[tuple[int, Row, dict]]:
+        """Phase one of an update: compute every change **without mutating**.
+
+        Evaluates ``predicate`` and the assignment expressions against every
+        row's pre-statement state and returns ``(position, row, new_values)``
+        triples for the rows that match.  Any error — an unknown column, a
+        predicate or assignment callable raising mid-scan — surfaces here,
+        *before* anything has been written, which is what makes UPDATE
+        statements atomic: a failed statement leaves the table untouched.
+
+        Because nothing is applied during this phase, every row naturally
+        sees the pre-update state — SQL's simultaneous-assignment semantics
+        (``set a = b, b = a`` swaps the columns) fall out without
+        snapshotting.  The positions index into :attr:`rows` and are what
+        the write-ahead log records (inserts are append-only, so positions
+        are stable under replay).
+        """
+        for column in assignments:
+            if not self.schema.has_column(column):
+                raise SchemaError(
+                    f"unknown column {column!r} in update on table "
+                    f"{self.schema.name!r}"
+                )
+        planned: list[tuple[int, Row, dict]] = []
+        for position, row in enumerate(self.rows):
+            if not predicate(row):
+                continue
+            new_values = {
+                column: (value(row) if callable(value) else value)
+                for column, value in assignments.items()
+            }
+            planned.append((position, row, new_values))
+        return planned
+
+    def apply_update(self, changes: Iterable[tuple[Row, dict]]) -> int:
+        """Phase two of an update: apply precomputed ``(row, new_values)``.
+
+        The values were computed (and validated) by :meth:`plan_update`, so
+        application cannot fail; primary-key moves are re-indexed exactly as
+        before.  Also used in reverse by transaction rollback (applying the
+        before-images) and by WAL replay (via :meth:`apply_update_at`).
+        """
+        primary_key = self.schema.primary_key
+        updated = 0
+        for row, new_values in changes:
+            old_key = row[primary_key] if primary_key else None
+            row.update(new_values)
+            if self._pk_index is not None and row[primary_key] != old_key:
+                # The update moved the row to a new primary key: drop the
+                # stale entry (unless another row already claimed it) and
+                # index the row under its new key.
+                if self._pk_index.get(old_key) is row:
+                    del self._pk_index[old_key]
+                self._pk_index[row[primary_key]] = row
+            updated += 1
+        if updated:
+            self._invalidate_caches()
+        return updated
+
+    def apply_update_at(self, changes: Iterable[tuple[int, dict]]) -> int:
+        """Apply ``(row position, new_values)`` changes (WAL replay path).
+
+        Positions refer to :attr:`rows` order, which is stable because
+        storage is append-only and replay applies records in log order.
+        """
+        rows = self.rows
+        return self.apply_update(
+            (rows[position], new_values) for position, new_values in changes
+        )
+
     def update_rows(self, predicate, assignments: dict) -> int:
         """Update rows matching ``predicate`` (a callable on a row dict).
 
         ``assignments`` maps column name to either a constant or a callable
-        taking the row and returning the new value.  With multiple
-        assignments, callables are evaluated against the row's *pre-update*
-        snapshot — SQL's simultaneous-assignment semantics, so
-        ``set a = b, b = a`` swaps the two columns instead of reading the
-        value the first assignment just wrote.  Returns the number of rows
-        updated.  Used by the application-side programs that contain
-        intermittent updates (Wilos pattern A).
+        taking the row and returning the new value.  Callables are evaluated
+        against the row's *pre-update* state — SQL's simultaneous-assignment
+        semantics, so ``set a = b, b = a`` swaps the two columns instead of
+        reading the value the first assignment just wrote.  Returns the
+        number of rows updated.
+
+        The update is **statement-atomic**: it runs as :meth:`plan_update`
+        (compute and validate every change) followed by :meth:`apply_update`
+        (write them all), so an error raised by the predicate or by an
+        assignment on any row leaves the table completely unchanged.
         """
-        primary_key = self.schema.primary_key
-        updated = 0
-        mutated = False
-        needs_snapshot = len(assignments) > 1 and any(
-            callable(value) for value in assignments.values()
+        planned = self.plan_update(predicate, assignments)
+        return self.apply_update(
+            (row, new_values) for _, row, new_values in planned
         )
-        try:
-            for row in self.rows:
-                if not predicate(row):
-                    continue
-                old_key = row[primary_key] if primary_key else None
-                source = dict(row) if needs_snapshot else row
-                for column, value in assignments.items():
-                    if column not in row:
-                        raise SchemaError(
-                            f"unknown column {column!r} in update on table "
-                            f"{self.schema.name!r}"
-                        )
-                    new_value = value(source) if callable(value) else value
-                    mutated = True
-                    row[column] = new_value
-                if (
-                    self._pk_index is not None
-                    and row[primary_key] != old_key
-                ):
-                    # The update moved the row to a new primary key: drop the
-                    # stale entry (unless another row already claimed it) and
-                    # index the row under its new key.
-                    if self._pk_index.get(old_key) is row:
-                        del self._pk_index[old_key]
-                    self._pk_index[row[primary_key]] = row
-                updated += 1
-        finally:
-            # Invalidate even when an assignment callable raises mid-loop:
-            # any row mutated before the failure must not be served by stale
-            # indexes or distinct counts.
-            if mutated:
-                self._invalidate_caches()
-        return updated
+
+    def truncate_to(self, length: int) -> int:
+        """Remove every row past ``length`` (transaction-rollback undo).
+
+        Inserts are append-only, so rolling back the inserts of an aborted
+        transaction is a truncation back to the pre-transaction length.
+        Returns the number of rows removed.
+        """
+        removed = self.rows[length:]
+        if not removed:
+            return 0
+        del self.rows[length:]
+        if self._pk_index is not None:
+            primary_key = self.schema.primary_key
+            for row in removed:
+                if self._pk_index.get(row[primary_key]) is row:
+                    del self._pk_index[row[primary_key]]
+        self._invalidate_caches()
+        return len(removed)
 
     def _invalidate_caches(self) -> None:
         self.version += 1

@@ -26,19 +26,37 @@ from repro.net.connection import (
     PipelineResult,
     SimulatedConnection,
 )
+from repro.net.faults import (
+    AmbiguousCommitError,
+    ConnectionDroppedError,
+    FaultError,
+    FaultPolicy,
+    FaultStats,
+    RequestTimeoutError,
+    RetryPolicy,
+    TransientServerError,
+)
 from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
 
 __all__ = [
+    "AmbiguousCommitError",
     "ConnectionClosedError",
+    "ConnectionDroppedError",
     "ConnectionStats",
     "Cursor",
     "CursorError",
     "FAST_LOCAL",
+    "FaultError",
+    "FaultPolicy",
+    "FaultStats",
     "NetworkConditions",
     "Pipeline",
     "PipelineError",
     "PipelineResult",
+    "RequestTimeoutError",
+    "RetryPolicy",
     "SLOW_REMOTE",
+    "TransientServerError",
     "SimulatedConnection",
     "VirtualClock",
 ]

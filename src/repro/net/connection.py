@@ -42,16 +42,57 @@ transfer time (see :meth:`repro.net.network.NetworkConditions.pipelined_time`)
 instead of one round trip per statement.  :meth:`Cursor.executemany` routes
 through a pipeline, so a 1 000-tuple ``executemany`` costs one round trip
 rather than 1 000.
+
+A flushed batch has **partial-failure semantics**: statements execute in
+queue order, the first failing statement stops the batch, every handle
+before it keeps its valid result, the failing handle carries the error, and
+the statements after it are marked aborted — readable per handle via
+:attr:`PipelineResult.error`.
+
+Transactions and robustness
+---------------------------
+
+``begin()`` / ``commit()`` / ``rollback()`` expose the server's
+single-writer transaction through the connection (PEP 249 shape: ``commit``
+and ``rollback`` are no-ops without an open transaction), and the cursor
+additionally routes the literal statements ``BEGIN`` / ``COMMIT`` /
+``ROLLBACK``.  When the connection carries a
+:class:`repro.net.faults.FaultPolicy`, every exchange may suffer a
+deterministic injected fault; a :class:`repro.net.faults.RetryPolicy`
+retries *request-path* faults (the server never executed anything) with
+capped exponential backoff on the virtual clock.  *Response-path* faults —
+the server executed the request but the reply was lost — are retried only
+for reads: an in-flight write or COMMIT surfaces
+:class:`repro.net.faults.AmbiguousCommitError` rather than being silently
+retried, because the client cannot know whether it took effect.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.db.database import Database, PreparedStatement, QueryResult
+from repro.db.database import (
+    Database,
+    PreparedStatement,
+    QueryResult,
+    Transaction,
+)
 from repro.net.clock import VirtualClock
+from repro.net.faults import (
+    AmbiguousCommitError,
+    FaultError,
+    FaultPolicy,
+    RetryPolicy,
+)
 from repro.net.network import NetworkConditions
+
+#: transaction-control statements the cursor routes to connection methods.
+_TXN_RE = re.compile(
+    r"^\s*(begin|commit|rollback)(?:\s+(?:transaction|work))?\s*;?\s*$",
+    re.IGNORECASE,
+)
 
 
 @dataclass
@@ -113,8 +154,27 @@ class Cursor:
     # -- execution -------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
-        """Prepare (or re-use) and execute one SQL statement."""
+        """Prepare (or re-use) and execute one SQL statement.
+
+        ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` are transaction control, not
+        queries: they route to the connection's transaction methods and
+        leave the cursor without a result set.
+        """
         self._check_open()
+        match = _TXN_RE.match(sql)
+        if match is not None:
+            word = match.group(1).lower()
+            if word == "begin":
+                self.connection.begin()
+            elif word == "commit":
+                self.connection.commit()
+            else:
+                self.connection.rollback()
+            self._rows = None
+            self._index = 0
+            self.rowcount = -1
+            self.description = None
+            return self
         return self.execute_prepared(self.connection.prepare(sql), params)
 
     def execute_prepared(
@@ -274,13 +334,22 @@ class SimulatedConnection:
         database: Database,
         network: NetworkConditions,
         clock: Optional[VirtualClock] = None,
+        *,
+        faults: Optional[FaultPolicy] = None,
+        retries: Optional[RetryPolicy] = None,
     ) -> None:
         self.database = database
         self.network = network
         self.clock = clock or VirtualClock()
         self.stats = ConnectionStats()
+        #: fault injector for this connection's exchanges (None = reliable).
+        self.faults = faults
+        #: retry policy applied to injected faults (None = surface at once).
+        self.retries = retries
         #: (table, key_column) -> prepared point-lookup statement.
         self._lookup_statements: dict[tuple[str, str], PreparedStatement] = {}
+        #: the server transaction this connection opened, if any.
+        self._txn: Optional[Transaction] = None
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -293,11 +362,20 @@ class SimulatedConnection:
     def close(self) -> None:
         """Close the connection; subsequent operations raise.
 
-        Closing is idempotent.  Prepared statements live in the *database's*
-        statement cache, so closing a connection releases only its own
-        per-connection state (the point-lookup statement map).
+        Closing is idempotent — a second (or concurrent double) close is a
+        no-op.  An open transaction begun through this connection is rolled
+        back, per PEP 249's close-with-pending-transaction rule.  Prepared
+        statements live in the *database's* statement cache, so closing a
+        connection releases only its own per-connection state (the
+        point-lookup statement map).
         """
+        if self._closed:
+            return
         self._closed = True
+        txn = self._txn
+        self._txn = None
+        if txn is not None and txn.active:
+            txn.rollback()
         self._lookup_statements.clear()
 
     def __enter__(self) -> "SimulatedConnection":
@@ -328,6 +406,156 @@ class SimulatedConnection:
         self._check_open()
         return Pipeline(self)
 
+    # -- transactions ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction begun on this connection is open."""
+        return self._txn is not None and self._txn.active
+
+    def begin(self) -> Transaction:
+        """Open a server transaction on this connection (one round trip).
+
+        Raises :class:`repro.db.database.TransactionError` if a transaction
+        is already active anywhere on the server — the engine is
+        single-writer.
+        """
+        self._check_open()
+        txn = self.database.begin()
+        self._txn = txn
+        self._charge_control_round_trip()
+        return txn
+
+    def commit(self) -> None:
+        """Commit the connection's open transaction (PEP 249 ``commit``).
+
+        Without an open transaction this is a no-op, per PEP 249.  COMMIT
+        is the one exchange whose reply loss cannot be papered over: a
+        response-path fault here means the server *did* commit but the
+        client cannot know it — surfaced as
+        :class:`repro.net.faults.AmbiguousCommitError`, never retried.
+        """
+        self._check_open()
+        txn = self._txn
+        if txn is None or not txn.active:
+            self._txn = None
+            return
+
+        def measure() -> tuple[None, float]:
+            txn.commit()
+            self.stats.round_trips += 1
+            self.stats.network_time += self.network.round_trip_seconds
+            return None, self.network.round_trip_seconds
+
+        try:
+            self._run_sync("commit", measure, idempotent=False)
+        finally:
+            self._txn = None
+
+    def rollback(self) -> None:
+        """Roll back the connection's open transaction (PEP 249 shape).
+
+        A no-op without an open transaction.  Rollback is not fault-injected:
+        it is the recovery action itself, so the simulation keeps it
+        reliable (like BEGIN).
+        """
+        self._check_open()
+        txn = self._txn
+        self._txn = None
+        if txn is None or not txn.active:
+            return
+        txn.rollback()
+        self._charge_control_round_trip()
+
+    def _charge_control_round_trip(self) -> None:
+        """Charge one round trip for a transaction-control exchange."""
+        self.clock.advance(self.network.round_trip_seconds)
+        self.stats.round_trips += 1
+        self.stats.network_time += self.network.round_trip_seconds
+
+    # -- fault injection and retry ----------------------------------------
+
+    def _with_faults(
+        self,
+        operation: str,
+        measure: Callable[[], tuple],
+        *,
+        idempotent: bool,
+    ) -> tuple:
+        """Run one exchange under the fault/retry policies.
+
+        ``measure`` performs the server-side work and returns ``(value,
+        elapsed)`` without touching the clock; this wrapper returns the same
+        shape with ``elapsed`` extended by every fault cost and backoff
+        sleep along the way, so callers charge the clock exactly once.
+
+        Fault handling follows the delivery split: a request-path fault
+        never reached the server, so it is retryable for any operation; a
+        response-path fault executed server-side with the reply lost, so it
+        is retryable only when ``idempotent`` (reads) — otherwise
+        :class:`AmbiguousCommitError` surfaces.  A surfaced exception
+        carries ``virtual_elapsed``, the virtual time the failed exchange
+        burned, so even failures keep the clock honest.
+        """
+        policy = self.faults
+        if policy is None:
+            return measure()
+        retry = self.retries
+        round_trip = self.network.round_trip_seconds
+        elapsed_total = 0.0
+        attempt = 1
+        while True:
+            fault = policy.inject(operation, round_trip)
+            if fault is None:
+                value, elapsed = measure()
+                return value, elapsed_total + elapsed
+            elapsed_total += fault.cost
+            if fault.delivered:
+                # The server received and executed the request; only the
+                # reply was lost.  Execute it for real so server state
+                # reflects what actually happened.
+                _, elapsed = measure()
+                elapsed_total += elapsed
+                if not idempotent:
+                    policy.stats.ambiguous += 1
+                    error = AmbiguousCommitError(
+                        f"reply to {operation} lost in flight: the server "
+                        f"executed it, but the client cannot confirm"
+                    )
+                    error.virtual_elapsed = elapsed_total
+                    raise error from fault
+            if retry is None or attempt >= retry.max_attempts:
+                policy.stats.exhausted += 1
+                fault.virtual_elapsed = elapsed_total
+                raise fault
+            backoff = retry.delay(attempt)
+            policy.stats.retries += 1
+            policy.stats.backoff_seconds += backoff
+            elapsed_total += backoff
+            attempt += 1
+
+    def _run_sync(
+        self,
+        operation: str,
+        measure: Callable[[], tuple],
+        *,
+        idempotent: bool,
+    ) -> Any:
+        """Fault-wrap ``measure`` and charge the clock sequentially.
+
+        The failure path charges ``virtual_elapsed`` before re-raising, so
+        a surfaced fault still accounts for the time it consumed.
+        """
+        try:
+            value, elapsed = self._with_faults(
+                operation, measure, idempotent=idempotent
+            )
+        except (FaultError, AmbiguousCommitError) as exc:
+            self.clock.advance(exc.virtual_elapsed)
+            raise
+        self.clock.advance(elapsed)
+        return value
+
     # -- query execution -------------------------------------------------
 
     def execute_query(
@@ -345,11 +573,14 @@ class SimulatedConnection:
         One prepared plan serves both execution and cost estimation, so the
         statement text is parsed exactly once over the statement's lifetime
         (the pre-prepared-statement driver parsed every call twice: once to
-        execute, once to estimate).
+        execute, once to estimate).  SELECTs are idempotent, so the fault
+        layer may retry them on any injected fault.
         """
-        result, elapsed = self._measure_prepared(statement, params)
-        self.clock.advance(elapsed)
-        return result
+        return self._run_sync(
+            "query",
+            lambda: self._measure_prepared(statement, params),
+            idempotent=True,
+        )
 
     def _measure_prepared(
         self, statement: PreparedStatement, params: Sequence[Any] = ()
@@ -378,27 +609,42 @@ class SimulatedConnection:
         return result, elapsed
 
     def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
-        """Execute an UPDATE over the network (one round trip, tiny payload)."""
+        """Execute an UPDATE over the network (one round trip, tiny payload).
+
+        Writes are not idempotent: a response-path fault (executed
+        server-side, reply lost) surfaces as
+        :class:`~repro.net.faults.AmbiguousCommitError` instead of retrying.
+        """
         self._check_open()
-        changed = self.database.execute_update_sql(sql, params)
-        self._charge_update()
-        return changed
+        return self._run_sync(
+            "update",
+            lambda: self._measure_update(
+                lambda: self.database.execute_update_sql(sql, params)
+            ),
+            idempotent=False,
+        )
 
     def execute_update_prepared(
         self, statement: PreparedStatement, params: Sequence[Any] = ()
     ) -> int:
         """Execute a prepared UPDATE over the network."""
-        changed, elapsed = self._measure_update_prepared(statement, params)
-        self.clock.advance(elapsed)
-        return changed
+        return self._run_sync(
+            "update",
+            lambda: self._measure_update_prepared(statement, params),
+            idempotent=False,
+        )
 
     def _measure_update_prepared(
         self, statement: PreparedStatement, params: Sequence[Any] = ()
     ) -> tuple[int, float]:
         """Execute a prepared UPDATE; return (changed, elapsed) without
         advancing the clock (async counterpart of the sequential charge)."""
+        return self._measure_update(lambda: statement.execute_update(params))
+
+    def _measure_update(self, run: Callable[[], int]) -> tuple[int, float]:
+        """Execute one UPDATE exchange; return (changed, elapsed)."""
         self._check_open()
-        changed = statement.execute_update(params)
+        changed = run()
         self.stats.queries += 1
         self.stats.round_trips += 1
         self.stats.network_time += self.network.round_trip_seconds
@@ -439,12 +685,6 @@ class SimulatedConnection:
 
     # -- bookkeeping -----------------------------------------------------
 
-    def _charge_update(self) -> None:
-        self.clock.advance(self.network.round_trip_seconds)
-        self.stats.queries += 1
-        self.stats.round_trips += 1
-        self.stats.network_time += self.network.round_trip_seconds
-
     def _record(
         self, result: QueryResult, transfer_time: float, server_time: float
     ) -> None:
@@ -474,10 +714,22 @@ class PipelineResult:
 
     Populated when the pipeline flushes; reading :attr:`rows`,
     :attr:`rowcount`, or :attr:`result` earlier raises
-    :class:`PipelineError`.
+    :class:`PipelineError`.  A batch has partial-failure semantics: if a
+    statement fails, its handle carries the error (:attr:`error`), handles
+    queued before it keep their valid results, and handles after it are
+    marked aborted.  Reading a result off a failed or aborted handle
+    re-raises its error.
     """
 
-    __slots__ = ("statement", "_params", "_rows", "_rowcount", "_result", "_done")
+    __slots__ = (
+        "statement",
+        "_params",
+        "_rows",
+        "_rowcount",
+        "_result",
+        "_error",
+        "_done",
+    )
 
     def __init__(
         self, statement: PreparedStatement, params: tuple
@@ -487,6 +739,7 @@ class PipelineResult:
         self._rows: Optional[list[dict]] = None
         self._rowcount = -1
         self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
         self._done = False
 
     @property
@@ -497,20 +750,38 @@ class PipelineResult:
     @property
     def rows(self) -> Optional[list[dict]]:
         """Result rows of a SELECT (``None`` for UPDATE statements)."""
-        self._check_done()
+        self._check_ok()
         return self._rows
 
     @property
     def rowcount(self) -> int:
         """Rows returned (SELECT) or changed (UPDATE)."""
-        self._check_done()
+        self._check_ok()
         return self._rowcount
 
     @property
     def result(self) -> Optional[QueryResult]:
         """The full :class:`QueryResult` of a SELECT (``None`` for UPDATEs)."""
-        self._check_done()
+        self._check_ok()
         return self._result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """This statement's own error, or ``None`` if it succeeded.
+
+        A statement that never ran because an earlier statement in the
+        batch failed carries a :class:`PipelineError` marking it aborted.
+        """
+        self._check_done()
+        return self._error
+
+    def _reset(self) -> None:
+        """Return the handle to its pre-flush state (fault-layer re-send)."""
+        self._rows = None
+        self._rowcount = -1
+        self._result = None
+        self._error = None
+        self._done = False
 
     def _check_done(self) -> None:
         if not self._done:
@@ -518,8 +789,18 @@ class PipelineResult:
                 "pipeline result read before the batch was flushed"
             )
 
+    def _check_ok(self) -> None:
+        self._check_done()
+        if self._error is not None:
+            raise self._error
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self._done else "pending"
+        if not self._done:
+            state = "pending"
+        elif self._error is not None:
+            state = "failed"
+        else:
+            state = "done"
         return f"<PipelineResult {state} {self.statement.sql!r}>"
 
 
@@ -565,47 +846,102 @@ class Pipeline:
     # -- flushing --------------------------------------------------------
 
     def flush(self) -> list[PipelineResult]:
-        """Ship the queued batch in one round trip; returns the handles."""
-        handles = self._queue
-        elapsed = self._measure_flush()
+        """Ship the queued batch in one round trip; returns the handles.
+
+        On partial failure the clock is still charged for the round trip,
+        every handle is filled (valid results before the failure, the error
+        on the failing handle, aborted markers after it), and the first
+        statement error is re-raised.
+        """
+        handles = list(self._queue)
+        connection = self.connection
+        try:
+            error, elapsed = self._measure_flush()
+        except (FaultError, AmbiguousCommitError) as exc:
+            connection.clock.advance(exc.virtual_elapsed)
+            raise
         if handles:
-            self.connection.clock.advance(elapsed)
+            connection.clock.advance(elapsed)
+        if error is not None:
+            raise error
         return handles
 
-    def _measure_flush(self) -> float:
-        """Execute the queued batch server-side; return its elapsed time
-        without advancing the clock (the async path overlaps it instead).
+    def _measure_flush(self) -> tuple[Optional[BaseException], float]:
+        """Execute the queued batch under the fault layer; return
+        ``(first statement error, elapsed)`` without advancing the clock
+        (the async path overlaps the elapsed time instead).
 
-        An empty queue costs nothing — no round trip is charged.
+        An empty queue costs nothing — no round trip is charged.  A batch
+        of SELECTs is idempotent and may be re-sent on any injected fault;
+        a batch containing a write gets the ambiguous-commit treatment on
+        response-path faults.  Terminal faults raise with
+        ``virtual_elapsed`` set, like every fault-wrapped exchange.
         """
         connection = self.connection
         connection._check_open()
         handles = self._queue
         self._queue = []
         if not handles:
-            return 0.0
+            return None, 0.0
+        idempotent = all(handle.statement.is_query for handle in handles)
+        return connection._with_faults(
+            "pipeline",
+            lambda: self._measure_batch(handles),
+            idempotent=idempotent,
+        )
+
+    def _measure_batch(
+        self, handles: list[PipelineResult]
+    ) -> tuple[Optional[BaseException], float]:
+        """One server-side execution of a batch; return (error, elapsed).
+
+        Statements run in queue order; the first failure stops the batch,
+        leaving earlier handles valid, storing the error on the failing
+        handle, and marking the rest aborted.  The fault layer may call
+        this again to model a re-sent batch, so handles are reset first.
+        """
+        connection = self.connection
         stats = connection.stats
         network = connection.network
         first_total = 0.0
         rest_total = 0.0
         total_bytes = 0
+        error: Optional[BaseException] = None
         for handle in handles:
+            handle._reset()
+        for position, handle in enumerate(handles):
             statement = handle.statement
-            if statement.is_query:
-                result = statement.execute(handle._params)
-                estimate = statement.estimate(handle._params)
-                first_total += estimate.first_row_time
-                rest_total += max(
-                    0.0, estimate.last_row_time - estimate.first_row_time
-                )
-                total_bytes += result.byte_size
-                handle._rows = result.rows
-                handle._rowcount = result.cardinality
-                handle._result = result
-                stats.rows_transferred += result.cardinality
-                stats.bytes_transferred += result.byte_size
-            else:
-                handle._rowcount = statement.execute_update(handle._params)
+            try:
+                if statement.is_query:
+                    result = statement.execute(handle._params)
+                    estimate = statement.estimate(handle._params)
+                    first_total += estimate.first_row_time
+                    rest_total += max(
+                        0.0,
+                        estimate.last_row_time - estimate.first_row_time,
+                    )
+                    total_bytes += result.byte_size
+                    handle._rows = result.rows
+                    handle._rowcount = result.cardinality
+                    handle._result = result
+                    stats.rows_transferred += result.cardinality
+                    stats.bytes_transferred += result.byte_size
+                else:
+                    handle._rowcount = statement.execute_update(
+                        handle._params
+                    )
+            except Exception as exc:
+                error = exc
+                handle._error = exc
+                handle._done = True
+                stats.queries += 1
+                for aborted in handles[position + 1 :]:
+                    aborted._error = PipelineError(
+                        "statement aborted: an earlier statement in the "
+                        "batch failed"
+                    )
+                    aborted._done = True
+                break
             handle._done = True
             stats.queries += 1
         transfer_time = network.transfer_time(total_bytes)
@@ -615,7 +951,7 @@ class Pipeline:
         stats.network_time += network.round_trip_seconds + transfer_time
         stats.server_time += first_total + rest_total
         self.flushes += 1
-        return elapsed
+        return error, elapsed
 
     def discard(self) -> None:
         """Drop the pending batch: nothing is sent, nothing is charged."""

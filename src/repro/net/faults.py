@@ -1,0 +1,303 @@
+"""Deterministic fault injection and retry policies for the simulated network.
+
+The robustness model mirrors what a real driver faces on a flaky network,
+but on the **virtual clock** and fully deterministic (every random draw
+comes from a seeded :class:`random.Random`), so a faulty run is exactly
+reproducible and comparable row-for-row against a fault-free run.
+
+Fault taxonomy
+--------------
+
+Faults are injected per operation by a :class:`FaultPolicy` and come in two
+shapes that matter very differently to the retry layer:
+
+* **Request-path faults** (``delivered=False``): the request never reached
+  the server — a timeout before delivery, a drop on the way out, a
+  transient server error thrown before execution.  The server did *not*
+  execute anything, so retrying is always safe, for reads and writes alike.
+* **Response-path faults** (``delivered=True``): the server executed the
+  request but the reply was lost in flight.  Retrying a *read* is safe (it
+  re-executes and returns the same rows); retrying a *write* or a COMMIT is
+  not — the client cannot know whether the first attempt took effect, so
+  the driver surfaces :class:`AmbiguousCommitError` instead of silently
+  retrying.  This is the classic "in-doubt transaction" rule.
+
+Retry policy
+------------
+
+:class:`RetryPolicy` implements capped exponential backoff with
+deterministic jitter, again on the virtual clock: the sleep between
+attempts is charged as elapsed virtual time, never as wall time.  Every
+injected fault is therefore either retried (and counted) or surfaced as an
+exception carrying ``virtual_elapsed`` — the virtual time the failed
+exchange consumed — so callers can charge the clock faithfully even on the
+failure path.  No fault is ever silently swallowed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FaultError(Exception):
+    """Base class of injected network faults.
+
+    ``delivered`` distinguishes request-path faults (the server never saw
+    the request; always retryable) from response-path faults (the server
+    executed it and the reply was lost; retryable only for idempotent
+    operations).  ``virtual_elapsed`` is filled in by the retry layer when
+    the fault is surfaced: the virtual seconds the whole failed exchange
+    (fault costs, backoff sleeps, any delivered server work) consumed.
+    """
+
+    kind = "fault"
+
+    def __init__(
+        self, message: str, *, delivered: bool = False, cost: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.delivered = delivered
+        #: virtual seconds this single fault event costs (time to notice it).
+        self.cost = cost
+        #: total virtual seconds of the failed exchange; set when surfaced.
+        self.virtual_elapsed = 0.0
+
+
+class RequestTimeoutError(FaultError):
+    """The request timed out before the server received it."""
+
+    kind = "timeout"
+
+
+class ConnectionDroppedError(FaultError):
+    """The connection dropped — on the way out, or with the reply in flight."""
+
+    kind = "drop"
+
+
+class TransientServerError(FaultError):
+    """The server refused the request before executing it (retryable)."""
+
+    kind = "server_error"
+
+
+class AmbiguousCommitError(Exception):
+    """A write or COMMIT was executed server-side but the reply was lost.
+
+    The driver cannot know whether the work took effect, so it must not
+    retry — it surfaces the ambiguity for the application to resolve (by
+    re-reading state, or by treating the transaction as in-doubt).  Carries
+    ``virtual_elapsed`` like :class:`FaultError` so the clock stays honest.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.virtual_elapsed = 0.0
+
+
+@dataclass
+class FaultStats:
+    """Counters for injected faults and the retry layer's reactions."""
+
+    injected: int = 0
+    timeouts: int = 0
+    drops: int = 0
+    server_errors: int = 0
+    #: response-path faults: the server executed before the reply was lost.
+    delivered: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    ambiguous: int = 0
+    #: faults surfaced because the retry budget ran out (or retries are off).
+    exhausted: int = 0
+
+    def reset(self) -> None:
+        self.injected = 0
+        self.timeouts = 0
+        self.drops = 0
+        self.server_errors = 0
+        self.delivered = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.ambiguous = 0
+        self.exhausted = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "timeouts": self.timeouts,
+            "drops": self.drops,
+            "server_errors": self.server_errors,
+            "delivered": self.delivered,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "ambiguous": self.ambiguous,
+            "exhausted": self.exhausted,
+        }
+
+
+#: fault kinds a policy cycles through by default.
+DEFAULT_FAULT_KINDS = ("timeout", "drop", "server_error")
+
+
+class FaultPolicy:
+    """Seeded, deterministic fault injector for the simulated network.
+
+    ``rate`` is the per-operation fault probability; the fault kind is drawn
+    uniformly from ``kinds``.  ``delivered_fraction`` is the probability
+    that a *drop* is response-path (the server executed, the reply was
+    lost) — timeouts and transient server errors are always request-path.
+    The default of ``0.0`` makes every fault retryable, which is what the
+    convergence property wants (a retried faulty run ends row-identical to
+    a fault-free run); raise it to exercise the ambiguous-commit rule.
+
+    All draws come from one seeded :class:`random.Random`, so a given
+    (seed, operation sequence) produces the same fault sequence every run.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.05,
+        *,
+        seed: int = 0,
+        kinds: tuple = DEFAULT_FAULT_KINDS,
+        delivered_fraction: float = 0.0,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ValueError("at least one fault kind is required")
+        unknown = set(kinds) - set(DEFAULT_FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.rate = rate
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        self.delivered_fraction = delivered_fraction
+        #: virtual seconds a timeout burns before the client notices; when
+        #: None, 4x the network round trip is used.
+        self.timeout_seconds = timeout_seconds
+        self._rng = random.Random(seed)
+        self.stats = FaultStats()
+
+    def inject(
+        self, operation: str, round_trip_seconds: float
+    ) -> Optional[FaultError]:
+        """Roll the dice for one operation; a fault instance or ``None``.
+
+        The returned fault carries its virtual-time ``cost``: a timeout
+        burns the configured timeout (default 4 round trips) before the
+        client notices, a drop or server error costs one round trip.
+        """
+        if self._rng.random() >= self.rate:
+            return None
+        stats = self.stats
+        stats.injected += 1
+        kind = self.kinds[self._rng.randrange(len(self.kinds))]
+        if kind == "timeout":
+            stats.timeouts += 1
+            cost = (
+                self.timeout_seconds
+                if self.timeout_seconds is not None
+                else 4.0 * round_trip_seconds
+            )
+            return RequestTimeoutError(
+                f"request timed out during {operation}", cost=cost
+            )
+        if kind == "drop":
+            stats.drops += 1
+            delivered = self._rng.random() < self.delivered_fraction
+            if delivered:
+                stats.delivered += 1
+            return ConnectionDroppedError(
+                f"connection dropped during {operation}"
+                + (" (reply lost in flight)" if delivered else ""),
+                delivered=delivered,
+                cost=round_trip_seconds,
+            )
+        stats.server_errors += 1
+        return TransientServerError(
+            f"transient server error during {operation}",
+            cost=round_trip_seconds,
+        )
+
+    def reset(self) -> None:
+        """Re-seed the generator and zero the counters (fresh experiment)."""
+        self._rng = random.Random(self.seed)
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPolicy(rate={self.rate}, seed={self.seed}, "
+            f"kinds={self.kinds})"
+        )
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` (1-based) returns
+    ``min(base_delay * multiplier**(attempt-1), max_delay)`` stretched by a
+    jitter factor drawn from a seeded generator — virtual seconds to sleep
+    on the virtual clock before re-issuing the request.  ``max_attempts``
+    bounds total tries (first attempt included); at most
+    ``max_attempts - 1`` retries happen before the fault is surfaced.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        *,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds."""
+        backoff = min(
+            self.base_delay * (self.multiplier ** (attempt - 1)),
+            self.max_delay,
+        )
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * self._rng.random()
+        return backoff
+
+    def reset(self) -> None:
+        """Re-seed the jitter generator (fresh experiment)."""
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier})"
+        )
+
+
+__all__ = [
+    "AmbiguousCommitError",
+    "ConnectionDroppedError",
+    "DEFAULT_FAULT_KINDS",
+    "FaultError",
+    "FaultPolicy",
+    "FaultStats",
+    "RequestTimeoutError",
+    "RetryPolicy",
+    "TransientServerError",
+]

@@ -75,6 +75,30 @@ class TestOptimizeCommand:
         assert "network.round_trips" in text
         assert "database.queries_executed" in text
 
+    def test_optimize_wal_and_fault_flags_render_in_stats(self, program_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "optimize",
+                str(program_file),
+                "--scale",
+                "300",
+                "--wal",
+                "--fault-rate",
+                "0.1",
+                "--fault-seed",
+                "7",
+                "--stats",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "wal.enabled" in text
+        assert "wal.records" in text
+        assert "faults.injected" in text
+        assert "faults.retries" in text
+
     def test_optimize_with_wilos_workload_and_af(self, tmp_path):
         path = tmp_path / "pattern_d.py"
         path.write_text(PATTERN_D_SOURCE)

@@ -175,10 +175,11 @@ class TestSecondaryIndexesAndCachedStats:
         assert people.version > version
 
 
-class TestUpdateFailureInvalidation:
-    def test_partial_update_failure_still_invalidates_caches(self, people):
+class TestUpdateStatementAtomicity:
+    def test_failed_update_leaves_table_unchanged(self, people):
         index_before = people.index_for("city")
         assert len(index_before["pune"]) == 2
+        version_before = people.version
 
         calls = []
 
@@ -190,11 +191,37 @@ class TestUpdateFailureInvalidation:
 
         with pytest.raises(RuntimeError):
             people.update_rows(lambda row: True, {"city": flaky})
-        # The first row was rewritten before the failure; caches must
-        # reflect it rather than serving the stale pre-update index.
-        assert [r["name"] for r in people.index_for("city")["delhi"]] == ["ann"]
-        assert len(people.index_for("city")["pune"]) == 1
-        assert people.distinct_count("city") == 3
+        # The update is statement-atomic: the failure on the second row
+        # means *no* row was rewritten, not even the first.
+        assert people.version == version_before
+        assert "delhi" not in people.index_for("city")
+        assert len(people.index_for("city")["pune"]) == 2
+        assert people.distinct_count("city") == 2
+
+    def test_failed_predicate_leaves_table_unchanged(self, people):
+        def flaky_predicate(row):
+            if row["person_id"] == 3:
+                raise TypeError("bad comparison")
+            return True
+
+        with pytest.raises(TypeError):
+            people.update_rows(flaky_predicate, {"city": "delhi"})
+        assert [row["city"] for row in people.rows] == [
+            "pune",
+            "mumbai",
+            "pune",
+        ]
+
+    def test_truncate_to_removes_tail_and_pk_entries(self, people):
+        people.insert({"person_id": 4, "name": "dave", "city": "goa"})
+        people.insert({"person_id": 5, "name": "erin", "city": "goa"})
+        removed = people.truncate_to(3)
+        assert removed == 2
+        assert len(people) == 3
+        assert people.lookup_pk(4) is None
+        assert people.lookup_pk(5) is None
+        assert people.truncate_to(3) == 0
+        assert people.lookup_pk(1)["name"] == "ann"
 
 
 class TestColumnarView:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.db.database import Database
 from repro.db.schema import Column, ColumnType
+from repro.db.sqlparser import SQLSyntaxError
 from repro.net.connection import (
     ConnectionClosedError,
     PipelineError,
@@ -160,6 +161,109 @@ class TestPipelineLifecycle:
         connection.close()
         with pytest.raises(ConnectionClosedError):
             connection.pipeline()
+
+
+class TestPipelinePartialFailure:
+    """A failing statement mid-batch: earlier results stay valid, the
+    failing handle carries its own error, later handles are aborted."""
+
+    def queue_three(self, pipe):
+        good = pipe.execute("select * from items where item_id = ?", (1,))
+        bad = pipe.execute("select * from items where item_id = ?", ())
+        aborted = pipe.execute("select * from items where item_id = ?", (2,))
+        return good, bad, aborted
+
+    def test_results_before_failure_stay_valid(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        good, bad, aborted = self.queue_three(pipe)
+        with pytest.raises(SQLSyntaxError, match="missing value"):
+            pipe.flush()
+        # The statement before the failure executed and its result stands.
+        assert good.rows[0]["item_id"] == 1
+        assert good.error is None
+
+    def test_failing_handle_carries_its_own_error(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        _, bad, _ = self.queue_three(pipe)
+        with pytest.raises(SQLSyntaxError):
+            pipe.flush()
+        assert isinstance(bad.error, SQLSyntaxError)
+        # Reading results off the failed handle re-raises that error.
+        with pytest.raises(SQLSyntaxError):
+            bad.rows
+        with pytest.raises(SQLSyntaxError):
+            bad.rowcount
+
+    def test_statements_after_failure_are_aborted(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        _, _, aborted = self.queue_three(pipe)
+        with pytest.raises(SQLSyntaxError):
+            pipe.flush()
+        assert isinstance(aborted.error, PipelineError)
+        with pytest.raises(PipelineError, match="aborted"):
+            aborted.rows
+
+    def test_failed_flush_still_charges_the_clock(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        self.queue_three(pipe)
+        with pytest.raises(SQLSyntaxError):
+            pipe.flush()
+        # The batch went over the wire: one round trip, clock advanced.
+        assert connection.stats.round_trips == 1
+        assert connection.elapsed >= SLOW_REMOTE.round_trip_seconds
+
+    def test_writes_before_failure_take_effect(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        update = pipe.execute(
+            "update items set label = 'written' where item_id = ?", (5,)
+        )
+        pipe.execute("select * from items where item_id = ?", ())
+        with pytest.raises(SQLSyntaxError):
+            pipe.flush()
+        assert update.rowcount == 1
+        row = connection.database.table("items").lookup_pk(5)
+        assert row["label"] == "written"
+
+    def test_pipeline_reusable_after_partial_failure(self):
+        connection = make_connection()
+        pipe = connection.pipeline()
+        self.queue_three(pipe)
+        with pytest.raises(SQLSyntaxError):
+            pipe.flush()
+        handle = pipe.execute("select * from items where item_id = ?", (3,))
+        pipe.flush()
+        assert handle.rows[0]["item_id"] == 3
+        assert handle.error is None
+
+    def test_async_pipeline_partial_failure_semantics_match(self):
+        import asyncio
+
+        from repro.api.engine import Engine
+
+        async def scenario():
+            connection = make_connection()
+            engine = Engine.builder().database(connection.database).build()
+            conn = engine.aio().connect()
+            pipe = conn.pipeline()
+            good = pipe.execute("select * from items where item_id = ?", (1,))
+            bad = pipe.execute("select * from items where item_id = ?", ())
+            aborted = pipe.execute(
+                "select * from items where item_id = ?", (2,)
+            )
+            with pytest.raises(SQLSyntaxError):
+                await pipe.flush()
+            assert good.rows[0]["item_id"] == 1
+            assert isinstance(bad.error, SQLSyntaxError)
+            assert isinstance(aborted.error, PipelineError)
+            with pytest.raises(PipelineError):
+                aborted.rowcount
+
+        asyncio.run(scenario())
 
 
 class TestExecutemanyPipelining:

@@ -1,0 +1,323 @@
+"""Transaction semantics: BEGIN/COMMIT/ROLLBACK, undo, and close paths."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api.engine import Engine, EngineClosedError
+from repro.db.database import Database, TransactionError
+from repro.db.schema import Column, ColumnType
+from repro.net.connection import ConnectionClosedError, SimulatedConnection
+from repro.net.network import FAST_LOCAL
+
+
+def make_database(wal: bool = False) -> Database:
+    database = Database(wal=wal)
+    database.create_table(
+        "items",
+        [
+            Column("item_id", ColumnType.INT),
+            Column("label", ColumnType.STRING, width=12),
+            Column("grp", ColumnType.INT),
+        ],
+        primary_key="item_id",
+    )
+    database.insert(
+        "items",
+        [
+            {"item_id": i, "label": f"item{i}", "grp": i % 3}
+            for i in range(10)
+        ],
+    )
+    return database
+
+
+def rows_of(database: Database) -> list[dict]:
+    return [dict(row) for row in database.table("items").rows]
+
+
+class TestDatabaseTransactions:
+    def test_commit_makes_writes_stick(self):
+        database = make_database()
+        txn = database.begin()
+        database.insert("items", [{"item_id": 50, "label": "new", "grp": 9}])
+        database.update_table(
+            "items", lambda row: row["item_id"] == 0, {"label": "zero"}
+        )
+        assert database.in_transaction
+        txn.commit()
+        assert not database.in_transaction
+        assert database.table("items").lookup_pk(50)["label"] == "new"
+        assert database.table("items").lookup_pk(0)["label"] == "zero"
+        assert database.txn_stats.committed == 1
+
+    def test_rollback_restores_exact_prior_state(self):
+        database = make_database()
+        before = rows_of(database)
+        txn = database.begin()
+        database.insert(
+            "items",
+            [{"item_id": 60 + i, "label": "tmp", "grp": 0} for i in range(3)],
+        )
+        database.update_table("items", lambda row: True, {"label": "wiped"})
+        database.update_table(
+            "items", lambda row: row["grp"] == 1, {"item_id": lambda r: r["item_id"] + 1000}
+        )
+        txn.rollback()
+        assert rows_of(database) == before
+        # The pk index is restored too: moved keys are back, temp rows gone.
+        assert database.table("items").lookup_pk(1)["label"] == "item1"
+        assert database.table("items").lookup_pk(1001) is None
+        assert database.table("items").lookup_pk(60) is None
+        assert database.txn_stats.rolled_back == 1
+
+    def test_transaction_sees_its_own_writes(self):
+        database = make_database()
+        with database.begin():
+            database.insert(
+                "items", [{"item_id": 70, "label": "mine", "grp": 1}]
+            )
+            result = database.execute_sql(
+                "select * from items where item_id = ?", (70,)
+            )
+            assert result.cardinality == 1
+
+    def test_second_begin_raises_single_writer(self):
+        database = make_database()
+        database.begin()
+        with pytest.raises(TransactionError, match="single-writer"):
+            database.begin()
+
+    def test_ddl_inside_transaction_raises(self):
+        database = make_database()
+        with database.begin():
+            with pytest.raises(TransactionError, match="autocommit-only"):
+                database.create_table("other", [Column("a", ColumnType.INT)])
+            with pytest.raises(TransactionError, match="autocommit-only"):
+                database.shard_table("items", "item_id", 2)
+
+    def test_finished_transaction_cannot_be_reused(self):
+        database = make_database()
+        txn = database.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+        with pytest.raises(TransactionError):
+            with txn:
+                pass
+
+    def test_context_manager_commits_on_success_rolls_back_on_error(self):
+        database = make_database()
+        with database.begin():
+            database.insert(
+                "items", [{"item_id": 80, "label": "kept", "grp": 0}]
+            )
+        assert database.table("items").lookup_pk(80) is not None
+        with pytest.raises(RuntimeError):
+            with database.begin():
+                database.insert(
+                    "items", [{"item_id": 81, "label": "gone", "grp": 0}]
+                )
+                raise RuntimeError("abort")
+        assert database.table("items").lookup_pk(81) is None
+        assert database.txn_stats.begun == 2
+
+    def test_uncommitted_transaction_is_not_durable(self):
+        database = make_database(wal=True)
+        database.begin()
+        database.insert(
+            "items", [{"item_id": 90, "label": "volatile", "grp": 0}]
+        )
+        # Crash here: the commit record never landed.
+        recovered = Database.recover(database.wal)
+        assert recovered.table("items").lookup_pk(90) is None
+        assert len(recovered.table("items")) == 10
+
+    def test_rollback_on_sharded_table_rehomes_exactly(self):
+        database = make_database()
+        database.shard_table("items", "grp", 3)
+        before = rows_of(database)
+        with pytest.raises(RuntimeError):
+            with database.begin():
+                # Shard-key moves inside the transaction...
+                database.update_table(
+                    "items", lambda row: row["grp"] == 0, {"grp": 2}
+                )
+                raise RuntimeError("abort")
+        # ...are rehomed back on rollback, partition-for-partition.
+        assert rows_of(database) == before
+        table = database.table("items")
+        for index, shard in enumerate(table.shards):
+            for row in shard.rows:
+                assert table.shard_index(row["grp"]) == index
+
+
+class TestConnectionTransactions:
+    def make_connection(self, database=None) -> SimulatedConnection:
+        return SimulatedConnection(database or make_database(), FAST_LOCAL)
+
+    def test_begin_commit_through_connection(self):
+        connection = self.make_connection()
+        connection.begin()
+        assert connection.in_transaction
+        connection.execute_update(
+            "update items set label = 'x' where item_id = 3"
+        )
+        connection.commit()
+        assert not connection.in_transaction
+        assert connection.database.table("items").lookup_pk(3)["label"] == "x"
+
+    def test_commit_and_rollback_without_transaction_are_noops(self):
+        connection = self.make_connection()
+        connection.commit()
+        connection.rollback()
+        assert connection.elapsed == 0.0
+
+    def test_rollback_through_connection(self):
+        connection = self.make_connection()
+        connection.begin()
+        connection.execute_update("update items set label = 'y'")
+        connection.rollback()
+        labels = {
+            row["label"] for row in connection.database.table("items").rows
+        }
+        assert "y" not in labels
+
+    def test_transaction_control_round_trips_charged(self):
+        connection = self.make_connection()
+        connection.begin()
+        connection.commit()
+        assert connection.stats.round_trips == 2
+        assert connection.elapsed == pytest.approx(
+            2 * FAST_LOCAL.round_trip_seconds
+        )
+
+    def test_cursor_routes_transaction_statements(self):
+        connection = self.make_connection()
+        cursor = connection.cursor()
+        cursor.execute("BEGIN")
+        assert connection.in_transaction
+        cursor.execute("update items set label = 'via-sql' where item_id = 1")
+        cursor.execute("commit;")
+        assert not connection.in_transaction
+        assert (
+            connection.database.table("items").lookup_pk(1)["label"]
+            == "via-sql"
+        )
+        cursor.execute("begin transaction")
+        cursor.execute("update items set label = 'undone' where item_id = 1")
+        cursor.execute("ROLLBACK")
+        assert (
+            connection.database.table("items").lookup_pk(1)["label"]
+            == "via-sql"
+        )
+
+    def test_close_rolls_back_open_transaction(self):
+        connection = self.make_connection()
+        connection.begin()
+        connection.execute_update("update items set label = 'doomed'")
+        connection.close()
+        labels = {
+            row["label"] for row in connection.database.table("items").rows
+        }
+        assert "doomed" not in labels
+        assert not connection.database.in_transaction
+
+
+class TestCloseIdempotency:
+    def test_connection_double_close_is_safe(self):
+        database = make_database()
+        connection = SimulatedConnection(database, FAST_LOCAL)
+        connection.close()
+        connection.close()  # second close must be a no-op
+        assert connection.closed
+        with pytest.raises(ConnectionClosedError):
+            connection.execute_query("select * from items")
+        with pytest.raises(ConnectionClosedError):
+            connection.cursor()
+        with pytest.raises(ConnectionClosedError):
+            connection.begin()
+        with pytest.raises(ConnectionClosedError):
+            connection.commit()
+
+    def test_double_close_with_open_transaction_rolls_back_once(self):
+        database = make_database()
+        connection = SimulatedConnection(database, FAST_LOCAL)
+        connection.begin()
+        connection.execute_update("update items set label = 'temp'")
+        connection.close()
+        assert database.txn_stats.rolled_back == 1
+        connection.close()
+        assert database.txn_stats.rolled_back == 1
+
+    def test_engine_double_close_and_use_after_close(self):
+        engine = Engine.builder().database(make_database()).build()
+        connection = engine.connect()
+        engine.close()
+        engine.close()
+        assert engine.closed and connection.closed
+        with pytest.raises(EngineClosedError):
+            engine.connect()
+        with pytest.raises(ConnectionClosedError):
+            connection.execute_query("select * from items")
+
+    def test_async_engine_double_close(self):
+        async def scenario():
+            engine = Engine.builder().database(make_database()).build()
+            aengine = engine.aio()
+            conn = aengine.connect()
+            await conn.execute("select * from items where item_id = ?", (1,))
+            conn.close()
+            conn.close()
+            aengine.close()
+            aengine.close()
+            with pytest.raises(EngineClosedError):
+                aengine.connect()
+            with pytest.raises(ConnectionClosedError):
+                await conn.execute("select * from items")
+
+        asyncio.run(scenario())
+
+    def test_async_connection_close_rolls_back_open_transaction(self):
+        async def scenario():
+            database = make_database()
+            engine = Engine.builder().database(database).build()
+            aengine = engine.aio()
+            conn = aengine.connect()
+            await conn.begin()
+            await conn.execute_update("update items set label = 'temp'")
+            conn.close()
+            assert database.txn_stats.rolled_back == 1
+            assert not database.in_transaction
+            conn.close()
+            assert database.txn_stats.rolled_back == 1
+
+        asyncio.run(scenario())
+
+    def test_async_transaction_commit_and_rollback(self):
+        async def scenario():
+            database = make_database()
+            engine = Engine.builder().database(database).build()
+            conn = engine.aio().connect()
+            await conn.begin()
+            assert conn.in_transaction
+            await conn.execute_update(
+                "update items set label = 'async' where item_id = 2"
+            )
+            await conn.commit()
+            assert database.table("items").lookup_pk(2)["label"] == "async"
+            # PEP 249: commit/rollback without a transaction are no-ops.
+            await conn.commit()
+            await conn.rollback()
+            await conn.begin()
+            await conn.execute_update(
+                "update items set label = 'undone' where item_id = 2"
+            )
+            await conn.rollback()
+            assert database.table("items").lookup_pk(2)["label"] == "async"
+
+        asyncio.run(scenario())
