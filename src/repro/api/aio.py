@@ -212,8 +212,17 @@ class AsyncConnection:
                     "commit", measure, idempotent=False
                 ),
             )
-        finally:
+        except AmbiguousCommitError:
+            # The server committed; only the reply was lost — drop the
+            # finished transaction reference.
             connection._txn = None
+            raise
+        except FaultError:
+            # The COMMIT never reached the server: the transaction is still
+            # active server-side, so keep the reference for
+            # rollback()/close() to release.
+            raise
+        connection._txn = None
 
     async def rollback(self) -> None:
         """Roll back the open transaction (no-op without one, not faulted)."""

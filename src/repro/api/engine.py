@@ -262,7 +262,9 @@ class EngineBuilder:
                 }
             for table_name, key in key_by.items():
                 database.shard_table(table_name, key, count)
-        if self._wal and database.wal is None:
+        # Identity test: an empty WriteAheadLog is falsy (it has __len__)
+        # but attaching one must still enable durability.
+        if self._wal is not False and database.wal is None:
             database.enable_wal(
                 self._wal if isinstance(self._wal, WriteAheadLog) else None
             )

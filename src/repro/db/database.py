@@ -616,7 +616,10 @@ class Database:
         self._txn: Optional[Transaction] = None
         self._next_txn_id = 1
         self.txn_stats = TransactionStats()
-        if wal:
+        # Identity test, not truthiness: an *empty* WriteAheadLog is falsy
+        # (it defines __len__), and attaching one must still enable
+        # durability rather than silently skipping it.
+        if wal is not None and wal is not False:
             self.enable_wal(wal if isinstance(wal, WriteAheadLog) else None)
 
     # -- DDL / DML -------------------------------------------------------
@@ -803,6 +806,11 @@ class Database:
                 "cannot enable the WAL inside an active transaction"
             )
         log = log if log is not None else WriteAheadLog()
+        # An attached log may already hold committed history; new txn ids
+        # must not collide with ids that already have commit records, or a
+        # crash before our commit record would still replay the records
+        # (mirrors Database.recover).
+        self._next_txn_id = max(self._next_txn_id, log.max_txn_id() + 1)
         if self.tables:
             txn_id = self._allocate_txn_id()
             for name, table in self.tables.items():

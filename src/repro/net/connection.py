@@ -449,8 +449,18 @@ class SimulatedConnection:
 
         try:
             self._run_sync("commit", measure, idempotent=False)
-        finally:
+        except AmbiguousCommitError:
+            # The server *did* commit; only the reply was lost.  The
+            # transaction is finished server-side, so drop the reference.
             self._txn = None
+            raise
+        except FaultError:
+            # Request-path fault with retries exhausted: the COMMIT never
+            # reached the server and the transaction is still active there.
+            # Keep the reference so rollback()/close() can release it —
+            # clearing it here would wedge the single-writer server forever.
+            raise
+        self._txn = None
 
     def rollback(self) -> None:
         """Roll back the connection's open transaction (PEP 249 shape).

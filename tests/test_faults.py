@@ -245,6 +245,58 @@ class TestSyncFaultPaths:
         assert database.txn_stats.committed == 1
         assert database.table("items").lookup_pk(2)["label"] == "committed"
 
+    def test_exhausted_commit_fault_keeps_transaction_commitable(self):
+        """A request-path COMMIT fault never reached the server, so the
+        transaction must stay open on both ends — dropping the client's
+        reference would wedge the single-writer server forever."""
+        database = make_database()
+        connection = SimulatedConnection(database, FAST_LOCAL)
+        connection.begin()
+        connection.execute_update(
+            "update items set label = 'pending' where item_id = 4"
+        )
+        connection.faults = FaultPolicy(1.0, kinds=("timeout",))
+        with pytest.raises(RequestTimeoutError):
+            connection.commit()
+        assert connection.in_transaction
+        assert database.in_transaction
+        # Once the fault clears, the same transaction still commits.
+        connection.faults = None
+        connection.commit()
+        assert not database.in_transaction
+        assert database.table("items").lookup_pk(4)["label"] == "pending"
+
+    def test_exhausted_commit_fault_then_rollback_releases_server(self):
+        database = make_database()
+        connection = SimulatedConnection(database, FAST_LOCAL)
+        connection.begin()
+        connection.execute_update(
+            "update items set label = 'doomed' where item_id = 5"
+        )
+        connection.faults = FaultPolicy(1.0, kinds=("timeout",))
+        with pytest.raises(RequestTimeoutError):
+            connection.commit()
+        # rollback() (not fault-injected) releases the server transaction,
+        # undoing the in-doubt write; new transactions work again.
+        connection.rollback()
+        assert not database.in_transaction
+        assert database.table("items").lookup_pk(5)["label"] == "item5"
+        database.begin().rollback()
+
+    def test_exhausted_commit_fault_then_close_releases_server(self):
+        database = make_database()
+        connection = SimulatedConnection(database, FAST_LOCAL)
+        connection.begin()
+        connection.execute_update(
+            "update items set label = 'doomed' where item_id = 6"
+        )
+        connection.faults = FaultPolicy(1.0, kinds=("timeout",))
+        with pytest.raises(RequestTimeoutError):
+            connection.commit()
+        connection.close()
+        assert not database.in_transaction
+        assert database.table("items").lookup_pk(6)["label"] == "item6"
+
     def test_delivered_read_fault_is_retryable(self):
         connection = self.faulty_connection(
             faults=FaultPolicy(
@@ -375,6 +427,29 @@ class TestAsyncFaultPaths:
                 )
             assert database.table("items").lookup_pk(3)["label"] == "async"
             assert engine.faults.stats.ambiguous == 1
+
+        asyncio.run(scenario())
+
+    def test_async_exhausted_commit_fault_keeps_transaction(self):
+        """Async mirror of the sync rule: a request-path COMMIT fault
+        leaves the transaction open for rollback, not silently dropped."""
+
+        async def scenario():
+            database = make_database()
+            engine = Engine.builder().database(database).build()
+            conn = engine.aio().connect()
+            await conn.begin()
+            await conn.execute_update(
+                "update items set label = 'pending' where item_id = 7"
+            )
+            conn.raw.faults = FaultPolicy(1.0, kinds=("timeout",))
+            with pytest.raises(RequestTimeoutError):
+                await conn.commit()
+            assert database.in_transaction
+            conn.raw.faults = None
+            await conn.rollback()
+            assert not database.in_transaction
+            assert database.table("items").lookup_pk(7)["label"] == "item7"
 
         asyncio.run(scenario())
 

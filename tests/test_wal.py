@@ -240,6 +240,57 @@ class TestCheckpoint:
         )
         assert snapshot(Database.recover(log)) == snapshot(database)
 
+    def test_enable_wal_on_existing_log_uses_fresh_txn_ids(self):
+        """Attaching a non-empty log must allocate checkpoint txn ids past
+        the log's history: a reused id already has a commit record, so a
+        crash before the *new* commit record would still replay the
+        checkpoint, resurrecting uncommitted state."""
+        first = Database(wal=True)
+        first.create_table(
+            "people", PEOPLE_COLUMNS, primary_key="person_id"
+        )
+        first.insert(
+            "people", [{"person_id": 1, "name": "a", "city": "pune"}]
+        )
+        log = first.wal
+        history_max = log.max_txn_id()
+        history_length = len(log)
+
+        second = Database()
+        second.create_table(
+            "extra", [Column("k", ColumnType.INT)], primary_key="k"
+        )
+        second.insert("extra", [{"k": 7}])
+        second.enable_wal(log)
+        checkpoint_ids = {
+            record.txn_id for record in log.records[history_length:]
+        }
+        assert min(checkpoint_ids) > history_max
+        # The full log recovers both histories...
+        assert "extra" in Database.recover(log).tables
+        # ...but a crash just before the checkpoint's commit record must
+        # discard the whole checkpoint, not resurrect it.
+        crashed = log.prefix(len(log) - 1)
+        recovered = Database.recover(crashed)
+        assert "extra" not in recovered.tables
+        assert snapshot(recovered) == snapshot(first)
+
+    def test_empty_log_instance_still_enables_durability(self):
+        """An empty WriteAheadLog is falsy (it defines __len__); passing
+        one must attach it, not silently leave durability off."""
+        log = WriteAheadLog()
+        database = Database(wal=log)
+        assert database.wal is log
+        database.create_table("t", [Column("a", ColumnType.INT)])
+        assert len(log) > 0
+
+    def test_empty_log_instance_respected_by_engine_builder(self):
+        from repro.api.engine import Engine
+
+        log = WriteAheadLog()
+        engine = Engine.builder().wal(log).build()
+        assert engine.database.wal is log
+
     def test_enable_wal_twice_raises(self):
         database = Database(wal=True)
         with pytest.raises(WalError, match="already enabled"):
