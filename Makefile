@@ -1,4 +1,4 @@
-.PHONY: test test-async test-faults bench bench-suite bench-smoke ci
+.PHONY: test test-async test-faults test-mvcc bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -16,6 +16,13 @@ test-faults:
 	FAULT_SEEDS="21 42 99 1234" python -m pytest tests/test_faults.py \
 		tests/test_wal.py tests/test_transactions.py -q
 
+# The concurrency suites (MVCC snapshot isolation, admission control, the
+# open-loop load generator) under the same widened seed sweep: FAULT_SEEDS
+# feeds the serial-equivalence and loadgen seed-parametrized tests.
+test-mvcc:
+	FAULT_SEEDS="21 42 99 1234" python -m pytest tests/test_mvcc.py \
+		tests/test_admission.py -q
+
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
 	python benchmarks/bench_engine.py
@@ -28,14 +35,17 @@ bench-suite:
 # the vectorized-tier ones — scan_filter_vectorized, hash_join_wide_vectorized,
 # aggregate_vectorized — the sharded ones — sharded_point_lookup,
 # sharded_scan_filter, sharded_aggregate — and the robustness ones —
-# wal_overhead (recovery equivalence asserted) and fault_retry_convergence
-# (faulty ≡ fault-free row equality asserted); does not overwrite
-# BENCH_engine.json.
+# wal_overhead (recovery equivalence asserted, group-commit delta included)
+# and fault_retry_convergence (faulty ≡ fault-free row equality asserted) —
+# and the concurrency ones — mvcc_reader_writer (snapshot consistency and
+# the reader-latency bound asserted) and admission_open_loop (queueing knee
+# asserted); does not overwrite BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null
 	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
 
 # What CI runs: the full test suite (includes the async/pipeline suites),
-# the fault suite across extra seeds, plus a benchmark smoke run.
-ci: test test-async test-faults bench-smoke
+# the fault and concurrency suites across extra seeds, plus a benchmark
+# smoke run.
+ci: test test-async test-faults test-mvcc bench-smoke

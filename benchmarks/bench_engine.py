@@ -53,6 +53,17 @@ benchmark families are timed:
   row-for-row equality of every result and of the final table state is
   asserted, and the virtual-time cost of the faults is reported.
 
+* **MVCC reader/writer** — an open-loop read workload against an MVCC
+  engine, once write-free and once with a concurrent transactional write
+  mix: snapshot readers must not serialize behind writers (read p50 within
+  1.2x of the write-free baseline, asserted), and a snapshot opened before
+  a committed write must still see the old rows (asserted).
+
+* **Admission open loop** — Poisson arrivals at 0.5x / 1x / 2x the
+  admission-controlled server's capacity, reporting p50/p95/p99 virtual
+  latency per rate; the queueing knee (p95 blowing up past the limit) is
+  asserted visible.
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
@@ -743,6 +754,61 @@ def bench_wal_overhead(rows: int) -> dict:
         ),
         "wal_records": stats.records,
         "wal_rows_logged": stats.rows_logged,
+        "group_commit": _bench_group_commit(rows),
+    }
+
+
+#: Transactions / flush cost for the group-commit delta measurement.
+GROUP_COMMITS = 20
+GROUP_FLUSH_SECONDS = 0.05
+GROUP_WINDOW = 2.0
+
+
+def _bench_group_commit(rows: int) -> dict:
+    """Virtual-time delta of group commit on a commit-heavy workload.
+
+    ``GROUP_COMMITS`` sequential BEGIN/UPDATE/COMMIT transactions over the
+    slow-remote network, once with every COMMIT paying the full WAL flush
+    (``group_window=0``) and once with commits inside a window piggybacking
+    on the last flush (``wal_group_commit`` counter).  The grouped run must
+    be cheaper in virtual time, by up to ``(N-1) * flush_seconds``.
+    """
+    from repro.api.engine import Engine
+    from repro.net.network import SLOW_REMOTE
+
+    count = max(rows // 50, 200)
+
+    def run(group_window: float) -> tuple[float, int]:
+        engine = (
+            Engine.builder()
+            .database(build_benchmark_database(count))
+            .network(SLOW_REMOTE)
+            .wal(flush_seconds=GROUP_FLUSH_SECONDS, group_window=group_window)
+            .build()
+        )
+        connection = engine.connect()
+        for i in range(GROUP_COMMITS):
+            connection.begin()
+            connection.execute_update(
+                f"update customers set c_tier = {i % 5} where c_id = 0"
+            )
+            connection.commit()
+        return connection.elapsed, engine.database.wal.stats.group_commits
+
+    ungrouped_virtual, _ = run(0.0)
+    grouped_virtual, grouped = run(GROUP_WINDOW)
+    if grouped == 0:
+        raise AssertionError("group commit never batched a flush")
+    if grouped_virtual >= ungrouped_virtual:
+        raise AssertionError("group commit did not reduce virtual commit time")
+    return {
+        "transactions": GROUP_COMMITS,
+        "flush_seconds": GROUP_FLUSH_SECONDS,
+        "group_window": GROUP_WINDOW,
+        "ungrouped_virtual_seconds": ungrouped_virtual,
+        "grouped_virtual_seconds": grouped_virtual,
+        "flushes_saved": grouped,
+        "virtual_seconds_saved": ungrouped_virtual - grouped_virtual,
     }
 
 
@@ -846,6 +912,218 @@ def bench_fault_retry_convergence(rows: int) -> dict:
     }
 
 
+#: Operations / offered rate / mix for the MVCC reader-writer benchmark.
+MVCC_LOADGEN_OPS = 150
+MVCC_LOADGEN_RATE = 2.0
+MVCC_READ_FRACTION = 0.7
+
+#: Sentinel tier value (outside the generator's 0..4 range) for the
+#: snapshot-consistency check.
+MVCC_SENTINEL_TIER = 7
+
+
+def bench_mvcc_reader_writer(rows: int) -> dict:
+    """Open-loop readers against an MVCC engine, write-free vs mixed.
+
+    The baseline run is 100% point reads; the mixed run interleaves
+    transactional UPDATEs (first-committer-wins conflicts tolerated and
+    counted).  Under MVCC, readers outside a transaction execute against
+    the latest committed snapshot and never wait on writers, so mixed read
+    p50 must stay within 1.2x of the write-free baseline — asserted, along
+    with a snapshot opened before a committed write still seeing the old
+    rows.
+    """
+    from repro.api.engine import Engine
+    from repro.net.network import SLOW_REMOTE
+    from repro.workloads.loadgen import OpenLoopLoadGenerator
+
+    database = build_benchmark_database(rows)
+    customers = max(rows // 10, 1)
+    engine = (
+        Engine.builder()
+        .database(database)
+        .network(SLOW_REMOTE)
+        .mvcc()
+        .build()
+    )
+    read_sql = "select * from customers where c_id = ?"
+
+    def read_params(rng):
+        return (rng.randrange(customers),)
+
+    baseline = OpenLoopLoadGenerator(
+        engine.connect(),
+        rate=MVCC_LOADGEN_RATE,
+        operations=MVCC_LOADGEN_OPS,
+        read_sql=read_sql,
+        read_params=read_params,
+        seed=11,
+    ).run()
+
+    # Snapshot-consistency probe: open a snapshot, commit a write the
+    # mixed run will not overwrite (its writes avoid key 0), and verify
+    # at the end that the snapshot still sees the pre-write row.
+    original = engine.connect().execute_query(read_sql, (0,)).rows[0]["c_tier"]
+    snapshot = database.snapshot()
+    writer = engine.connect()
+    writer.run_transaction(
+        lambda c: c.execute_update(
+            f"update customers set c_tier = {MVCC_SENTINEL_TIER} "
+            f"where c_id = 0"
+        )
+    )
+
+    def write_params(rng):
+        # Keys 1.. only: key 0 carries the snapshot sentinel.
+        return (rng.randrange(5), rng.randrange(1, max(customers, 2)))
+
+    mixed = OpenLoopLoadGenerator(
+        engine.connect(),
+        rate=MVCC_LOADGEN_RATE,
+        operations=MVCC_LOADGEN_OPS,
+        read_sql=read_sql,
+        read_params=read_params,
+        write_sql="update customers set c_tier = ? where c_id = ?",
+        write_params=write_params,
+        read_fraction=MVCC_READ_FRACTION,
+        seed=13,
+        write_transaction=True,
+    ).run()
+
+    snapshot_value = snapshot.execute(read_sql, (0,)).rows[0]["c_tier"]
+    live_value = engine.connect().execute_query(read_sql, (0,)).rows[0][
+        "c_tier"
+    ]
+    snapshot.close()
+    if snapshot_value != original or live_value != MVCC_SENTINEL_TIER:
+        raise AssertionError(
+            "snapshot visibility broke: snapshot saw "
+            f"{snapshot_value!r} (expected {original!r}), live saw "
+            f"{live_value!r} (expected {MVCC_SENTINEL_TIER!r})"
+        )
+    ratio = (
+        mixed.read_latency.p50 / baseline.read_latency.p50
+        if baseline.read_latency.p50
+        else None
+    )
+    if ratio is None or ratio > 1.2:
+        raise AssertionError(
+            f"snapshot readers serialized behind writers: mixed read p50 is "
+            f"{ratio}x the write-free baseline (limit 1.2x)"
+        )
+    mvcc_stats = database.mvcc_stats()
+    return {
+        "operations": MVCC_LOADGEN_OPS,
+        "offered_rate": MVCC_LOADGEN_RATE,
+        "read_fraction": MVCC_READ_FRACTION,
+        "network": SLOW_REMOTE.name,
+        "baseline_read": baseline.read_latency.as_dict(),
+        "mixed_read": mixed.read_latency.as_dict(),
+        "mixed_write": mixed.write_latency.as_dict(),
+        "read_p50_ratio": ratio,
+        "mixed_throughput": mixed.throughput,
+        "write_conflicts": mixed.conflicts,
+        "snapshot_consistent": True,
+        "mvcc": {
+            key: mvcc_stats[key]
+            for key in (
+                "versions_created",
+                "versions_reclaimed",
+                "snapshots_taken",
+                "write_conflicts",
+            )
+        },
+    }
+
+
+#: Concurrency limit / operations per rate for the admission benchmark.
+ADMISSION_LIMIT = 4
+ADMISSION_OPS = 150
+
+
+def bench_admission_open_loop(rows: int) -> dict:
+    """Latency percentiles at 0.5x / 1x / 2x an admission-limited capacity.
+
+    The server's capacity is ``limit / service_time`` (service time probed
+    without admission).  Below capacity, latency sits at the service time;
+    past it, the open-loop queue grows without bound — the knee.  Asserted:
+    the 2x run queues and its p95 clearly exceeds the 0.5x run's.
+    """
+    from repro.api.engine import Engine
+    from repro.net.network import SLOW_REMOTE
+    from repro.workloads.loadgen import OpenLoopLoadGenerator
+
+    database = build_benchmark_database(rows)
+    customers = max(rows // 10, 1)
+    read_sql = "select * from customers where c_id = ?"
+
+    def read_params(rng):
+        return (rng.randrange(customers),)
+
+    probe_engine = (
+        Engine.builder().database(database).network(SLOW_REMOTE).build()
+    )
+    probe = probe_engine.connect()
+    _, service_seconds = probe._with_faults(
+        "query",
+        lambda: probe._measure_prepared(probe.prepare(read_sql), (0,)),
+        idempotent=True,
+    )
+    capacity = ADMISSION_LIMIT / service_seconds
+
+    runs: dict = {}
+    for label, multiplier in (("0.5x", 0.5), ("1x", 1.0), ("2x", 2.0)):
+        # A fresh engine per rate: admission slot bookkeeping must not
+        # leak between runs.
+        engine = (
+            Engine.builder()
+            .database(database)
+            .network(SLOW_REMOTE)
+            .admission(ADMISSION_LIMIT)
+            .build()
+        )
+        report = OpenLoopLoadGenerator(
+            engine.connect(),
+            rate=capacity * multiplier,
+            operations=ADMISSION_OPS,
+            read_sql=read_sql,
+            read_params=read_params,
+            seed=29,
+        ).run()
+        admission = engine.admission.stats
+        runs[label] = {
+            "offered_rate": capacity * multiplier,
+            "throughput": report.throughput,
+            "p50": report.latency.p50,
+            "p95": report.latency.p95,
+            "p99": report.latency.p99,
+            "queued": admission.queued,
+            "queue_seconds": admission.queue_seconds,
+            "peak_in_flight": admission.peak_in_flight,
+        }
+    if runs["2x"]["queued"] == 0:
+        raise AssertionError("overload run never queued at the limit")
+    knee = (
+        runs["2x"]["p95"] / runs["0.5x"]["p95"]
+        if runs["0.5x"]["p95"]
+        else None
+    )
+    if knee is None or knee < 1.5:
+        raise AssertionError(
+            f"queueing knee not visible: overload p95 is only {knee}x the "
+            f"underload p95"
+        )
+    return {
+        "limit": ADMISSION_LIMIT,
+        "operations_per_rate": ADMISSION_OPS,
+        "network": SLOW_REMOTE.name,
+        "service_seconds": service_seconds,
+        "capacity_ops_per_second": capacity,
+        "knee_p95_ratio": knee,
+        "runs": runs,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -889,6 +1167,8 @@ def main() -> dict:
         "async_concurrent_clients": bench_async_concurrent_clients(rows),
         "wal_overhead": bench_wal_overhead(rows),
         "fault_retry_convergence": bench_fault_retry_convergence(rows),
+        "mvcc_reader_writer": bench_mvcc_reader_writer(rows),
+        "admission_open_loop": bench_admission_open_loop(rows),
         "optimizer": bench_optimizer(),
     }
     report.update(bench_sharded(rows))

@@ -51,6 +51,7 @@ from repro.net.connection import (
     SimulatedConnection,
     _install_executemany_results,
 )
+from repro.db.mvcc import SerializationError
 from repro.net.faults import AmbiguousCommitError, FaultError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -187,7 +188,8 @@ class AsyncConnection:
         """Commit the open transaction (no-op without one, per PEP 249).
 
         A lost in-flight COMMIT reply surfaces as
-        :class:`repro.net.faults.AmbiguousCommitError` — see
+        :class:`repro.net.faults.AmbiguousCommitError`, and an MVCC write
+        conflict as :class:`repro.db.mvcc.SerializationError` — see
         :meth:`repro.net.connection.SimulatedConnection.commit`.
         """
         connection = self._connection
@@ -196,22 +198,27 @@ class AsyncConnection:
         if txn is None or not txn.active:
             connection._txn = None
             return
-
-        def measure() -> tuple[None, float]:
-            txn.commit()
-            connection.stats.round_trips += 1
-            connection.stats.network_time += (
-                connection.network.round_trip_seconds
-            )
-            return None, connection.network.round_trip_seconds
-
         try:
             await _overlap(
                 connection,
                 lambda: connection._with_faults(
-                    "commit", measure, idempotent=False
+                    "commit",
+                    lambda: connection._measure_commit(txn),
+                    idempotent=False,
                 ),
             )
+        except SerializationError:
+            # First-committer-wins: the server aborted this transaction.
+            # Charge the failed exchange's round trip with overlap
+            # accounting and drop the reference, mirroring the sync path.
+            connection._txn = None
+            rtt = connection.network.round_trip_seconds
+            connection.clock.advance_to(connection.clock.now + rtt)
+            connection.stats.round_trips += 1
+            connection.stats.network_time += rtt
+            if connection.faults is not None:
+                connection.faults.stats.serialization_conflicts += 1
+            raise
         except AmbiguousCommitError:
             # The server committed; only the reply was lost — drop the
             # finished transaction reference.

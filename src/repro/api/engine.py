@@ -44,6 +44,7 @@ from repro.core.optimizer import CobraOptimizer, OptimizationResult
 from repro.db.database import Database, PreparedStatement, StatementCacheStats
 from repro.db.sharding import ShardedTable
 from repro.db.wal import WriteAheadLog
+from repro.net.admission import AdmissionController
 from repro.net.clock import VirtualClock
 from repro.net.connection import ConnectionStats, Cursor, SimulatedConnection
 from repro.net.faults import FaultPolicy, FaultStats, RetryPolicy
@@ -96,8 +97,11 @@ class EngineBuilder:
         self._fir_rules: Optional[Sequence] = None
         self._shards: Optional[tuple[int, Optional[dict[str, str]]]] = None
         self._wal: Union[bool, WriteAheadLog] = False
+        self._wal_flush: tuple[float, float] = (0.0, 0.0)
         self._faults: Optional[FaultPolicy] = None
         self._retries: Optional[RetryPolicy] = None
+        self._mvcc = False
+        self._admission: Optional[AdmissionController] = None
 
     # -- data sources ----------------------------------------------------
 
@@ -198,7 +202,11 @@ class EngineBuilder:
         return self
 
     def wal(
-        self, log: Union[bool, WriteAheadLog] = True
+        self,
+        log: Union[bool, WriteAheadLog] = True,
+        *,
+        flush_seconds: float = 0.0,
+        group_window: float = 0.0,
     ) -> "EngineBuilder":
         """Enable write-ahead logging on the built database.
 
@@ -207,8 +215,49 @@ class EngineBuilder:
         inserts) and ``Database.recover`` reproduces the full engine state.
         Pass an existing :class:`~repro.db.wal.WriteAheadLog` to append to
         it instead of starting fresh.
+
+        ``flush_seconds`` gives each COMMIT a virtual flush cost;
+        ``group_window`` enables group commit — commits within the window
+        of the last flush piggyback on it for free
+        (:meth:`repro.db.wal.WriteAheadLog.commit_flush`).
         """
         self._wal = log
+        self._wal_flush = (flush_seconds, group_window)
+        return self
+
+    def mvcc(self, enabled: bool = True) -> "EngineBuilder":
+        """Enable MVCC snapshot reads and first-committer-wins writes.
+
+        Transactions write new row versions instead of mutating in place;
+        every statement — inside or outside a transaction — reads a
+        consistent snapshot as-of its context's start timestamp
+        (:mod:`repro.db.mvcc`).
+        """
+        self._mvcc = enabled
+        return self
+
+    def admission(
+        self,
+        limit: int,
+        *,
+        per_connection: Optional[int] = None,
+        queue_timeout: Optional[float] = None,
+        priority_slots: int = 0,
+    ) -> "EngineBuilder":
+        """Bound server concurrency with an admission controller.
+
+        At most ``limit`` requests execute concurrently; excess arrivals
+        wait in a FIFO queue in virtual time (charged to their latency),
+        optionally bounded by ``queue_timeout`` and shaped by
+        ``per_connection`` caps and ``priority_slots``
+        (:mod:`repro.net.admission`).
+        """
+        self._admission = AdmissionController(
+            limit,
+            per_connection=per_connection,
+            queue_timeout=queue_timeout,
+            priority_slots=priority_slots,
+        )
         return self
 
     def faults(self, policy: FaultPolicy) -> "EngineBuilder":
@@ -268,6 +317,13 @@ class EngineBuilder:
             database.enable_wal(
                 self._wal if isinstance(self._wal, WriteAheadLog) else None
             )
+        if database.wal is not None:
+            flush_seconds, group_window = self._wal_flush
+            if flush_seconds or group_window:
+                database.wal.flush_seconds = flush_seconds
+                database.wal.group_window = group_window
+        if self._mvcc and not database.mvcc_enabled:
+            database.enable_mvcc()
         retries = self._retries
         if retries is None and self._faults is not None:
             retries = RetryPolicy()
@@ -281,6 +337,7 @@ class EngineBuilder:
             fir_rules=self._fir_rules,
             faults=self._faults,
             retries=retries,
+            admission=self._admission,
         )
 
 
@@ -304,6 +361,7 @@ class Engine:
         fir_rules: Optional[Sequence] = None,
         faults: Optional[FaultPolicy] = None,
         retries: Optional[RetryPolicy] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -314,6 +372,9 @@ class Engine:
         #: hands out (None = reliable network, no retry layer).
         self.faults = faults
         self.retries = retries
+        #: server-side admission controller shared by every connection
+        #: (None = infinite server capacity).
+        self.admission = admission
         self._region_rules = region_rules
         self._fir_rules = fir_rules
         self._connection: Optional[SimulatedConnection] = None
@@ -356,6 +417,7 @@ class Engine:
             clock=clock,
             faults=self.faults,
             retries=self.retries,
+            admission=self.admission,
         )
         self._connections.append(connection)
         self._total_connections += 1
@@ -380,6 +442,7 @@ class Engine:
                 retired.bytes_transferred += stats.bytes_transferred
                 retired.network_time += stats.network_time
                 retired.server_time += stats.server_time
+                retired.queue_time += stats.queue_time
             else:
                 live.append(connection)
         self._connections = live
@@ -457,6 +520,7 @@ class Engine:
         transferred = retired.bytes_transferred
         network_time = retired.network_time
         server_time = retired.server_time
+        queue_time = retired.queue_time
         for connection in self._connections:
             stats = connection.stats
             queries += stats.queries
@@ -466,6 +530,7 @@ class Engine:
             transferred += stats.bytes_transferred
             network_time += stats.network_time
             server_time += stats.server_time
+            queue_time += stats.queue_time
         return {
             "statement_cache": {
                 "hits": cache.hits,
@@ -482,6 +547,7 @@ class Engine:
                 "bytes_transferred": transferred,
                 "network_time": network_time,
                 "server_time": server_time,
+                "queue_time": queue_time,
             },
             "database": {
                 "queries_executed": self.database.queries_executed,
@@ -489,6 +555,12 @@ class Engine:
             "execution": self.database.execution_stats(),
             "sharding": self.database.sharding_stats(),
             "wal": self.database.wal_stats(),
+            "mvcc": self.database.mvcc_stats(),
+            "admission": (
+                self.admission.as_dict()
+                if self.admission is not None
+                else {"enabled": False}
+            ),
             "faults": (
                 self.faults.stats.as_dict()
                 if self.faults is not None

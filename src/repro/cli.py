@@ -5,7 +5,8 @@ Usage::
     python -m repro.cli optimize PROGRAM.py [--function NAME]
         [--catalog catalog.json | --network slow-remote|fast-local]
         [--amortization AF] [--workload orders|wilos] [--scale N]
-        [--shards N] [--wal] [--fault-rate P] [--fault-seed N]
+        [--shards N] [--wal] [--mvcc] [--admission N]
+        [--fault-rate P] [--fault-seed N]
         [--show-alternatives] [--heuristic] [--stats]
 
     python -m repro.cli experiment fig13a|fig13b|fig13c|fig14|fig15|fig16|opt-time
@@ -98,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable write-ahead logging on the workload database",
     )
     optimize.add_argument(
+        "--mvcc",
+        action="store_true",
+        help=(
+            "enable MVCC: snapshot reads and first-committer-wins "
+            "transactions on the workload database"
+        ),
+    )
+    optimize.add_argument(
+        "--admission",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "bound server concurrency at N in-flight requests; excess "
+            "arrivals queue on the virtual clock (0 = unbounded)"
+        ),
+    )
+    optimize.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -169,6 +188,10 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         builder.shards(args.shards)
     if getattr(args, "wal", False):
         builder.wal()
+    if getattr(args, "mvcc", False):
+        builder.mvcc()
+    if getattr(args, "admission", 0):
+        builder.admission(args.admission)
     if getattr(args, "fault_rate", 0.0):
         builder.fault_rate(args.fault_rate, seed=getattr(args, "fault_seed", 0))
     return builder.build()

@@ -26,6 +26,13 @@ from repro.db.database import (
     Transaction,
     TransactionError,
 )
+from repro.db.mvcc import (
+    MvccManager,
+    MvccStats,
+    MvccTransaction,
+    SerializationError,
+    Snapshot,
+)
 from repro.db.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
 from repro.db.sharding import ShardedTable, ShardingError, ShardRouter
 from repro.db.statistics import TableStatistics
@@ -36,7 +43,12 @@ __all__ = [
     "ColumnType",
     "Database",
     "ForeignKey",
+    "MvccManager",
+    "MvccStats",
+    "MvccTransaction",
     "PreparedStatement",
+    "SerializationError",
+    "Snapshot",
     "QueryResult",
     "Schema",
     "ShardRouter",

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import re
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
@@ -63,6 +64,7 @@ from repro.db.sharding import (
     ShardRouter,
     merge_execution_counters,
 )
+from repro.db.mvcc import MvccManager, MvccTransaction, Snapshot
 from repro.db.statistics import StatisticsCatalog, TableStatistics
 from repro.db.table import Row, Table
 from repro.db.wal import (
@@ -306,7 +308,21 @@ class PreparedStatement:
                 f"prepared UPDATE cannot be executed as a query: {self.sql!r}"
             )
         database = self.database
-        if self.point_lookup is not None and database.compiled_execution:
+        mvcc = database._mvcc
+        # Reads run against the ambient context's snapshot view when MVCC
+        # is on; the live executor otherwise.  The index-backed point-lookup
+        # fast path probes live storage, so it only runs when the context's
+        # snapshot *is* the live state (the common no-concurrency case).
+        executor = (
+            database._executor
+            if mvcc is None
+            else mvcc.executor_for(database._txn)
+        )
+        if (
+            self.point_lookup is not None
+            and database.compiled_execution
+            and executor is database._executor
+        ):
             table = database.tables.get(self.point_lookup.table)
             if table is not None:
                 rows = self.point_lookup.rows(table, params)
@@ -318,7 +334,7 @@ class PreparedStatement:
                     )
         if self.parameter_count:
             self._bind_slots(params)
-        rows = database._executor.execute(self._exec_plan)
+        rows = executor.execute(self._exec_plan)
         database.queries_executed += 1
         self.executions += 1
         return QueryResult(rows=rows, row_width=self.row_width(), sql=self.sql)
@@ -584,6 +600,7 @@ class Database:
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         execution_mode: Optional[str] = None,
         wal: Any = None,
+        mvcc: bool = False,
     ) -> None:
         self.schema = Schema()
         self.tables: dict[str, Table] = {}
@@ -612,10 +629,17 @@ class Database:
         self.stats_generation = 0
         #: the write-ahead log (None = durability off, the default).
         self._wal: Optional[WriteAheadLog] = None
-        #: the single active explicit transaction (single-writer model).
-        self._txn: Optional[Transaction] = None
+        #: the ambient transaction/snapshot context: the single active
+        #: explicit transaction in the legacy single-writer model, or —
+        #: with MVCC enabled — whichever MVCC context the current server
+        #: operation runs under (set per operation via :meth:`using`).
+        self._txn: Optional[Any] = None
         self._next_txn_id = 1
         self.txn_stats = TransactionStats()
+        #: MVCC version manager (None = legacy single-writer mode).
+        self._mvcc: Optional[MvccManager] = None
+        if mvcc:
+            self.enable_mvcc()
         # Identity test, not truthiness: an *empty* WriteAheadLog is falsy
         # (it defines __len__), and attaching one must still enable
         # durability rather than silently skipping it.
@@ -723,7 +747,25 @@ class Database:
         and becomes durable at COMMIT; standalone inserts autocommit.
         """
         storage = self.table(table)
+        mvcc = self._mvcc
         txn, wal = self._txn, self._wal
+        if mvcc is not None:
+            if txn is not None:
+                # Buffered in the transaction's write set; logged and
+                # applied at commit time (never visible to other readers).
+                return mvcc.txn_insert(txn, table, rows)
+            stored_rows = [storage.prepare_row(row) for row in rows]
+            length_before = len(storage.rows)
+            auto_txn = self._log_write(
+                lambda txn_id: InsertRecord(
+                    txn_id, table, tuple(dict(row) for row in stored_rows)
+                )
+            )
+            for stored in stored_rows:
+                storage.insert_stored(stored)
+            self._finish_autocommit(auto_txn)
+            mvcc.note_insert(table, length_before, len(stored_rows))
+            return len(stored_rows)
         if txn is None and wal is None:
             return storage.insert_many(rows)
         stored_rows = [storage.prepare_row(row) for row in rows]
@@ -751,7 +793,39 @@ class Database:
         application runtime all route through it.
         """
         storage = self.table(table)
+        mvcc = self._mvcc
         txn, wal = self._txn, self._wal
+        if mvcc is not None:
+            if txn is not None:
+                # Planned against the transaction's snapshot view and
+                # buffered; applied (and conflict-checked) at commit time.
+                return mvcc.txn_update(txn, table, predicate, assignments)
+            planned = storage.plan_update(predicate, assignments)
+            if not planned:
+                return 0
+            before_images = [
+                (
+                    position,
+                    {column: row[column] for column in new_values},
+                )
+                for position, row, new_values in planned
+            ]
+            auto_txn = self._log_write(
+                lambda txn_id: UpdateRecord(
+                    txn_id,
+                    table,
+                    tuple(
+                        (position, dict(new_values))
+                        for position, _, new_values in planned
+                    ),
+                )
+            )
+            storage.apply_update(
+                (row, new_values) for _, row, new_values in planned
+            )
+            self._finish_autocommit(auto_txn)
+            mvcc.note_update(table, before_images, len(planned))
+            return len(planned)
         if txn is None and wal is None:
             return storage.update_rows(predicate, assignments)
         planned = storage.plan_update(predicate, assignments)
@@ -801,7 +875,9 @@ class Database:
         """
         if self._wal is not None:
             raise WalError("write-ahead log is already enabled")
-        if self._txn is not None:
+        if self._txn is not None or (
+            self._mvcc is not None and self._mvcc.has_contexts()
+        ):
             raise TransactionError(
                 "cannot enable the WAL inside an active transaction"
             )
@@ -888,6 +964,10 @@ class Database:
         database._next_txn_id = max(
             database._next_txn_id, log.max_txn_id() + 1
         )
+        if database._mvcc is not None:
+            # Replay applied everything directly to live storage with no
+            # open contexts; only the commit-order counter is re-derived.
+            database._mvcc.rederive_commit_timestamps(committed)
         return database
 
     def begin(self) -> Transaction:
@@ -898,7 +978,15 @@ class Database:
         record is the durability boundary) and all of it is undone by
         :meth:`Transaction.rollback`.  Beginning a second transaction while
         one is active raises :class:`TransactionError`.
+
+        With MVCC enabled (:meth:`enable_mvcc`), transactions are
+        snapshot-isolated instead: any number may run concurrently, each
+        reading the database as of its start timestamp and buffering its
+        writes privately; commit applies first-committer-wins and raises
+        :class:`repro.db.mvcc.SerializationError` on a lost race.
         """
+        if self._mvcc is not None:
+            return self._mvcc.begin()
         if self._txn is not None:
             raise TransactionError(
                 "a transaction is already active; the engine is "
@@ -909,26 +997,102 @@ class Database:
         self.txn_stats.begun += 1
         return txn
 
+    def snapshot(self) -> Snapshot:
+        """A read-only consistent snapshot of the current committed state.
+
+        Requires MVCC (:meth:`enable_mvcc`).  The snapshot keeps seeing the
+        state as of its start timestamp no matter what commits afterwards;
+        close it to release the version horizon for vacuum.
+        """
+        if self._mvcc is None:
+            raise TransactionError(
+                "snapshots require MVCC: call enable_mvcc() first"
+            )
+        return self._mvcc.snapshot()
+
+    @contextmanager
+    def using(self, context):
+        """Run server-side work under ``context`` (an MVCC transaction or
+        snapshot, or ``None`` for the latest committed state).
+
+        Connections wrap every server exchange in this, so concurrent
+        clients of one MVCC database each read and write under their own
+        context even though the server executes them one at a time.
+        """
+        previous = self._txn
+        self._txn = context
+        try:
+            yield self
+        finally:
+            self._txn = previous
+
     @property
     def in_transaction(self) -> bool:
         """True while an explicit transaction is active."""
+        if self._mvcc is not None:
+            return self._mvcc.active_transactions() > 0
         return self._txn is not None
 
     @property
     def current_transaction(self) -> Optional[Transaction]:
-        """The active explicit transaction, if any."""
+        """The active explicit transaction (the ambient context under MVCC)."""
         return self._txn
+
+    @property
+    def mvcc_enabled(self) -> bool:
+        """True once :meth:`enable_mvcc` has installed the version manager."""
+        return self._mvcc is not None
+
+    def enable_mvcc(self) -> MvccManager:
+        """Switch the database to MVCC snapshot isolation (idempotent).
+
+        From here on, :meth:`begin` returns snapshot-isolated
+        :class:`repro.db.mvcc.MvccTransaction`\\ s (any number may run
+        concurrently), :meth:`snapshot` opens read-only consistent views,
+        and autocommit writes register version history so open snapshots
+        keep reading the state they started from.
+        """
+        if self._mvcc is not None:
+            return self._mvcc
+        if self._txn is not None:
+            raise TransactionError(
+                "cannot enable MVCC inside an active transaction"
+            )
+        self._mvcc = MvccManager(self)
+        return self._mvcc
+
+    def vacuum(self) -> int:
+        """Reclaim row versions older than the oldest open snapshot.
+
+        Runs automatically whenever a transaction or snapshot finishes;
+        call explicitly to reclaim after autocommit churn.  Returns the
+        number of row versions reclaimed (0 with MVCC off).
+        """
+        if self._mvcc is None:
+            return 0
+        return self._mvcc.vacuum()
+
+    def mvcc_stats(self) -> dict:
+        """MVCC version/snapshot/conflict counters (``{"enabled": False}``
+        when MVCC is off)."""
+        if self._mvcc is None:
+            return {"enabled": False}
+        return self._mvcc.stats_dict()
 
     def wal_stats(self) -> dict:
         """WAL record/commit counters plus transaction activity counters."""
         stats: dict[str, Any] = {"enabled": self._wal is not None}
         if self._wal is not None:
             stats.update(self._wal.stats.as_dict())
+        if self._mvcc is not None:
+            active = self._mvcc.active_transactions()
+        else:
+            active = 1 if self._txn is not None else 0
         stats["transactions"] = {
             "begun": self.txn_stats.begun,
             "committed": self.txn_stats.committed,
             "rolled_back": self.txn_stats.rolled_back,
-            "active": 1 if self._txn is not None else 0,
+            "active": active,
         }
         return stats
 
@@ -940,6 +1104,11 @@ class Database:
         return txn_id
 
     def _check_no_transaction(self, operation: str) -> None:
+        if self._mvcc is not None and self._mvcc.has_contexts():
+            raise TransactionError(
+                f"{operation} is autocommit-only: finish the active "
+                f"transactions and snapshots first"
+            )
         if self._txn is not None:
             raise TransactionError(
                 f"{operation} is autocommit-only: finish the active "
@@ -1071,7 +1240,11 @@ class Database:
         self, plan: algebra.PlanNode, sql: Optional[str] = None
     ) -> QueryResult:
         """Execute an algebra plan directly."""
-        rows = self._executor.execute(plan)
+        mvcc = self._mvcc
+        executor = (
+            self._executor if mvcc is None else mvcc.executor_for(self._txn)
+        )
+        rows = executor.execute(plan)
         width = self.statistics.estimate_row_width(plan)
         self.queries_executed += 1
         return QueryResult(rows=rows, row_width=width, sql=sql or to_sql(plan))

@@ -114,6 +114,8 @@ class WalStats:
     rows_logged: int = 0
     #: rough payload estimate: one cell (column value) = one unit.
     cells_logged: int = 0
+    #: commits whose flush piggybacked on an earlier one (group commit).
+    group_commits: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -125,6 +127,7 @@ class WalStats:
             "aborts": self.aborts,
             "rows_logged": self.rows_logged,
             "cells_logged": self.cells_logged,
+            "group_commits": self.group_commits,
         }
 
 
@@ -139,9 +142,20 @@ class WriteAheadLog:
     prefix of one log).
     """
 
-    def __init__(self, records: Optional[Sequence[WalRecord]] = None) -> None:
+    def __init__(
+        self,
+        records: Optional[Sequence[WalRecord]] = None,
+        *,
+        flush_seconds: float = 0.0,
+        group_window: float = 0.0,
+    ) -> None:
         self.records: list[WalRecord] = []
         self.stats = WalStats()
+        #: virtual cost of flushing a commit to the durable medium.
+        self.flush_seconds = flush_seconds
+        #: commits within this window of the last flush share it for free.
+        self.group_window = group_window
+        self._last_flush: Optional[float] = None
         if records:
             for record in records:
                 self.append(record)
@@ -171,6 +185,26 @@ class WriteAheadLog:
         elif isinstance(record, AbortRecord):
             stats.aborts += 1
         return lsn
+
+    def commit_flush(self, now: float) -> float:
+        """Virtual seconds this commit pays to flush the log at time ``now``.
+
+        Models group commit: the first commit in a ``group_window`` pays the
+        full ``flush_seconds`` and stamps the flush time; later commits
+        inside the window piggyback on that flush for free (counted in
+        ``stats.group_commits``).  With ``flush_seconds`` at 0 the log has
+        no flush cost and this is always free.
+        """
+        if self.flush_seconds <= 0.0:
+            return 0.0
+        if (
+            self._last_flush is not None
+            and now - self._last_flush <= self.group_window
+        ):
+            self.stats.group_commits += 1
+            return 0.0
+        self._last_flush = now
+        return self.flush_seconds
 
     # -- crash simulation and recovery views ------------------------------
 

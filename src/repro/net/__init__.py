@@ -15,6 +15,11 @@ deterministic simulator:
   prepared-statement path.
 """
 
+from repro.net.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionStats,
+)
 from repro.net.clock import VirtualClock
 from repro.net.connection import (
     ConnectionClosedError,
@@ -39,6 +44,9 @@ from repro.net.faults import (
 from repro.net.network import FAST_LOCAL, SLOW_REMOTE, NetworkConditions
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionStats",
     "AmbiguousCommitError",
     "ConnectionClosedError",
     "ConnectionDroppedError",

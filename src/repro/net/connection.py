@@ -70,6 +70,7 @@ retried, because the client cannot know whether it took effect.
 from __future__ import annotations
 
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
@@ -79,6 +80,8 @@ from repro.db.database import (
     QueryResult,
     Transaction,
 )
+from repro.db.mvcc import SerializationError
+from repro.net.admission import AdmissionController
 from repro.net.clock import VirtualClock
 from repro.net.faults import (
     AmbiguousCommitError,
@@ -107,6 +110,8 @@ class ConnectionStats:
     bytes_transferred: int = 0
     network_time: float = 0.0
     server_time: float = 0.0
+    #: virtual seconds spent waiting in the server's admission queue.
+    queue_time: float = 0.0
 
     def reset(self) -> None:
         self.queries = 0
@@ -116,6 +121,7 @@ class ConnectionStats:
         self.bytes_transferred = 0
         self.network_time = 0.0
         self.server_time = 0.0
+        self.queue_time = 0.0
 
 
 class CursorError(Exception):
@@ -337,6 +343,7 @@ class SimulatedConnection:
         *,
         faults: Optional[FaultPolicy] = None,
         retries: Optional[RetryPolicy] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -346,6 +353,8 @@ class SimulatedConnection:
         self.faults = faults
         #: retry policy applied to injected faults (None = surface at once).
         self.retries = retries
+        #: server-side admission controller (None = infinite capacity).
+        self.admission = admission
         #: (table, key_column) -> prepared point-lookup statement.
         self._lookup_statements: dict[tuple[str, str], PreparedStatement] = {}
         #: the server transaction this connection opened, if any.
@@ -377,6 +386,8 @@ class SimulatedConnection:
         if txn is not None and txn.active:
             txn.rollback()
         self._lookup_statements.clear()
+        if self.admission is not None:
+            self.admission.release_connection(id(self))
 
     def __enter__(self) -> "SimulatedConnection":
         self._check_open()
@@ -434,21 +445,31 @@ class SimulatedConnection:
         response-path fault here means the server *did* commit but the
         client cannot know it — surfaced as
         :class:`repro.net.faults.AmbiguousCommitError`, never retried.
+
+        Under MVCC the server may refuse the commit entirely
+        (first-committer-wins): :class:`repro.db.mvcc.SerializationError`
+        surfaces after the server has already aborted the transaction, so
+        the connection drops its reference — retry by running the whole
+        transaction again (see :meth:`run_transaction`).
         """
         self._check_open()
         txn = self._txn
         if txn is None or not txn.active:
             self._txn = None
             return
-
-        def measure() -> tuple[None, float]:
-            txn.commit()
-            self.stats.round_trips += 1
-            self.stats.network_time += self.network.round_trip_seconds
-            return None, self.network.round_trip_seconds
-
         try:
-            self._run_sync("commit", measure, idempotent=False)
+            self._run_sync(
+                "commit", lambda: self._measure_commit(txn), idempotent=False
+            )
+        except SerializationError:
+            # The server resolved the conflict by aborting this transaction
+            # (never a silent rollback of committed versions).  The exchange
+            # still burned a round trip.
+            self._txn = None
+            self._charge_control_round_trip()
+            if self.faults is not None:
+                self.faults.stats.serialization_conflicts += 1
+            raise
         except AmbiguousCommitError:
             # The server *did* commit; only the reply was lost.  The
             # transaction is finished server-side, so drop the reference.
@@ -461,6 +482,69 @@ class SimulatedConnection:
             # clearing it here would wedge the single-writer server forever.
             raise
         self._txn = None
+
+    def _measure_commit(self, txn) -> tuple[None, float]:
+        """Commit the server transaction; return ``(None, elapsed)`` without
+        advancing the clock (shared by the sync and async commit paths).
+
+        :class:`~repro.db.mvcc.SerializationError` propagates from
+        ``txn.commit()`` before any time is recorded — the caller charges
+        the failed exchange's round trip.  With a WAL attached the elapsed
+        time includes the commit's flush cost, which group commit
+        (:meth:`repro.db.wal.WriteAheadLog.commit_flush`) may waive.
+        """
+        self._check_open()
+        txn.commit()
+        elapsed = self.network.round_trip_seconds
+        wal = self.database.wal
+        if wal is not None:
+            elapsed += wal.commit_flush(self.clock.now)
+        self.stats.round_trips += 1
+        self.stats.network_time += self.network.round_trip_seconds
+        return None, elapsed
+
+    def run_transaction(
+        self,
+        work: Callable[["SimulatedConnection"], Any],
+        *,
+        max_attempts: Optional[int] = None,
+    ) -> Any:
+        """Run ``work(connection)`` inside a transaction, retrying conflicts.
+
+        Begins a transaction, runs ``work``, and commits; when the commit
+        loses first-committer-wins (:class:`~repro.db.mvcc.SerializationError`)
+        the whole transaction is retried from scratch with the connection's
+        :class:`~repro.net.faults.RetryPolicy` backoff (a default policy
+        when none is configured), up to ``max_attempts`` (default: the
+        policy's budget).  Retries are counted in
+        ``FaultStats.serialization_retries`` — outside the injected-fault
+        invariant, because conflicts are server outcomes, not network
+        faults.  Any other failure rolls back and propagates.
+        """
+        self._check_open()
+        policy = self.retries if self.retries is not None else RetryPolicy()
+        if max_attempts is None:
+            max_attempts = policy.max_attempts
+        attempt = 1
+        while True:
+            self.begin()
+            try:
+                value = work(self)
+            except BaseException:
+                self.rollback()
+                raise
+            try:
+                self.commit()
+            except SerializationError:
+                if attempt >= max_attempts:
+                    raise
+                backoff = policy.delay(attempt)
+                self.clock.advance(backoff)
+                if self.faults is not None:
+                    self.faults.stats.serialization_retries += 1
+                attempt += 1
+                continue
+            return value
 
     def rollback(self) -> None:
         """Roll back the connection's open transaction (PEP 249 shape).
@@ -517,14 +601,39 @@ class SimulatedConnection:
         while True:
             fault = policy.inject(operation, round_trip)
             if fault is None:
-                value, elapsed = measure()
+                try:
+                    value, elapsed = measure()
+                except FaultError as exc:
+                    # An admission-queue timeout raised inside the exchange:
+                    # fold in the time earlier injected faults burned.
+                    exc.virtual_elapsed += elapsed_total
+                    raise
                 return value, elapsed_total + elapsed
             elapsed_total += fault.cost
             if fault.delivered:
                 # The server received and executed the request; only the
                 # reply was lost.  Execute it for real so server state
                 # reflects what actually happened.
-                _, elapsed = measure()
+                try:
+                    _, elapsed = measure()
+                except SerializationError as exc:
+                    # An MVCC commit that lost first-committer-wins while
+                    # its reply was lost: the server aborted it, but this
+                    # client cannot distinguish that from a commit — so it
+                    # surfaces as ambiguous, never as a silent rollback.
+                    elapsed_total += round_trip
+                    policy.stats.ambiguous += 1
+                    error = AmbiguousCommitError(
+                        f"reply to {operation} lost in flight: the server "
+                        f"resolved it as a write conflict, but the client "
+                        f"cannot confirm"
+                    )
+                    error.virtual_elapsed = elapsed_total
+                    raise error from exc
+                except FaultError as exc:
+                    policy.stats.exhausted += 1
+                    exc.virtual_elapsed += elapsed_total
+                    raise
                 elapsed_total += elapsed
                 if not idempotent:
                     policy.stats.ambiguous += 1
@@ -566,6 +675,43 @@ class SimulatedConnection:
         self.clock.advance(elapsed)
         return value
 
+    # -- server-side scoping and admission --------------------------------
+
+    def _server_context(self):
+        """The MVCC read context this exchange executes under.
+
+        With MVCC off this is a no-op: the legacy single-writer engine lets
+        statements join whatever transaction is ambient, and existing
+        behaviour must not change.  With MVCC on, every exchange is scoped
+        to the transaction open on *this* connection — or to autocommit
+        (latest committed state) when none — so one connection's open
+        transaction never leaks into another connection's reads.
+        """
+        if self.database._mvcc is None:
+            return nullcontext()
+        txn = self._txn
+        if txn is not None and getattr(txn, "active", False):
+            return self.database.using(txn)
+        return self.database.using(None)
+
+    def _admit(self, service_seconds: float) -> float:
+        """Pass one exchange through admission control.
+
+        Returns queue wait + service time — the elapsed time the caller
+        should charge — after booking a server slot.  Raises
+        :class:`~repro.net.faults.RequestTimeoutError` when the queue wait
+        would exceed the controller's timeout.  Without a controller the
+        server has infinite capacity and this is the identity.
+        """
+        admission = self.admission
+        if admission is None:
+            return service_seconds
+        wait = admission.admit(
+            self.clock.now, service_seconds, connection=id(self)
+        )
+        self.stats.queue_time += wait
+        return service_seconds + wait
+
     # -- query execution -------------------------------------------------
 
     def execute_query(
@@ -603,8 +749,9 @@ class SimulatedConnection:
         ``advance_to(start + elapsed)`` for overlapping async requests.
         """
         self._check_open()
-        result = statement.execute(params)
-        estimate = statement.estimate(params)
+        with self._server_context():
+            result = statement.execute(params)
+            estimate = statement.estimate(params)
         # Use the actual cardinality for transfer accounting but the
         # optimizer estimate for server-side time (first/last row).
         transfer_time = self.network.transfer_time(result.byte_size)
@@ -616,7 +763,7 @@ class SimulatedConnection:
             + max(transfer_time, server_rest)
         )
         self._record(result, transfer_time, server_first + server_rest)
-        return result, elapsed
+        return result, self._admit(elapsed)
 
     def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Execute an UPDATE over the network (one round trip, tiny payload).
@@ -654,11 +801,12 @@ class SimulatedConnection:
     def _measure_update(self, run: Callable[[], int]) -> tuple[int, float]:
         """Execute one UPDATE exchange; return (changed, elapsed)."""
         self._check_open()
-        changed = run()
+        with self._server_context():
+            changed = run()
         self.stats.queries += 1
         self.stats.round_trips += 1
         self.stats.network_time += self.network.round_trip_seconds
-        return changed, self.network.round_trip_seconds
+        return changed, self._admit(self.network.round_trip_seconds)
 
     def execute_lookup(
         self, table: str, key_column: str, key_value: Any
@@ -922,9 +1070,15 @@ class Pipeline:
         for position, handle in enumerate(handles):
             statement = handle.statement
             try:
+                with connection._server_context():
+                    if statement.is_query:
+                        result = statement.execute(handle._params)
+                        estimate = statement.estimate(handle._params)
+                    else:
+                        handle._rowcount = statement.execute_update(
+                            handle._params
+                        )
                 if statement.is_query:
-                    result = statement.execute(handle._params)
-                    estimate = statement.estimate(handle._params)
                     first_total += estimate.first_row_time
                     rest_total += max(
                         0.0,
@@ -936,10 +1090,6 @@ class Pipeline:
                     handle._result = result
                     stats.rows_transferred += result.cardinality
                     stats.bytes_transferred += result.byte_size
-                else:
-                    handle._rowcount = statement.execute_update(
-                        handle._params
-                    )
             except Exception as exc:
                 error = exc
                 handle._error = exc
@@ -961,7 +1111,7 @@ class Pipeline:
         stats.network_time += network.round_trip_seconds + transfer_time
         stats.server_time += first_total + rest_total
         self.flushes += 1
-        return error, elapsed
+        return error, connection._admit(elapsed)
 
     def discard(self) -> None:
         """Drop the pending batch: nothing is sent, nothing is charged."""

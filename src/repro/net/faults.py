@@ -112,6 +112,12 @@ class FaultStats:
     ambiguous: int = 0
     #: faults surfaced because the retry budget ran out (or retries are off).
     exhausted: int = 0
+    #: MVCC first-committer-wins conflicts surfaced to this client.  These
+    #: are server-side outcomes, not injected network faults, so they live
+    #: outside the ``injected == retries + exhausted + ambiguous`` invariant.
+    serialization_conflicts: int = 0
+    #: conflicts that ``run_transaction`` retried after backoff.
+    serialization_retries: int = 0
 
     def reset(self) -> None:
         self.injected = 0
@@ -123,6 +129,8 @@ class FaultStats:
         self.backoff_seconds = 0.0
         self.ambiguous = 0
         self.exhausted = 0
+        self.serialization_conflicts = 0
+        self.serialization_retries = 0
 
     def as_dict(self) -> dict:
         return {
@@ -135,6 +143,8 @@ class FaultStats:
             "backoff_seconds": self.backoff_seconds,
             "ambiguous": self.ambiguous,
             "exhausted": self.exhausted,
+            "serialization_conflicts": self.serialization_conflicts,
+            "serialization_retries": self.serialization_retries,
         }
 
 

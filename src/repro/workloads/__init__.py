@@ -10,8 +10,20 @@
 * :mod:`repro.workloads.wilos_programs` — the six cost-based-choice patterns
   A-F with original / heuristic / SQL / prefetch variants.
 * :mod:`repro.workloads.generator` — shared deterministic value generators.
+* :mod:`repro.workloads.loadgen` — an open-loop (Poisson-arrival) load
+  generator with latency-percentile reporting on the virtual clock.
 """
 
 from repro.workloads.generator import DeterministicGenerator
+from repro.workloads.loadgen import (
+    LatencySummary,
+    LoadReport,
+    OpenLoopLoadGenerator,
+)
 
-__all__ = ["DeterministicGenerator"]
+__all__ = [
+    "DeterministicGenerator",
+    "LatencySummary",
+    "LoadReport",
+    "OpenLoopLoadGenerator",
+]

@@ -1,0 +1,312 @@
+"""Open-loop load generation on the virtual clock.
+
+A closed-loop client (issue, wait, issue) can never expose queueing: its
+arrival rate falls as latency rises.  The :class:`OpenLoopLoadGenerator`
+issues requests at **Poisson arrival times that do not depend on
+completions** — arrivals keep coming while earlier requests are still in
+flight — which is what makes the admission queue's knee visible: below the
+server's capacity latencies sit at the service time, above it queue waits
+grow without bound.
+
+Mechanics
+---------
+
+Arrivals advance the shared :class:`~repro.net.clock.VirtualClock` to each
+request's arrival instant (`advance_to`, monotone); each request's own
+virtual latency — network, server, and any admission-queue wait — is
+*measured* through the connection's fault-wrapped ``_measure_*`` paths
+without advancing the clock, exactly like the async overlap path, so
+concurrent in-flight requests cost max-latency rather than sum.  After the
+last completion the clock advances to the makespan, giving an honest
+throughput (operations / makespan).
+
+The mix is configurable: ``read_fraction`` of operations run ``read_sql``;
+the rest run ``write_sql``, either autocommit or (``write_transaction=True``)
+as a BEGIN/UPDATE/COMMIT transaction whose MVCC first-committer-wins
+conflicts are tolerated and counted rather than crashing the run.
+Latencies are reported as p50/p95/p99 (nearest-rank) overall and split by
+operation class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.db.mvcc import SerializationError
+from repro.net.connection import SimulatedConnection
+from repro.net.faults import AmbiguousCommitError, FaultError
+
+#: statement parameters: a fixed tuple, or a callable drawing them per-op.
+ParamSource = Union[Sequence[Any], Callable[[random.Random], Sequence[Any]]]
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of one latency population (virtual seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls()
+        ordered = sorted(samples)
+        count = len(ordered)
+
+        def percentile(quantile: float) -> float:
+            # Nearest-rank: smallest sample with at least ``quantile`` of
+            # the population at or below it (-(-x // 1) is ceil).
+            position = int(-(-(quantile * count) // 1))
+            return ordered[max(0, min(position - 1, count - 1))]
+
+        return cls(
+            count=count,
+            mean=sum(ordered) / count,
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            p99=percentile(0.99),
+            max=ordered[-1],
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run."""
+
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    #: MVCC first-committer-wins losses (transactional writes only).
+    conflicts: int = 0
+    #: requests rejected by the server (admission-queue timeouts, faults).
+    rejected: int = 0
+    #: virtual makespan: first arrival to last completion.
+    duration: float = 0.0
+    #: completed operations per virtual second.
+    throughput: float = 0.0
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    read_latency: LatencySummary = field(default_factory=LatencySummary)
+    write_latency: LatencySummary = field(default_factory=LatencySummary)
+
+    def as_dict(self) -> dict:
+        return {
+            "operations": self.operations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "conflicts": self.conflicts,
+            "rejected": self.rejected,
+            "duration": self.duration,
+            "throughput": self.throughput,
+            "latency": self.latency.as_dict(),
+            "read_latency": self.read_latency.as_dict(),
+            "write_latency": self.write_latency.as_dict(),
+        }
+
+
+class OpenLoopLoadGenerator:
+    """Drive one connection with Poisson arrivals at a fixed offered rate.
+
+    ``rate`` is the offered load in operations per virtual second —
+    independent of how fast the server answers, which is the defining
+    property of an open loop.  ``read_fraction`` of operations execute
+    ``read_sql`` (prepared once); the rest execute ``write_sql``, wrapped
+    in a transaction when ``write_transaction`` is set so MVCC conflict
+    handling is exercised.  Parameters may be fixed tuples or callables
+    receiving the run's seeded :class:`random.Random`.
+    """
+
+    def __init__(
+        self,
+        connection: SimulatedConnection,
+        *,
+        rate: float,
+        operations: int,
+        read_sql: str,
+        read_params: ParamSource = (),
+        write_sql: Optional[str] = None,
+        write_params: ParamSource = (),
+        read_fraction: float = 1.0,
+        seed: int = 0,
+        write_transaction: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"offered rate must be positive, got {rate}")
+        if operations < 0:
+            raise ValueError(f"operations must be >= 0, got {operations}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        self.connection = connection
+        self.rate = rate
+        self.operations = operations
+        self.read_sql = read_sql
+        self.read_params = read_params
+        self.write_sql = write_sql
+        self.write_params = write_params
+        self.read_fraction = read_fraction
+        self.seed = seed
+        self.write_transaction = write_transaction
+
+    def run(self) -> LoadReport:
+        """Execute the run; returns the throughput/latency report."""
+        connection = self.connection
+        clock = connection.clock
+        rng = random.Random(self.seed)
+        read_statement = connection.prepare(self.read_sql)
+        write_statement = (
+            connection.prepare(self.write_sql)
+            if self.write_sql is not None
+            else None
+        )
+        report = LoadReport()
+        latencies: list[float] = []
+        read_latencies: list[float] = []
+        write_latencies: list[float] = []
+        start = clock.now
+        arrival = start
+        makespan = start
+        for _ in range(self.operations):
+            arrival += rng.expovariate(self.rate)
+            clock.advance_to(arrival)
+            is_read = write_statement is None or (
+                rng.random() < self.read_fraction
+            )
+            try:
+                if is_read:
+                    elapsed = self._run_read(read_statement, rng)
+                    report.reads += 1
+                    read_latencies.append(elapsed)
+                elif self.write_transaction:
+                    elapsed, conflicted = self._run_write_transaction(
+                        write_statement, rng
+                    )
+                    report.writes += 1
+                    if conflicted:
+                        report.conflicts += 1
+                    write_latencies.append(elapsed)
+                else:
+                    elapsed = self._run_write(write_statement, rng)
+                    report.writes += 1
+                    write_latencies.append(elapsed)
+            except (FaultError, AmbiguousCommitError) as exc:
+                # Rejected by the server (admission-queue timeout) or a
+                # terminal injected fault: the exchange still burned
+                # virtual time, but its latency does not enter the
+                # completed-operation percentiles.
+                report.rejected += 1
+                makespan = max(makespan, arrival + exc.virtual_elapsed)
+                continue
+            report.operations += 1
+            latencies.append(elapsed)
+            makespan = max(makespan, arrival + elapsed)
+        clock.advance_to(makespan)
+        report.duration = makespan - start
+        if report.duration > 0:
+            report.throughput = report.operations / report.duration
+        report.latency = LatencySummary.from_samples(latencies)
+        report.read_latency = LatencySummary.from_samples(read_latencies)
+        report.write_latency = LatencySummary.from_samples(write_latencies)
+        return report
+
+    # -- one operation each ----------------------------------------------
+
+    def _run_read(self, statement, rng: random.Random) -> float:
+        connection = self.connection
+        params = self._resolve(self.read_params, rng)
+        _, elapsed = connection._with_faults(
+            "query",
+            lambda: connection._measure_prepared(statement, params),
+            idempotent=True,
+        )
+        return elapsed
+
+    def _run_write(self, statement, rng: random.Random) -> float:
+        connection = self.connection
+        params = self._resolve(self.write_params, rng)
+        _, elapsed = connection._with_faults(
+            "update",
+            lambda: connection._measure_update_prepared(statement, params),
+            idempotent=False,
+        )
+        return elapsed
+
+    def _run_write_transaction(
+        self, statement, rng: random.Random
+    ) -> tuple[float, bool]:
+        """BEGIN / UPDATE / COMMIT without advancing the clock mid-flight.
+
+        Returns ``(elapsed, conflicted)``; a first-committer-wins loss
+        counts as a completed (conflicted) operation whose latency includes
+        the failed commit's round trip.
+        """
+        connection = self.connection
+        stats = connection.stats
+        round_trip = connection.network.round_trip_seconds
+        params = self._resolve(self.write_params, rng)
+        txn = connection.database.begin()
+        connection._txn = txn
+        stats.round_trips += 1
+        stats.network_time += round_trip
+        elapsed = round_trip
+        conflicted = False
+        try:
+            _, update_elapsed = connection._with_faults(
+                "update",
+                lambda: connection._measure_update_prepared(
+                    statement, params
+                ),
+                idempotent=False,
+            )
+            elapsed += update_elapsed
+            try:
+                _, commit_elapsed = connection._with_faults(
+                    "commit",
+                    lambda: connection._measure_commit(txn),
+                    idempotent=False,
+                )
+                elapsed += commit_elapsed
+            except SerializationError:
+                conflicted = True
+                elapsed += round_trip
+                stats.round_trips += 1
+                stats.network_time += round_trip
+                if connection.faults is not None:
+                    connection.faults.stats.serialization_conflicts += 1
+        finally:
+            if connection._txn is txn:
+                connection._txn = None
+            if txn.active:
+                txn.rollback()
+        return elapsed, conflicted
+
+    @staticmethod
+    def _resolve(source: ParamSource, rng: random.Random) -> tuple:
+        if callable(source):
+            return tuple(source(rng))
+        return tuple(source)
+
+
+__all__ = [
+    "LatencySummary",
+    "LoadReport",
+    "OpenLoopLoadGenerator",
+    "ParamSource",
+]

@@ -110,9 +110,14 @@ def assert_partitions_consistent(table: ShardedTable) -> None:
 
 
 class TestCrashAtEveryPrefix:
+    @pytest.mark.parametrize("mvcc", [False, True], ids=["legacy", "mvcc"])
     @pytest.mark.parametrize("sharded", [False, True], ids=["plain", "sharded"])
-    def test_recovery_yields_exactly_the_committed_prefix(self, sharded):
-        database = Database(wal=True)
+    def test_recovery_yields_exactly_the_committed_prefix(self, sharded, mvcc):
+        """The property holds identically under MVCC: deferred-apply write
+        sets log contiguously at COMMIT (aborted transactions log only an
+        AbortRecord), so every prefix still recovers to exactly the last
+        committed state."""
+        database = Database(wal=True, mvcc=mvcc)
         commits = run_workload(database, sharded=sharded)
         log = database.wal
         assert commits[-1][0] == len(log) or commits[-1][0] < len(log)
@@ -122,7 +127,7 @@ class TestCrashAtEveryPrefix:
                 for length, state in reversed(commits)
                 if length <= crash_point
             )
-            recovered = Database.recover(log.prefix(crash_point))
+            recovered = Database.recover(log.prefix(crash_point), mvcc=mvcc)
             assert snapshot(recovered) == expected, (
                 f"crash at record {crash_point}: recovery diverged from the "
                 f"last committed state"
@@ -130,6 +135,19 @@ class TestCrashAtEveryPrefix:
             table = recovered.tables.get("people")
             if isinstance(table, ShardedTable):
                 assert_partitions_consistent(table)
+
+    def test_mvcc_and_legacy_recovery_agree_logically(self):
+        """The same workload logged under MVCC (deferred-apply, records
+        grouped at COMMIT) and under the legacy single-writer path recovers
+        to the same state."""
+        legacy = Database(wal=True)
+        run_workload(legacy, sharded=False)
+        versioned = Database(wal=True, mvcc=True)
+        run_workload(versioned, sharded=False)
+        recovered_legacy = Database.recover(legacy.wal)
+        recovered_versioned = Database.recover(versioned.wal, mvcc=True)
+        assert snapshot(recovered_versioned) == snapshot(recovered_legacy)
+        assert recovered_versioned.mvcc_enabled
 
     def test_sharded_and_unsharded_recovery_agree_logically(self):
         plain = Database(wal=True)
@@ -363,6 +381,21 @@ class TestLogMechanics:
             UpdateRecord,
             CommitRecord,
         ]
+
+    def test_group_commit_window_batches_flushes(self):
+        log = WriteAheadLog(flush_seconds=0.05, group_window=2.0)
+        # The first commit pays the flush; commits landing within the
+        # window of the last *paid* flush ride along for free.
+        assert log.commit_flush(0.0) == 0.05
+        assert log.commit_flush(1.0) == 0.0
+        assert log.commit_flush(1.9) == 0.0
+        assert log.commit_flush(4.0) == 0.05
+        assert log.stats.group_commits == 2
+
+    def test_flushless_log_never_charges_commits(self):
+        log = WriteAheadLog()
+        assert log.commit_flush(10.0) == 0.0
+        assert log.stats.group_commits == 0
 
     def test_shard_ddl_logged_and_replayed(self):
         database = Database(wal=True)
