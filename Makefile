@@ -1,4 +1,4 @@
-.PHONY: test test-async test-faults test-mvcc bench bench-suite bench-smoke ci
+.PHONY: test test-async test-faults test-mvcc test-obs bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -23,6 +23,13 @@ test-mvcc:
 	FAULT_SEEDS="21 42 99 1234" python -m pytest tests/test_mvcc.py \
 		tests/test_admission.py -q
 
+# The observability suites: tracing/metrics units, EXPLAIN (ANALYZE), and
+# the span-accounting property tests (every trace partitions its charged
+# virtual latency across tiers, sharding, and sync/async clients).
+test-obs:
+	python -m pytest tests/test_obs.py tests/test_explain.py \
+		tests/test_obs_property.py -q
+
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
 	python benchmarks/bench_engine.py
@@ -39,13 +46,14 @@ bench-suite:
 # and fault_retry_convergence (faulty ≡ fault-free row equality asserted) —
 # and the concurrency ones — mvcc_reader_writer (snapshot consistency and
 # the reader-latency bound asserted) and admission_open_loop (queueing knee
-# asserted); does not overwrite BENCH_engine.json.
+# asserted) — and the observability one — tracing_overhead (traced run
+# within 5% of untraced asserted); does not overwrite BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null
 	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
 
 # What CI runs: the full test suite (includes the async/pipeline suites),
-# the fault and concurrency suites across extra seeds, plus a benchmark
-# smoke run.
-ci: test test-async test-faults test-mvcc bench-smoke
+# the fault and concurrency suites across extra seeds, the observability
+# suites, plus a benchmark smoke run.
+ci: test test-async test-faults test-mvcc test-obs bench-smoke

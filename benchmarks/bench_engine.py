@@ -64,6 +64,11 @@ benchmark families are timed:
   latency per rate; the queueing knee (p95 blowing up past the limit) is
   asserted visible.
 
+* **Tracing overhead** — the vectorized scan_filter query through the full
+  connection path with no tracer, a disabled tracer, and tracing enabled;
+  enabled tracing is asserted within 5% of the untraced wall time and a
+  disabled tracer asserted free.
+
 * **End-to-end optimizer** — ``CobraOptimizer.optimize()`` wall-clock on the
   Figure 13 motivating program (P0) and all six Wilos patterns, i.e. the
   workloads the opt-time experiment reports.
@@ -1124,6 +1129,113 @@ def bench_admission_open_loop(rows: int) -> dict:
     }
 
 
+#: Queries per timed run of the tracing-overhead benchmark.
+TRACING_QUERIES = 10
+
+#: Maximum tolerated traced/untraced wall-time ratio (plus timing epsilon).
+TRACING_OVERHEAD_LIMIT = 1.05
+
+
+def bench_tracing_overhead(rows: int) -> dict:
+    """Cost of structured tracing on the vectorized scan_filter query.
+
+    The scan_filter predicate (the ``scan_filter_vectorized`` microbenchmark
+    shape, as SQL) runs through the full connection path three ways: with no
+    tracer configured, with a tracer configured but disabled, and with
+    tracing enabled recording one multi-span trace per statement.  Enabled
+    tracing must stay within ``TRACING_OVERHEAD_LIMIT`` (5%) of the
+    untraced wall time — the per-query work is a handful of span objects
+    against a multi-thousand-row scan — and a disabled tracer must be free
+    (one attribute check per request).  Both bounds are asserted.
+    """
+    from repro.net.connection import SimulatedConnection
+    from repro.net.network import FAST_LOCAL
+    from repro.obs.trace import Tracer
+
+    database = build_benchmark_database(rows)
+    sql = "select * from orders where o_total > 500.0 and o_status = 'OPEN'"
+
+    def make_runner(tracer):
+        connection = SimulatedConnection(database, FAST_LOCAL, tracer=tracer)
+        statement = connection.prepare(sql)
+
+        def run() -> int:
+            fetched = 0
+            for _ in range(TRACING_QUERIES):
+                fetched += len(connection.execute_prepared(statement).rows)
+            return fetched
+
+        return run
+
+    untraced_run = make_runner(None)
+    disabled_run = make_runner(Tracer(enabled=False))
+    tracer = Tracer(max_traces=64)
+    traced_run = make_runner(tracer)
+
+    output_rows = untraced_run() // TRACING_QUERIES
+    if traced_run() // TRACING_QUERIES != output_rows:
+        raise AssertionError("traced and untraced results differ")
+    # The traced runner must actually have recorded vectorized executions
+    # with sound span accounting — otherwise the ratio measures nothing.
+    if not tracer.traces:
+        raise AssertionError("tracing recorded no traces")
+    last = tracer.traces[-1]
+    last.check_accounting()
+    execute_span = last.find("execute")
+    if execute_span is None or execute_span.attributes.get("tier") != "vectorized":
+        raise AssertionError(
+            f"traced query did not run vectorized: {last.as_dict()}"
+        )
+
+    # Interleave the three variants round-robin so allocator and cache
+    # state drift hits them equally; per-variant minimum over the rounds.
+    import gc
+
+    timings = {"untraced": float("inf"), "disabled": float("inf"), "traced": float("inf")}
+    runners = (
+        ("untraced", untraced_run),
+        ("disabled", disabled_run),
+        ("traced", traced_run),
+    )
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPEATS * 2):
+            for label, run in runners:
+                started = time.perf_counter()
+                run()
+                timings[label] = min(
+                    timings[label], time.perf_counter() - started
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    untraced_s = timings["untraced"]
+    disabled_s = timings["disabled"]
+    traced_s = timings["traced"]
+    epsilon = 1e-4
+    if traced_s > untraced_s * TRACING_OVERHEAD_LIMIT + epsilon:
+        raise AssertionError(
+            f"tracing overhead {traced_s / untraced_s:.3f}x exceeds "
+            f"{TRACING_OVERHEAD_LIMIT}x"
+        )
+    if disabled_s > untraced_s * TRACING_OVERHEAD_LIMIT + epsilon:
+        raise AssertionError(
+            f"disabled tracer is not free: {disabled_s / untraced_s:.3f}x"
+        )
+    return {
+        "queries": TRACING_QUERIES,
+        "output_rows": output_rows,
+        "untraced_seconds": untraced_s,
+        "disabled_seconds": disabled_s,
+        "traced_seconds": traced_s,
+        "disabled_ratio": disabled_s / untraced_s if untraced_s else None,
+        "traced_ratio": traced_s / untraced_s if untraced_s else None,
+        "limit": TRACING_OVERHEAD_LIMIT,
+    }
+
+
 def bench_optimizer(wilos_scale: int = 2_000) -> dict:
     """End-to-end ``optimize()`` wall-clock on the Fig. 13 / Wilos workloads."""
     parameters = CostParameters.for_network(FAST_LOCAL)
@@ -1169,6 +1281,7 @@ def main() -> dict:
         "fault_retry_convergence": bench_fault_retry_convergence(rows),
         "mvcc_reader_writer": bench_mvcc_reader_writer(rows),
         "admission_open_loop": bench_admission_open_loop(rows),
+        "tracing_overhead": bench_tracing_overhead(rows),
         "optimizer": bench_optimizer(),
     }
     report.update(bench_sharded(rows))

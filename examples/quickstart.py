@@ -87,6 +87,33 @@ def snapshot_reads_demo() -> None:
     )
 
 
+def explain_analyze_demo() -> None:
+    """EXPLAIN ANALYZE a join over a sharded database: estimates and
+    actuals side by side, with the router's classification and the tier."""
+    print("\n=== EXPLAIN ANALYZE: a join over 4 hash shards ===")
+    engine = (
+        Engine.builder()
+        .orders_workload(num_orders=400, num_customers=40)
+        .network("fast-local")
+        .shards(4)
+        .tracing()
+        .build()
+    )
+    sql = (
+        "select o.o_id, c.c_first_name from orders o "
+        "join customer c on o.o_customer_sk = c.c_customer_sk"
+    )
+    print(engine.database.explain(sql).render())  # plan only, no execution
+    print()
+    analyzed = engine.database.explain_analyze(sql)  # executes + annotates
+    print(analyzed.render())
+    executed = len(engine.database.execute_sql(sql).rows)
+    assert analyzed.root.actual_rows == executed  # actuals are exact
+    trace = engine.tracer.traces[-1]  # the run records a trace too
+    operators = [s for s in trace.spans if s.name.startswith("operator:")]
+    print(f"\ntraced as: {trace.kind}, {len(operators)} operator spans")
+
+
 def main() -> None:
     # Few orders, many customers: the SQL join (P1) should win.
     optimize_for("slow-remote", num_orders=200, num_customers=5_000)
@@ -96,6 +123,8 @@ def main() -> None:
     optimize_for("fast-local", num_orders=5_000, num_customers=500)
     # Server-side concurrency: MVCC snapshot reads.
     snapshot_reads_demo()
+    # Observability: EXPLAIN ANALYZE on a sharded join.
+    explain_analyze_demo()
 
 
 if __name__ == "__main__":

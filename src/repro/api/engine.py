@@ -49,6 +49,8 @@ from repro.net.clock import VirtualClock
 from repro.net.connection import ConnectionStats, Cursor, SimulatedConnection
 from repro.net.faults import FaultPolicy, FaultStats, RetryPolicy
 from repro.net.network import PRESETS, NetworkConditions
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.orm.mapping import MappingRegistry
 from repro.orm.session import Session
 
@@ -102,6 +104,8 @@ class EngineBuilder:
         self._retries: Optional[RetryPolicy] = None
         self._mvcc = False
         self._admission: Optional[AdmissionController] = None
+        self._tracing: Optional[dict] = None
+        self._slow_query_threshold: Optional[float] = None
 
     # -- data sources ----------------------------------------------------
 
@@ -260,6 +264,40 @@ class EngineBuilder:
         )
         return self
 
+    def tracing(
+        self,
+        enabled: bool = True,
+        *,
+        max_traces: int = 256,
+        slow_query_threshold: Optional[float] = None,
+    ) -> "EngineBuilder":
+        """Record a structured :class:`repro.obs.trace.QueryTrace` per request.
+
+        Every statement executed through a connection gets one trace whose
+        nested spans (parse, plan, route, network round trip, execute, WAL
+        flush, admission wait, fault retries) decompose exactly the virtual
+        latency the statement was charged.  ``slow_query_threshold`` (virtual
+        seconds) additionally copies traces slower than the threshold into
+        the tracer's slow-query log.  Tracing off (the default) costs one
+        attribute check per request.
+        """
+        self._tracing = {
+            "enabled": enabled,
+            "max_traces": max_traces,
+        }
+        self._slow_query_threshold = slow_query_threshold
+        return self
+
+    def slow_query_threshold(self, seconds: float) -> "EngineBuilder":
+        """Log traces charged more than ``seconds`` of virtual latency.
+
+        Implies :meth:`tracing` if it was not requested explicitly.
+        """
+        if self._tracing is None:
+            self._tracing = {"enabled": True, "max_traces": 256}
+        self._slow_query_threshold = seconds
+        return self
+
     def faults(self, policy: FaultPolicy) -> "EngineBuilder":
         """Inject deterministic network faults on every connection.
 
@@ -327,6 +365,16 @@ class EngineBuilder:
         retries = self._retries
         if retries is None and self._faults is not None:
             retries = RetryPolicy()
+        metrics = MetricsRegistry()
+        tracer = None
+        if self._tracing is not None:
+            tracer = Tracer(
+                enabled=self._tracing["enabled"],
+                max_traces=self._tracing["max_traces"],
+                slow_query_threshold=self._slow_query_threshold,
+            )
+            tracer.bind_registry(metrics)
+            database._tracer = tracer
         return Engine(
             database=database,
             network=network,
@@ -338,6 +386,8 @@ class EngineBuilder:
             faults=self._faults,
             retries=retries,
             admission=self._admission,
+            tracer=tracer,
+            metrics=metrics,
         )
 
 
@@ -362,6 +412,8 @@ class Engine:
         faults: Optional[FaultPolicy] = None,
         retries: Optional[RetryPolicy] = None,
         admission: Optional[AdmissionController] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -375,6 +427,13 @@ class Engine:
         #: server-side admission controller shared by every connection
         #: (None = infinite server capacity).
         self.admission = admission
+        #: per-request structured tracer (None unless the builder asked for
+        #: tracing); shared by every connection this engine hands out.
+        self.tracer = tracer
+        #: metrics registry; subsystem counters are registered as live
+        #: views so ``metrics().as_dict()`` is always current.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_subsystem_views()
         self._region_rules = region_rules
         self._fir_rules = fir_rules
         self._connection: Optional[SimulatedConnection] = None
@@ -385,6 +444,39 @@ class Engine:
         self._retired_stats = ConnectionStats()
         self._total_connections = 0
         self._closed = False
+
+    def _register_subsystem_views(self) -> None:
+        """Register live subsystem counter views on the metrics registry.
+
+        Views are zero-cost until rendered: each one re-reads the
+        subsystem's own stats dict when ``metrics().as_dict()`` is built.
+        """
+        registry = self._metrics
+        if "statement_cache" not in registry.views:
+            cache = self.database.statement_cache
+            registry.register_view(
+                "statement_cache",
+                lambda: {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "evictions": cache.evictions,
+                    "invalidations": cache.invalidations,
+                },
+            )
+        if "execution" not in registry.views:
+            registry.register_view("execution", self.database.execution_stats)
+        if "feedback" not in registry.views:
+            registry.register_view(
+                "feedback", self.database.statistics.feedback_stats
+            )
+        wal = self.database.wal
+        if wal is not None and "wal" not in registry.views:
+            wal.register_metrics(registry)
+        mvcc = self.database._mvcc
+        if mvcc is not None and "mvcc" not in registry.views:
+            mvcc.register_metrics(registry)
+        if self.admission is not None and "admission" not in registry.views:
+            self.admission.register_metrics(registry)
 
     @staticmethod
     def builder() -> EngineBuilder:
@@ -418,6 +510,7 @@ class Engine:
             faults=self.faults,
             retries=self.retries,
             admission=self.admission,
+            tracer=self.tracer,
         )
         self._connections.append(connection)
         self._total_connections += 1
@@ -502,6 +595,16 @@ class Engine:
         """Hit/miss/eviction counters of the statement cache."""
         return self.database.statement_cache
 
+    def metrics(self) -> MetricsRegistry:
+        """The engine's metrics registry (instruments + subsystem views).
+
+        Always present, even with tracing off — subsystems register their
+        counters as live views at engine construction, and the tracer (when
+        enabled) mirrors per-kind latency histograms into it.  Rendered by
+        ``repro.cli --metrics``.
+        """
+        return self._metrics
+
     def stats(self) -> dict:
         """One aggregated snapshot of engine-level counters.
 
@@ -566,6 +669,13 @@ class Engine:
                 if self.faults is not None
                 else FaultStats().as_dict()
             ),
+            "tracing": (
+                self.tracer.stats_dict()
+                if self.tracer is not None
+                else {"enabled": False}
+            ),
+            "metrics": self._metrics.summary(),
+            "feedback": self.database.statistics.feedback_stats(),
         }
 
     # -- ORM and application runtime -------------------------------------

@@ -139,6 +139,32 @@ def build_parser() -> argparse.ArgumentParser:
             "WAL, fault/retry counters)"
         ),
     )
+    optimize.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a structured trace per statement executed through the "
+            "engine and print the trace report after the run"
+        ),
+    )
+    optimize.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "log statements charged more than SECONDS of virtual latency "
+            "to the slow-query log (implies --trace)"
+        ),
+    )
+    optimize.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "print the metrics registry snapshot: counters, gauges, "
+            "latency histograms, and subsystem views"
+        ),
+    )
 
     experiment = sub.add_parser("experiment", help="run a paper-figure reproduction")
     experiment.add_argument(
@@ -194,6 +220,9 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         builder.admission(args.admission)
     if getattr(args, "fault_rate", 0.0):
         builder.fault_rate(args.fault_rate, seed=getattr(args, "fault_seed", 0))
+    threshold = getattr(args, "slow_query_threshold", None)
+    if getattr(args, "trace", False) or threshold is not None:
+        builder.tracing(slow_query_threshold=threshold)
     return builder.build()
 
 
@@ -233,33 +262,63 @@ def run_optimize(args: argparse.Namespace, out) -> int:
 
     if args.stats:
         _print_stats(engine, out)
+    if args.trace or args.slow_query_threshold is not None:
+        _print_traces(engine, out)
+    if args.metrics:
+        _print_metrics(engine, out)
     return 0
+
+
+def _emit_counters(prefix: str, counters: dict, out) -> None:
+    """Flatten one counter group into sorted dotted ``path : value`` lines."""
+    for name, value in sorted(counters.items()):
+        path = f"{prefix}.{name}"
+        if isinstance(value, dict):
+            if not value:
+                print(f"  {path:<30}: (none)", file=out)
+            else:
+                _emit_counters(path, value, out)
+        elif isinstance(value, float):
+            print(f"  {path:<30}: {value:.6f}", file=out)
+        else:
+            print(f"  {path:<30}: {value}", file=out)
 
 
 def _print_stats(engine: Engine, out) -> None:
     """Render ``engine.stats()`` as aligned ``group.counter : value`` lines.
 
     Nested counter groups (the executor's per-tier and vectorized
-    fallback-reason counters, the sharding routed/local/scatter counts)
-    flatten into dotted paths, one counter per line.
+    fallback-reason counters, the sharding routed/local/scatter counts, the
+    tracing and metrics summaries) flatten into dotted paths, one counter
+    per line, sorted at every level so the output is diff-stable.
     """
     print("\nengine statistics:", file=out)
+    for group, counters in sorted(engine.stats().items()):
+        _emit_counters(group, counters, out)
 
-    def emit(prefix: str, counters: dict) -> None:
-        for name, value in counters.items():
-            path = f"{prefix}.{name}"
-            if isinstance(value, dict):
-                if not value:
-                    print(f"  {path:<30}: (none)", file=out)
-                else:
-                    emit(path, value)
-            elif isinstance(value, float):
-                print(f"  {path:<30}: {value:.6f}", file=out)
-            else:
-                print(f"  {path:<30}: {value}", file=out)
 
-    for group, counters in engine.stats().items():
-        emit(group, counters)
+def _print_traces(engine: Engine, out) -> None:
+    """Render the tracer's recorded traces and the slow-query log."""
+    print("\nquery traces:", file=out)
+    tracer = engine.tracer
+    if tracer is None:
+        print("  (tracing disabled)", file=out)
+        return
+    print(tracer.render(), file=out)
+    if tracer.slow_query_threshold is not None:
+        print(
+            f"\nslow queries (>= {tracer.slow_query_threshold}s): "
+            f"{tracer.slow_queries_recorded}",
+            file=out,
+        )
+
+
+def _print_metrics(engine: Engine, out) -> None:
+    """Render ``engine.metrics()`` as sorted dotted counter lines."""
+    print("\nmetrics:", file=out)
+    for group, values in sorted(engine.metrics().as_dict().items()):
+        if values:
+            _emit_counters(group, values, out)
 
 
 def run_experiment(args: argparse.Namespace, out) -> int:

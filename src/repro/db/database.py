@@ -186,8 +186,10 @@ class _PointLookup:
             value = params[value.index]
         sharded = isinstance(table, ShardedTable)
         shard_routed = sharded and self.column == table.shard_key
+        shard = None
         if shard_routed:
-            index = table.shard_for(value).index_for(self.column)
+            shard = table.shard_index(value)
+            index = table.shards[shard].index_for(self.column)
         else:
             index = table.index_for(self.column)
         try:
@@ -197,8 +199,10 @@ class _PointLookup:
         if sharded and self._router is not None:
             if shard_routed:
                 self._router.stats.routed += 1
+                self._router.last_route = {"kind": "routed", "shards": (shard,)}
             else:
                 self._router.stats.fallback += 1
+                self._router.last_route = {"kind": "fallback", "shards": None}
         return [self._fused.materialize(row) for row in bucket]
 
 
@@ -282,6 +286,16 @@ class PreparedStatement:
         self.executions = 0
         #: how often the plan-keyed estimate was (re)computed.
         self.estimates_computed = 0
+        #: per-execution markers (tracing / EXPLAIN): the tier that served
+        #: the most recent execution, the router's dispatch for it, and the
+        #: vectorized fallback reason behind it, if any.
+        self.last_tier: Optional[str] = None
+        self.last_route: Optional[dict] = None
+        self.last_fallback_reason: Optional[str] = None
+        #: runtime-feedback drift: traced executions whose actual output
+        #: cardinality disagreed with the optimizer's estimate by more than
+        #: the catalog's DRIFT_RATIO (either direction).
+        self.drift_events = 0
         self._estimate: Optional[QueryEstimate] = None
         self._row_width: Optional[int] = None
         self._stamp: Optional[tuple] = None
@@ -325,10 +339,18 @@ class PreparedStatement:
         ):
             table = database.tables.get(self.point_lookup.table)
             if table is not None:
+                router = database._router
+                if router is not None:
+                    router.last_route = None
                 rows = self.point_lookup.rows(table, params)
                 if rows is not None:
                     database.queries_executed += 1
                     self.executions += 1
+                    self.last_tier = "point-lookup"
+                    self.last_route = (
+                        router.last_route if router is not None else None
+                    )
+                    self.last_fallback_reason = None
                     return QueryResult(
                         rows=rows, row_width=self.row_width(), sql=self.sql
                     )
@@ -337,6 +359,11 @@ class PreparedStatement:
         rows = executor.execute(self._exec_plan)
         database.queries_executed += 1
         self.executions += 1
+        self.last_tier = executor.last_tier
+        self.last_fallback_reason = executor.last_fallback_reason
+        self.last_route = (
+            executor.router.last_route if executor.router is not None else None
+        )
         return QueryResult(rows=rows, row_width=self.row_width(), sql=self.sql)
 
     def execute_update(self, params: Sequence[Any] = ()) -> int:
@@ -385,6 +412,23 @@ class PreparedStatement:
         slots = self._slots
         for index in range(count):
             slots[index] = params[index]
+
+    # -- runtime feedback ------------------------------------------------
+
+    def observe_actual(self, actual_rows: int) -> bool:
+        """Offer an executed cardinality to the statistics catalog.
+
+        Called from the traced execution path with the actual result size;
+        bumps this statement's :attr:`drift_events` when the observation
+        disagrees with the plan-keyed estimate beyond the catalog's drift
+        ratio.  Returns whether the observation drifted.
+        """
+        if self.plan is None:
+            return False
+        drifted = self.database.statistics.observe(self.plan, actual_rows)
+        if drifted:
+            self.drift_events += 1
+        return drifted
 
     # -- estimation ------------------------------------------------------
 
@@ -638,6 +682,9 @@ class Database:
         self.txn_stats = TransactionStats()
         #: MVCC version manager (None = legacy single-writer mode).
         self._mvcc: Optional[MvccManager] = None
+        #: observability tracer (set by the engine when tracing is on);
+        #: consulted for prepare cache-hit notes and EXPLAIN ANALYZE.
+        self._tracer: Optional[Any] = None
         if mvcc:
             self.enable_mvcc()
         # Identity test, not truthiness: an *empty* WriteAheadLog is falsy
@@ -1206,12 +1253,17 @@ class Database:
         :meth:`PreparedStatement.execute` or
         :meth:`PreparedStatement.execute_update`.
         """
+        tracer = self._tracer
         statement = self._statements.get(sql)
         if statement is not None:
             self._statements.move_to_end(sql)
             self.statement_cache.hits += 1
+            if tracer is not None and tracer.enabled:
+                tracer.note_prepare(sql, True)
             return statement
         self.statement_cache.misses += 1
+        if tracer is not None and tracer.enabled:
+            tracer.note_prepare(sql, False)
         if _UPDATE_RE.match(sql):
             statement = PreparedStatement(self, sql, update=parse_update(sql))
         else:
@@ -1235,6 +1287,28 @@ class Database:
     ) -> QueryResult:
         """Execute a SQL SELECT statement through the statement cache."""
         return self.prepare(sql).execute(params)
+
+    def explain(self, sql: str, params: Sequence[Any] = ()):
+        """EXPLAIN: the chosen plan, routing class, and predicted tier.
+
+        Returns an :class:`repro.obs.explain.ExplainResult` — one line per
+        operator with the optimizer's cardinality and server-time
+        estimates; nothing is executed.
+        """
+        from repro.obs.explain import explain_statement
+
+        return explain_statement(self, sql, params, analyze=False)
+
+    def explain_analyze(self, sql: str, params: Sequence[Any] = ()):
+        """EXPLAIN ANALYZE: execute ``sql`` and annotate each operator with
+        the actual row count and modeled virtual time next to the
+        estimates.  The root's actual row count is exactly the executed
+        result size; the observation is fed back to the statistics catalog
+        (see :meth:`StatisticsCatalog.observe`).
+        """
+        from repro.obs.explain import explain_statement
+
+        return explain_statement(self, sql, params, analyze=True)
 
     def execute_plan(
         self, plan: algebra.PlanNode, sql: Optional[str] = None

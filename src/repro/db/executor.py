@@ -136,6 +136,12 @@ class Executor:
         #: (aggregate) table views.  Shard-local executors never carry a
         #: router themselves.
         self.router = None
+        #: which tier served the most recent execute() call, and — when the
+        #: vectorized tier declined it — why.  Plain attribute stores, cheap
+        #: enough to maintain unconditionally; read by prepared statements
+        #: for tracing and EXPLAIN.
+        self.last_tier: Optional[str] = None
+        self.last_fallback_reason: Optional[str] = None
         if mode == "vectorized":
             from repro.db.vectorized import VectorizedExecutor
 
@@ -152,15 +158,25 @@ class Executor:
         if self.router is not None:
             routed = self.router.try_execute(plan)
             if routed is not None:
+                self.last_tier = self.router.last_tier
+                self.last_fallback_reason = self.router.last_fallback_reason
                 return routed
         if self._vectorized is not None:
             rows = self._vectorized.try_execute(plan)
             if rows is not None:
                 self.tier_counts["vectorized"] += 1
+                self.last_tier = "vectorized"
+                self.last_fallback_reason = None
                 return rows
         tier = "compiled" if self._compiled else "interpreted"
         rows = list(self._execute(plan))
         self.tier_counts[tier] += 1
+        self.last_tier = tier
+        self.last_fallback_reason = (
+            self._vectorized.last_fallback_reason
+            if self._vectorized is not None
+            else None
+        )
         return rows
 
     @property

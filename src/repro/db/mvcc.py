@@ -657,6 +657,10 @@ class MvccManager:
 
     # -- introspection -----------------------------------------------------
 
+    def register_metrics(self, registry) -> None:
+        """Expose the manager's counters as a live ``mvcc`` registry view."""
+        registry.register_view("mvcc", self.stats_dict)
+
     def stats_dict(self) -> dict:
         counters = self.stats.as_dict()
         counters.update(

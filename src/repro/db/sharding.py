@@ -389,6 +389,12 @@ class ShardRouter:
             "subtree_fallbacks": 0,
             "fallback_reasons": {},
         }
+        #: per-call markers for tracing / EXPLAIN: how the most recent
+        #: try_execute dispatched (``None`` for not-sharded plans), which
+        #: tier served it, and the vectorized fallback reason if any.
+        self.last_route: Optional[dict] = None
+        self.last_tier: Optional[str] = None
+        self.last_fallback_reason: Optional[str] = None
 
     # -- public API ------------------------------------------------------
 
@@ -402,17 +408,23 @@ class ShardRouter:
         route = self._route(plan)
         kind = route.kind
         if kind == "not-sharded":
+            self.last_route = None
             return None
         if kind == "fallback":
             self.stats.fallback += 1
+            self.last_route = {"kind": "fallback", "shards": None}
             return None
         if kind == "routed":
             index = route.table.shard_index(route.getter())
             executor = self._shard_executor(route.names, index)
             rows = executor.execute(plan)
             self.stats.routed += 1
+            self.last_route = {"kind": "routed", "shards": (index,)}
+            self.last_tier = executor.last_tier
+            self.last_fallback_reason = executor.last_fallback_reason
             return rows
         count = self._shard_count(route.names)
+        self.last_route = {"kind": kind, "shards": tuple(range(count))}
         if kind == "local-aggregate":
             partial = route.partial
             shard_rows = self._scatter(partial.plan, route.names, count)
@@ -426,6 +438,28 @@ class ShardRouter:
         else:
             self.stats.scatter += 1
         return rows
+
+    def classify(self, plan: algebra.PlanNode) -> dict:
+        """Routing class for ``plan`` without executing it (EXPLAIN path).
+
+        Returns ``{"kind": ..., "shards": ...}`` where ``shards`` is the
+        tuple of shard indices the plan would touch — a single index for a
+        routed point access (when the shard-key value is already bound),
+        every shard for scatter/local plans, and ``None`` when the shard
+        set is unknown before execution.
+        """
+        route = self._route(plan)
+        kind = route.kind
+        if kind in ("not-sharded", "fallback"):
+            return {"kind": kind, "shards": None}
+        if kind == "routed":
+            try:
+                shards = (route.table.shard_index(route.getter()),)
+            except Exception:  # shard-key value not computable yet
+                shards = None
+            return {"kind": kind, "shards": shards}
+        count = self._shard_count(route.names)
+        return {"kind": kind, "shards": tuple(range(count))}
 
     def invalidate(self) -> None:
         """Drop cached routes and shard executors (call on DDL).
@@ -508,8 +542,12 @@ class ShardRouter:
         if self._mode == "vectorized":
             rows = self._scatter_batches(executors, node)
             if rows is not None:
+                self.last_tier = "vectorized"
+                self.last_fallback_reason = None
                 return rows
         if self._mode == "interpreted":
+            self.last_tier = "interpreted"
+            self.last_fallback_reason = None
             return [
                 row
                 for executor in executors
@@ -517,6 +555,7 @@ class ShardRouter:
             ]
         # Compiled (and the vectorized row-fallback): chain the per-shard
         # fused iterators lazily; the gather materializes one output list.
+        self.last_tier = "compiled"
         gathered: list[Row] = []
         for executor in executors:
             gathered.extend(executor._execute(node))
@@ -540,6 +579,7 @@ class ShardRouter:
             if op is None:
                 vectorized.fallbacks += 1
                 vectorized._count_reason(vectorized._last_reason)
+                self.last_fallback_reason = vectorized._last_reason
                 return None
             try:
                 batches.append(op())
@@ -548,15 +588,18 @@ class ShardRouter:
             except Exception:
                 vectorized.fallbacks += 1
                 vectorized._count_reason("kernel_error")
+                self.last_fallback_reason = "kernel_error"
                 return None
         gathered = gather_batches(batches)
         if gathered is None:
+            self.last_fallback_reason = "unsupported_operator"
             return None
         try:
             rows = executors[0]._vectorized._materialize(gathered)
         except Exception:
             executors[0]._vectorized.fallbacks += 1
             executors[0]._vectorized._count_reason("kernel_error")
+            self.last_fallback_reason = "kernel_error"
             return None
         for executor in executors:
             executor._vectorized.executions += 1

@@ -418,6 +418,10 @@ class VectorizedExecutor:
         self.fallback_reasons: dict[str, int] = {}
         #: reason of the most recent lowering failure (set by _lower).
         self._last_reason = "unsupported_operator"
+        #: reason behind the most recent try_execute fallback; ``None``
+        #: after a vectorized success.  Read by the executor's per-call
+        #: tier markers (tracing / EXPLAIN).
+        self.last_fallback_reason: Optional[str] = None
 
     # -- public API ------------------------------------------------------
 
@@ -433,6 +437,7 @@ class VectorizedExecutor:
         op = self._op(plan)
         if op is None:
             self.fallbacks += 1
+            self.last_fallback_reason = self._last_reason
             self._count_reason(self._last_reason)
             return None
         try:
@@ -442,9 +447,11 @@ class VectorizedExecutor:
             raise
         except Exception:
             self.fallbacks += 1
+            self.last_fallback_reason = "kernel_error"
             self._count_reason("kernel_error")
             return None
         self.executions += 1
+        self.last_fallback_reason = None
         return rows
 
     def invalidate(self) -> None:

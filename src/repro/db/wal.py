@@ -248,6 +248,16 @@ class WriteAheadLog:
 
     # -- introspection ---------------------------------------------------
 
+    def register_metrics(self, registry) -> None:
+        """Expose the log's counters as a live ``wal`` view on ``registry``.
+
+        The view re-reads :attr:`stats` on every render, so it stays
+        current without the log pushing updates into the registry.
+        """
+        registry.register_view(
+            "wal", lambda: {"records": len(self.records), **self.stats.as_dict()}
+        )
+
     def __len__(self) -> int:
         return len(self.records)
 

@@ -183,6 +183,10 @@ class AdmissionController:
         self._connection_slots.clear()
         self.stats.reset()
 
+    def register_metrics(self, registry) -> None:
+        """Expose the controller's counters as a live ``admission`` view."""
+        registry.register_view("admission", self.as_dict)
+
     def as_dict(self) -> dict:
         """Configuration plus counters (``Engine.stats()["admission"]``)."""
         return {

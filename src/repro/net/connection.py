@@ -90,6 +90,7 @@ from repro.net.faults import (
     RetryPolicy,
 )
 from repro.net.network import NetworkConditions
+from repro.obs.trace import Tracer
 
 #: transaction-control statements the cursor routes to connection methods.
 _TXN_RE = re.compile(
@@ -344,6 +345,7 @@ class SimulatedConnection:
         faults: Optional[FaultPolicy] = None,
         retries: Optional[RetryPolicy] = None,
         admission: Optional[AdmissionController] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -355,6 +357,8 @@ class SimulatedConnection:
         self.retries = retries
         #: server-side admission controller (None = infinite capacity).
         self.admission = admission
+        #: structured-trace recorder (None or disabled = no tracing cost).
+        self._tracer = tracer
         #: (table, key_column) -> prepared point-lookup statement.
         self._lookup_statements: dict[tuple[str, str], PreparedStatement] = {}
         #: the server transaction this connection opened, if any.
@@ -497,10 +501,27 @@ class SimulatedConnection:
         txn.commit()
         elapsed = self.network.round_trip_seconds
         wal = self.database.wal
+        flush_cost = 0.0
         if wal is not None:
-            elapsed += wal.commit_flush(self.clock.now)
+            flush_cost = wal.commit_flush(self.clock.now)
+            elapsed += flush_cost
         self.stats.round_trips += 1
         self.stats.network_time += self.network.round_trip_seconds
+        tracer = self._tracer
+        if tracer is not None and tracer.active:
+            tracer.add_span(
+                "network_round_trip", self.network.round_trip_seconds
+            )
+            if wal is not None:
+                # A zero-cost flush while the log has real flush latency
+                # means this commit rode along on a recent group commit.
+                tracer.add_span(
+                    "wal_flush",
+                    flush_cost,
+                    group_commit_ride_along=(
+                        flush_cost == 0.0 and wal.flush_seconds > 0.0
+                    ),
+                )
         return None, elapsed
 
     def run_transaction(
@@ -576,12 +597,49 @@ class SimulatedConnection:
         *,
         idempotent: bool,
     ) -> tuple:
-        """Run one exchange under the fault/retry policies.
+        """Run one exchange under the fault/retry policies, traced.
 
         ``measure`` performs the server-side work and returns ``(value,
         elapsed)`` without touching the clock; this wrapper returns the same
         shape with ``elapsed`` extended by every fault cost and backoff
         sleep along the way, so callers charge the clock exactly once.
+
+        Every statement exchange funnels through here — the sequential
+        path (:meth:`_run_sync`), the async overlap path, and the open-loop
+        load generator — so this is also where a :class:`QueryTrace` is
+        opened and finished: the trace's root span duration IS the elapsed
+        time the caller charges, whichever charging discipline it uses.
+        """
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return self._exchange(operation, measure, idempotent=idempotent)
+        trace = tracer.start(operation)
+        try:
+            value, elapsed = self._exchange(
+                operation, measure, idempotent=idempotent
+            )
+        except SerializationError as exc:
+            # MVCC first-committer-wins loss: mark the conflict so the
+            # trace explains the aborted commit.
+            trace.add_span("mvcc_conflict", 0.0, error=str(exc))
+            tracer.finish_error(trace, exc)
+            raise
+        except BaseException as exc:
+            tracer.finish_error(
+                trace, exc, getattr(exc, "virtual_elapsed", 0.0)
+            )
+            raise
+        tracer.finish(trace, elapsed)
+        return value, elapsed
+
+    def _exchange(
+        self,
+        operation: str,
+        measure: Callable[[], tuple],
+        *,
+        idempotent: bool,
+    ) -> tuple:
+        """The fault/retry half of :meth:`_with_faults`.
 
         Fault handling follows the delivery split: a request-path fault
         never reached the server, so it is retryable for any operation; a
@@ -610,6 +668,15 @@ class SimulatedConnection:
                     raise
                 return value, elapsed_total + elapsed
             elapsed_total += fault.cost
+            tracer = self._tracer
+            if tracer is not None and tracer.active:
+                tracer.add_span(
+                    "fault",
+                    fault.cost,
+                    operation=operation,
+                    delivered=fault.delivered,
+                    attempt=attempt,
+                )
             if fault.delivered:
                 # The server received and executed the request; only the
                 # reply was lost.  Execute it for real so server state
@@ -651,6 +718,8 @@ class SimulatedConnection:
             policy.stats.retries += 1
             policy.stats.backoff_seconds += backoff
             elapsed_total += backoff
+            if tracer is not None and tracer.active:
+                tracer.add_span("retry_backoff", backoff, attempt=attempt)
             attempt += 1
 
     def _run_sync(
@@ -710,6 +779,9 @@ class SimulatedConnection:
             self.clock.now, service_seconds, connection=id(self)
         )
         self.stats.queue_time += wait
+        tracer = self._tracer
+        if wait > 0.0 and tracer is not None and tracer.active:
+            tracer.add_span("admission_wait", wait)
         return service_seconds + wait
 
     # -- query execution -------------------------------------------------
@@ -763,7 +835,67 @@ class SimulatedConnection:
             + max(transfer_time, server_rest)
         )
         self._record(result, transfer_time, server_first + server_rest)
+        tracer = self._tracer
+        if tracer is not None and tracer.active:
+            self._trace_query(
+                tracer,
+                statement,
+                result,
+                estimate,
+                transfer_time,
+                server_first,
+                server_rest,
+            )
         return result, self._admit(elapsed)
+
+    def _trace_query(
+        self,
+        tracer: Tracer,
+        statement: PreparedStatement,
+        result: QueryResult,
+        estimate,
+        transfer_time: float,
+        server_first: float,
+        server_rest: float,
+    ) -> None:
+        """Record one SELECT exchange's spans on the open trace.
+
+        The plan and route spans are zero-duration events; the execute
+        span's duration is the max-overlap server + transfer total the cost
+        model charged, with the overlapping components carried as
+        attributes.  Together with the round-trip span (and any admission
+        wait recorded by :meth:`_admit`) the children partition the root
+        exactly.  The actual cardinality is also offered back to the
+        statistics catalog here — runtime feedback rides on tracing.
+        """
+        tracer.set_sql(statement.sql)
+        trace = tracer.current
+        trace.add_span(
+            "plan",
+            0.0,
+            root_operator=type(statement.plan).__name__,
+            estimated_rows=estimate.cardinality,
+        )
+        route = statement.last_route
+        if route is not None:
+            trace.add_span(
+                "route", 0.0, kind=route["kind"], shards=route["shards"]
+            )
+        trace.add_span("network_round_trip", self.network.round_trip_seconds)
+        execute = trace.add_span(
+            "execute",
+            server_first + max(transfer_time, server_rest),
+            tier=statement.last_tier,
+            rows_out=result.cardinality,
+            server_first=server_first,
+            server_rest=server_rest,
+            transfer_time=transfer_time,
+        )
+        if statement.last_fallback_reason is not None:
+            execute.attributes["fallback_reason"] = (
+                statement.last_fallback_reason
+            )
+        statement.observe_actual(result.cardinality)
 
     def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Execute an UPDATE over the network (one round trip, tiny payload).
@@ -776,7 +908,7 @@ class SimulatedConnection:
         return self._run_sync(
             "update",
             lambda: self._measure_update(
-                lambda: self.database.execute_update_sql(sql, params)
+                lambda: self.database.execute_update_sql(sql, params), sql=sql
             ),
             idempotent=False,
         )
@@ -796,9 +928,13 @@ class SimulatedConnection:
     ) -> tuple[int, float]:
         """Execute a prepared UPDATE; return (changed, elapsed) without
         advancing the clock (async counterpart of the sequential charge)."""
-        return self._measure_update(lambda: statement.execute_update(params))
+        return self._measure_update(
+            lambda: statement.execute_update(params), sql=statement.sql
+        )
 
-    def _measure_update(self, run: Callable[[], int]) -> tuple[int, float]:
+    def _measure_update(
+        self, run: Callable[[], int], sql: Optional[str] = None
+    ) -> tuple[int, float]:
         """Execute one UPDATE exchange; return (changed, elapsed)."""
         self._check_open()
         with self._server_context():
@@ -806,6 +942,14 @@ class SimulatedConnection:
         self.stats.queries += 1
         self.stats.round_trips += 1
         self.stats.network_time += self.network.round_trip_seconds
+        tracer = self._tracer
+        if tracer is not None and tracer.active:
+            if sql is not None:
+                tracer.set_sql(sql)
+            tracer.add_span("execute", 0.0, tier="update", rows_changed=changed)
+            tracer.add_span(
+                "network_round_trip", self.network.round_trip_seconds
+            )
         return changed, self._admit(self.network.round_trip_seconds)
 
     def execute_lookup(
@@ -1111,6 +1255,28 @@ class Pipeline:
         stats.network_time += network.round_trip_seconds + transfer_time
         stats.server_time += first_total + rest_total
         self.flushes += 1
+        tracer = connection._tracer
+        if tracer is not None and tracer.active:
+            trace = tracer.current
+            round_trip = network.round_trip_seconds
+            trace.add_span("network_round_trip", round_trip)
+            execute = trace.add_span(
+                "execute",
+                max(0.0, elapsed - round_trip),
+                tier="pipeline",
+                statements=len(handles),
+                server_first=first_total,
+                server_rest=rest_total,
+                transfer_time=transfer_time,
+            )
+            for handle in handles:
+                execute.child(
+                    "statement",
+                    0.0,
+                    sql=handle.statement.sql,
+                    rows=handle._rowcount,
+                    failed=handle._error is not None,
+                )
         return error, connection._admit(elapsed)
 
     def discard(self) -> None:

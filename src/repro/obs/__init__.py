@@ -1,0 +1,39 @@
+"""Observability: structured query traces, metrics, and EXPLAIN.
+
+``repro.obs`` is the engine's introspection layer:
+
+- :class:`~repro.obs.trace.Tracer` records one
+  :class:`~repro.obs.trace.QueryTrace` per statement exchange, with child
+  spans on the virtual clock for network, server execution, admission
+  waits, WAL flushes, faults, and retries (enabled via
+  ``EngineBuilder.tracing()``).
+- :class:`~repro.obs.metrics.MetricsRegistry` is the single registration
+  point for counters, gauges, and fixed-bucket histograms, exported by
+  ``Engine.metrics()``.
+- :func:`~repro.obs.explain.explain_statement` backs
+  ``Database.explain`` / ``explain_analyze``.
+"""
+
+from repro.obs.explain import ExplainEntry, ExplainResult, explain_statement
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import QueryTrace, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ExplainEntry",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "explain_statement",
+]

@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 from repro.db.mvcc import SerializationError
 from repro.net.connection import SimulatedConnection
 from repro.net.faults import AmbiguousCommitError, FaultError
+from repro.obs.metrics import Histogram
 
 #: statement parameters: a fixed tuple, or a callable drawing them per-op.
 ParamSource = Union[Sequence[Any], Callable[[random.Random], Sequence[Any]]]
@@ -44,35 +45,38 @@ ParamSource = Union[Sequence[Any], Callable[[random.Random], Sequence[Any]]]
 
 @dataclass
 class LatencySummary:
-    """Percentile summary of one latency population (virtual seconds)."""
+    """Percentile summary of one latency population (virtual seconds).
+
+    Percentiles are nearest-rank over the exact samples, computed by the
+    shared :class:`repro.obs.metrics.Histogram` (``track_values=True``), so
+    they match the traced latency histograms bit for bit.  An empty
+    population has no percentiles: ``mean``/``p50``/``p95``/``p99``/``max``
+    are ``None`` rather than a fake 0.0; a single sample is every
+    percentile.
+    """
 
     count: int = 0
-    mean: float = 0.0
-    p50: float = 0.0
-    p95: float = 0.0
-    p99: float = 0.0
-    max: float = 0.0
+    mean: Optional[float] = None
+    p50: Optional[float] = None
+    p95: Optional[float] = None
+    p99: Optional[float] = None
+    max: Optional[float] = None
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
-        if not samples:
+        return cls.from_histogram(Histogram.from_samples(samples))
+
+    @classmethod
+    def from_histogram(cls, histogram: Histogram) -> "LatencySummary":
+        if histogram.count == 0:
             return cls()
-        ordered = sorted(samples)
-        count = len(ordered)
-
-        def percentile(quantile: float) -> float:
-            # Nearest-rank: smallest sample with at least ``quantile`` of
-            # the population at or below it (-(-x // 1) is ceil).
-            position = int(-(-(quantile * count) // 1))
-            return ordered[max(0, min(position - 1, count - 1))]
-
         return cls(
-            count=count,
-            mean=sum(ordered) / count,
-            p50=percentile(0.50),
-            p95=percentile(0.95),
-            p99=percentile(0.99),
-            max=ordered[-1],
+            count=histogram.count,
+            mean=histogram.mean,
+            p50=histogram.percentile(0.50),
+            p95=histogram.percentile(0.95),
+            p99=histogram.percentile(0.99),
+            max=histogram.max,
         )
 
     def as_dict(self) -> dict:
@@ -177,9 +181,9 @@ class OpenLoopLoadGenerator:
             else None
         )
         report = LoadReport()
-        latencies: list[float] = []
-        read_latencies: list[float] = []
-        write_latencies: list[float] = []
+        latencies = Histogram(track_values=True)
+        read_latencies = Histogram(track_values=True)
+        write_latencies = Histogram(track_values=True)
         start = clock.now
         arrival = start
         makespan = start
@@ -193,7 +197,7 @@ class OpenLoopLoadGenerator:
                 if is_read:
                     elapsed = self._run_read(read_statement, rng)
                     report.reads += 1
-                    read_latencies.append(elapsed)
+                    read_latencies.observe(elapsed)
                 elif self.write_transaction:
                     elapsed, conflicted = self._run_write_transaction(
                         write_statement, rng
@@ -201,11 +205,11 @@ class OpenLoopLoadGenerator:
                     report.writes += 1
                     if conflicted:
                         report.conflicts += 1
-                    write_latencies.append(elapsed)
+                    write_latencies.observe(elapsed)
                 else:
                     elapsed = self._run_write(write_statement, rng)
                     report.writes += 1
-                    write_latencies.append(elapsed)
+                    write_latencies.observe(elapsed)
             except (FaultError, AmbiguousCommitError) as exc:
                 # Rejected by the server (admission-queue timeout) or a
                 # terminal injected fault: the exchange still burned
@@ -215,15 +219,15 @@ class OpenLoopLoadGenerator:
                 makespan = max(makespan, arrival + exc.virtual_elapsed)
                 continue
             report.operations += 1
-            latencies.append(elapsed)
+            latencies.observe(elapsed)
             makespan = max(makespan, arrival + elapsed)
         clock.advance_to(makespan)
         report.duration = makespan - start
         if report.duration > 0:
             report.throughput = report.operations / report.duration
-        report.latency = LatencySummary.from_samples(latencies)
-        report.read_latency = LatencySummary.from_samples(read_latencies)
-        report.write_latency = LatencySummary.from_samples(write_latencies)
+        report.latency = LatencySummary.from_histogram(latencies)
+        report.read_latency = LatencySummary.from_histogram(read_latencies)
+        report.write_latency = LatencySummary.from_histogram(write_latencies)
         return report
 
     # -- one operation each ----------------------------------------------

@@ -259,11 +259,35 @@ class TestLatencySummary:
         assert (
             summary.p50 == summary.p95 == summary.p99 == summary.max == 2.5
         )
+        assert summary.mean == 2.5
+        assert summary.count == 1
 
-    def test_empty_population(self):
+    def test_empty_population_has_no_percentiles(self):
+        # An empty population has no percentiles — None, not a fake 0.0.
         summary = LatencySummary.from_samples([])
         assert summary.count == 0
-        assert summary.p99 == 0.0
+        assert summary.mean is None
+        assert summary.p50 is None
+        assert summary.p95 is None
+        assert summary.p99 is None
+        assert summary.max is None
+
+    def test_two_samples_nearest_rank(self):
+        summary = LatencySummary.from_samples([4.0, 1.0])
+        assert summary.p50 == 1.0  # rank ceil(0.5 * 2) = 1
+        assert summary.p95 == 4.0
+        assert summary.p99 == 4.0
+        assert summary.max == 4.0
+
+    def test_matches_shared_histogram(self):
+        from repro.obs.metrics import Histogram
+
+        samples = [0.25 * value for value in range(1, 41)]
+        summary = LatencySummary.from_samples(samples)
+        histogram = Histogram.from_samples(samples)
+        assert summary.p50 == histogram.percentile(0.50)
+        assert summary.p95 == histogram.percentile(0.95)
+        assert summary.p99 == histogram.percentile(0.99)
 
 
 class TestOpenLoopLoadGenerator:

@@ -632,6 +632,47 @@ class TestFallbackSubtreesUnderSharding:
             sharded.execute_plan(plan).rows == unsharded.execute_plan(plan).rows
         )
 
+    def test_fallback_reasons_fold_into_retired_totals_across_ddl(self):
+        # A scatter theta join (orders sharded, customers broadcast) has
+        # no vectorized lowering: the scatter probe records ``theta_join``
+        # on a per-shard executor before the row-tier scatter takes over.
+        # DDL (sharding another table) retires those executors, so their
+        # reasons must fold into the retired totals and post-DDL
+        # executions must merge on top.
+        database = build_database()
+        database.shard_table("orders", "o_c_id", 4)
+        plan = algebra.Join(
+            algebra.Scan("orders", "o"),
+            algebra.Scan("customers", "c"),
+            BinaryOp("<", ColumnRef("o_c_id", "o"), ColumnRef("c_id", "c")),
+        )
+        database.execute_plan(plan)
+        database.execute_plan(plan)
+        live = database.execution_stats()["vectorized"]
+        assert live["fallback_reasons"] == {"theta_join": 2}
+        fallbacks_before = live["fallbacks"]
+        assert database.sharding_stats()["scatter"] == 2
+        # DDL: sharding another table reuses (and invalidates) the
+        # router, folding live per-shard counters into retired totals.
+        database.create_table(
+            "regions",
+            [
+                Column("r_id", ColumnType.INT),
+                Column("r_pop", ColumnType.INT),
+            ],
+            primary_key="r_id",
+        )
+        database.shard_table("regions", "r_id", 2)
+        retired = database.execution_stats()["vectorized"]
+        assert retired["fallback_reasons"] == {"theta_join": 2}
+        assert retired["fallbacks"] == fallbacks_before
+        # Fresh per-shard executors after the DDL merge on top of the
+        # retired totals rather than resetting them.
+        database.execute_plan(plan)
+        merged = database.execution_stats()["vectorized"]
+        assert merged["fallback_reasons"] == {"theta_join": 3}
+        assert merged["fallbacks"] == fallbacks_before + 1
+
 
 class TestEngineFacade:
     def test_builder_shards_with_explicit_keys(self):
