@@ -1,4 +1,4 @@
-.PHONY: test test-async test-faults test-mvcc test-obs bench bench-suite bench-smoke ci
+.PHONY: test test-async test-faults test-mvcc test-obs test-columnar bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -30,6 +30,16 @@ test-obs:
 	python -m pytest tests/test_obs.py tests/test_explain.py \
 		tests/test_obs_property.py -q
 
+# The columnar-storage and codegen suites: typed/dictionary encoding units,
+# storage x codegen x tier equivalence sweeps (sharded and unsharded), the
+# zero-codegen_unsupported property gate, and the vectorized-tier units.
+# REPRO_VECTOR_BACKEND=numpy exercises the numpy filter backend when numpy
+# is importable and proves graceful degradation when it is not.
+test-columnar:
+	python -m pytest tests/test_typed_columns.py tests/test_vectorized.py -q
+	REPRO_VECTOR_BACKEND=numpy python -m pytest \
+		tests/test_typed_columns.py tests/test_vectorized.py -q
+
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
 	python benchmarks/bench_engine.py
@@ -47,7 +57,11 @@ bench-suite:
 # and the concurrency ones — mvcc_reader_writer (snapshot consistency and
 # the reader-latency bound asserted) and admission_open_loop (queueing knee
 # asserted) — and the observability one — tracing_overhead (traced run
-# within 5% of untraced asserted); does not overwrite BENCH_engine.json.
+# within 5% of untraced asserted) — and the codegen ones —
+# scan_filter_codegen, aggregate_codegen, dict_filter_strings (row equality
+# across codegen/kernel/interpreted asserted, and the run fails if any
+# benchmark plan hits a codegen_unsupported fallback); does not overwrite
+# BENCH_engine.json.
 bench-smoke:
 	BENCH_ENGINE_ROWS=2000 BENCH_ENGINE_OUT=/tmp/BENCH_engine_smoke.json \
 		python benchmarks/bench_engine.py > /dev/null
@@ -55,5 +69,5 @@ bench-smoke:
 
 # What CI runs: the full test suite (includes the async/pipeline suites),
 # the fault and concurrency suites across extra seeds, the observability
-# suites, plus a benchmark smoke run.
-ci: test test-async test-faults test-mvcc test-obs bench-smoke
+# and columnar/codegen suites, plus a benchmark smoke run.
+ci: test test-async test-faults test-mvcc test-obs test-columnar bench-smoke

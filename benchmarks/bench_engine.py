@@ -11,7 +11,14 @@ benchmark families are timed:
   ``hash_join_wide_vectorized``, ``aggregate_vectorized``) additionally time
   the vectorized batch tier on the same plans, reporting its speedup over
   the interpreted baseline (and over the compiled row tier); vectorized
-  results are asserted row-identical to the interpreted ones.
+  results are asserted row-identical to the interpreted ones.  The
+  ``*_codegen`` entries (``scan_filter_codegen``, ``aggregate_codegen``,
+  ``dict_filter_strings``) time the fused-pipeline codegen path against the
+  batch-kernel path on the same plans (interleaved min-of so allocator
+  drift hits both equally), asserting row equality and that codegen
+  actually served the run; ``dict_filter_strings`` additionally compares a
+  string-equality filter over the dictionary-encoded column against the
+  same filter with strings stored boxed.
 
 * **Prepared-statement point lookups** — the N+1 lazy-load query shape
   (``select * from customers where c_id = ?``) executed over and over with
@@ -296,6 +303,127 @@ def bench_executor(rows: int) -> dict:
             ),
         }
         vectorized.tier_counts["vectorized"] = 0
+    return results
+
+
+def _interleaved_best(
+    runners: dict[str, Callable[[], object]], repeats: int = REPEATS
+) -> dict[str, float]:
+    """Per-runner minimum over ``repeats`` round-robin rounds.
+
+    Competing paths over the same data are timed alternately so allocator
+    and cache-state drift hits them equally — sequential min-of runs can
+    hand whichever path runs second a warmed allocator.
+    """
+    import gc
+
+    best = {label: float("inf") for label in runners}
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for label, run in runners.items():
+                started = time.perf_counter()
+                run()
+                best[label] = min(best[label], time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+#: Plans timed codegen-vs-kernel (both run on the vectorized tier).
+CODEGEN_PLANS = ("scan_filter", "aggregate")
+
+
+def bench_codegen(rows: int) -> dict:
+    """Fused-pipeline codegen vs the batch-kernel vectorized path.
+
+    Both paths run on the vectorized tier over identical tables: the
+    *kernel* executor has codegen disabled (the ``REPRO_VECTOR_CODEGEN=0``
+    escape hatch, applied directly), the *codegen* executor compiles the
+    fused loops.  Row equality against the interpreted tier is asserted,
+    as is that the codegen executor actually served every run from a
+    compiled pipeline.  ``dict_filter_strings`` times a string-equality
+    filter whose codegen compares dictionary codes, against the kernel
+    path and against the same pipeline with strings stored boxed.
+    """
+    database = build_benchmark_database(rows)
+    interpreted = Executor(database.tables, mode="interpreted")
+    kernel = Executor(database.tables, mode="vectorized")
+    kernel._vectorized.codegen_enabled = False
+    codegen = Executor(database.tables, mode="vectorized")
+    plans = executor_plans()
+    results: dict = {}
+    for name in CODEGEN_PLANS:
+        plan = plans[name]
+        reference = interpreted.execute(plan)
+        if reference != kernel.execute(plan) or reference != codegen.execute(
+            plan
+        ):
+            raise AssertionError(
+                f"codegen / kernel / interpreted results differ for {name!r}"
+            )
+        output_rows = len(reference)
+        del reference
+        timings = _interleaved_best(
+            {
+                "kernel": lambda: kernel.execute(plan),
+                "codegen": lambda: codegen.execute(plan),
+            }
+        )
+        interpreted_s = _best_time(lambda: interpreted.execute(plan))
+        results[f"{name}_codegen"] = {
+            "output_rows": output_rows,
+            "interpreted_seconds": interpreted_s,
+            "kernel_seconds": timings["kernel"],
+            "codegen_seconds": timings["codegen"],
+            # Headline: the fused compiled loop over the batch-kernel path.
+            "speedup_vs_kernel": timings["kernel"] / timings["codegen"],
+            "speedup_vs_interpreted": interpreted_s / timings["codegen"],
+        }
+    if codegen._vectorized.codegen_executions == 0:
+        raise AssertionError("codegen executor never took the codegen path")
+    if codegen._vectorized.fallback_reasons.get("codegen_unsupported"):
+        raise AssertionError("a benchmark plan was codegen-unsupported")
+    if kernel._vectorized.codegen_executions:
+        raise AssertionError("kernel baseline unexpectedly ran codegen")
+
+    # -- dict_filter_strings: dictionary codes vs boxed strings ----------
+    dict_plan = algebra.Select(
+        algebra.Scan("orders", "o"),
+        BinaryOp("=", ColumnRef("o_status", "o"), Literal("OPEN")),
+    )
+    boxed_database = build_benchmark_database(rows)
+    boxed_database.table("orders").set_storage_mode("typed")  # strings boxed
+    boxed = Executor(boxed_database.tables, mode="vectorized")
+    reference = interpreted.execute(dict_plan)
+    if reference != codegen.execute(dict_plan) or reference != boxed.execute(
+        dict_plan
+    ) or reference != kernel.execute(dict_plan):
+        raise AssertionError("dict_filter_strings results differ across paths")
+    if database.table("orders").column_encodings()["o_status"] != "dict":
+        raise AssertionError("o_status is not dictionary-encoded")
+    output_rows = len(reference)
+    del reference
+    timings = _interleaved_best(
+        {
+            "kernel": lambda: kernel.execute(dict_plan),
+            "dict_codegen": lambda: codegen.execute(dict_plan),
+            "boxed_codegen": lambda: boxed.execute(dict_plan),
+        }
+    )
+    results["dict_filter_strings"] = {
+        "output_rows": output_rows,
+        "kernel_seconds": timings["kernel"],
+        "dict_codegen_seconds": timings["dict_codegen"],
+        "boxed_codegen_seconds": timings["boxed_codegen"],
+        "speedup_vs_kernel": timings["kernel"] / timings["dict_codegen"],
+        "speedup_vs_boxed": (
+            timings["boxed_codegen"] / timings["dict_codegen"]
+        ),
+    }
     return results
 
 
@@ -1274,6 +1402,7 @@ def main() -> dict:
         "benchmark": "engine",
         "rows": rows,
         "executor": bench_executor(rows),
+        "codegen": bench_codegen(rows),
         "prepared_point_lookup": bench_prepared_point_lookup(rows),
         "pipelined_executemany": bench_pipelined_executemany(rows),
         "async_concurrent_clients": bench_async_concurrent_clients(rows),

@@ -292,6 +292,9 @@ class PreparedStatement:
         self.last_tier: Optional[str] = None
         self.last_route: Optional[dict] = None
         self.last_fallback_reason: Optional[str] = None
+        #: how the rows were actually produced: "codegen" / "kernel" inside
+        #: the vectorized tier, the row-tier name, or "point-lookup".
+        self.last_execution_path: Optional[str] = None
         #: runtime-feedback drift: traced executions whose actual output
         #: cardinality disagreed with the optimizer's estimate by more than
         #: the catalog's DRIFT_RATIO (either direction).
@@ -351,6 +354,7 @@ class PreparedStatement:
                         router.last_route if router is not None else None
                     )
                     self.last_fallback_reason = None
+                    self.last_execution_path = "point-lookup"
                     return QueryResult(
                         rows=rows, row_width=self.row_width(), sql=self.sql
                     )
@@ -361,6 +365,7 @@ class PreparedStatement:
         self.executions += 1
         self.last_tier = executor.last_tier
         self.last_fallback_reason = executor.last_fallback_reason
+        self.last_execution_path = executor.last_execution_path
         self.last_route = (
             executor.router.last_route if executor.router is not None else None
         )
@@ -643,6 +648,7 @@ class Database:
         compiled_execution: bool = True,
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         execution_mode: Optional[str] = None,
+        vector_backend: Optional[str] = None,
         wal: Any = None,
         mvcc: bool = False,
     ) -> None:
@@ -657,7 +663,10 @@ class Database:
             compiled_execution = execution_mode != "interpreted"
         self.compiled_execution = compiled_execution
         self._executor = Executor(
-            self.tables, compiled=compiled_execution, mode=execution_mode
+            self.tables,
+            compiled=compiled_execution,
+            mode=execution_mode,
+            vector_backend=vector_backend,
         )
         self.queries_executed = 0
         #: set once a table is sharded; consulted by the executor before
@@ -773,7 +782,11 @@ class Database:
         self.invalidate_statements()
         self._executor.invalidate_context_cache()
         if self._router is None:
-            self._router = ShardRouter(self.tables, mode=self._executor.mode)
+            self._router = ShardRouter(
+                self.tables,
+                mode=self._executor.mode,
+                vector_backend=self._executor.vector_backend,
+            )
             self._executor.router = self._router
         else:
             # Reuse the router (it reads the live table mapping): dropping
@@ -1378,6 +1391,19 @@ class Database:
         """The executor's tier selection: vectorized/compiled/interpreted."""
         return self._executor.mode
 
+    def set_vector_backend(self, backend: Optional[str]) -> None:
+        """Select the vectorized tier's filter backend ("python"/"numpy").
+
+        A ``numpy`` request degrades gracefully to pure Python when numpy
+        is not importable.  Rebuilds the vectorized executor and, under
+        sharding, the per-shard executors, so their kernels agree on the
+        backend.
+        """
+        self._executor.set_vector_backend(backend)
+        if self._router is not None:
+            self._router._vector_backend = backend
+            self._router.invalidate()
+
     def execution_stats(self) -> dict:
         """Per-tier execution counters of the underlying executor.
 
@@ -1399,6 +1425,24 @@ class Database:
             merge_execution_counters(
                 tiers, vectorized, shard_tiers, shard_vectorized
             )
+        # Non-summable annotations ride above the counter merge: the filter
+        # backend names and a census of column encodings across the
+        # currently-built columnar views (empty for never-scanned tables).
+        if executor._vectorized is not None:
+            vectorized["backend"] = {
+                "requested": executor._vectorized.backend_requested,
+                "active": executor._vectorized.backend,
+            }
+        else:
+            vectorized["backend"] = {"requested": None, "active": None}
+        encodings: dict[str, int] = {}
+        for table in self.tables.values():
+            # Sharded tables scan their partitions, not the aggregate view,
+            # so their columnar state lives in the shard Tables.
+            for view in (table, *getattr(table, "shards", ())):
+                for encoding in view.column_encodings().values():
+                    encodings[encoding] = encodings.get(encoding, 0) + 1
+        vectorized["encodings"] = encodings
         return {
             "mode": executor.mode,
             "tiers": tiers,

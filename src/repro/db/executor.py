@@ -98,6 +98,7 @@ class Executor:
         *,
         compiled: bool = True,
         mode: Optional[str] = None,
+        vector_backend: Optional[str] = None,
     ) -> None:
         if mode is None:
             mode = "vectorized" if compiled else "interpreted"
@@ -142,11 +143,18 @@ class Executor:
         #: for tracing and EXPLAIN.
         self.last_tier: Optional[str] = None
         self.last_fallback_reason: Optional[str] = None
+        #: how the most recent execute() call actually produced its rows:
+        #: "codegen" / "kernel" inside the vectorized tier, otherwise the
+        #: row-tier name.  Finer-grained than last_tier, read by EXPLAIN.
+        self.last_execution_path: Optional[str] = None
+        #: requested vector backend, remembered so shard-local executors
+        #: can be built with the same acceleration settings.
+        self.vector_backend = vector_backend
         if mode == "vectorized":
             from repro.db.vectorized import VectorizedExecutor
 
             self._vectorized: Optional[VectorizedExecutor] = (
-                VectorizedExecutor(self)
+                VectorizedExecutor(self, backend=vector_backend)
             )
         else:
             self._vectorized = None
@@ -160,6 +168,9 @@ class Executor:
             if routed is not None:
                 self.last_tier = self.router.last_tier
                 self.last_fallback_reason = self.router.last_fallback_reason
+                self.last_execution_path = getattr(
+                    self.router, "last_execution_path", self.router.last_tier
+                )
                 return routed
         if self._vectorized is not None:
             rows = self._vectorized.try_execute(plan)
@@ -167,11 +178,13 @@ class Executor:
                 self.tier_counts["vectorized"] += 1
                 self.last_tier = "vectorized"
                 self.last_fallback_reason = None
+                self.last_execution_path = self._vectorized.last_path
                 return rows
         tier = "compiled" if self._compiled else "interpreted"
         rows = list(self._execute(plan))
         self.tier_counts[tier] += 1
         self.last_tier = tier
+        self.last_execution_path = tier
         self.last_fallback_reason = (
             self._vectorized.last_fallback_reason
             if self._vectorized is not None
@@ -185,16 +198,37 @@ class Executor:
         if self._vectorized is None:
             return {
                 "executions": 0,
+                "codegen_executions": 0,
+                "pipelines_compiled": 0,
+                "codegen_cache_hits": 0,
+                "codegen_errors": 0,
                 "fallbacks": 0,
                 "subtree_fallbacks": 0,
                 "fallback_reasons": {},
             }
         return {
             "executions": self._vectorized.executions,
+            "codegen_executions": self._vectorized.codegen_executions,
+            "pipelines_compiled": self._vectorized.pipelines_compiled,
+            "codegen_cache_hits": self._vectorized.codegen_cache_hits,
+            "codegen_errors": self._vectorized.codegen_errors,
             "fallbacks": self._vectorized.fallbacks,
             "subtree_fallbacks": self._vectorized.subtree_fallbacks,
             "fallback_reasons": dict(self._vectorized.fallback_reasons),
         }
+
+    def set_vector_backend(self, backend: Optional[str]) -> None:
+        """Swap the vectorized tier's filter backend ("python"/"numpy").
+
+        Rebuilds the vectorized executor (dropping its plan/pipeline caches
+        and counters), so this is a configuration-time knob, not a per-query
+        one.  A no-op outside vectorized mode beyond remembering the name.
+        """
+        self.vector_backend = backend
+        if self._vectorized is not None:
+            from repro.db.vectorized import VectorizedExecutor
+
+            self._vectorized = VectorizedExecutor(self, backend=backend)
 
     def invalidate_context_cache(self) -> None:
         """Drop every resolver-context compiled closure (call on DDL).

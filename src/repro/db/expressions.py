@@ -281,6 +281,28 @@ _BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
 #: Operators with NULL-propagating (rather than NULL-is-false) semantics.
 _ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
 
+#: Operator symbol -> Python source operator, for source-level code
+#: generation (the vectorized tier's fused-pipeline compiler).  Every
+#: operator in :data:`_BINARY_OPS` has an entry.
+BINARY_OP_SOURCE: dict[str, str] = {
+    op: {"=": "==", "<>": "!="}.get(op, op) for op in _BINARY_OPS
+}
+
+#: Public view of the NULL-propagating operator set (see
+#: :data:`_ARITHMETIC_OPS`); comparison operators instead collapse NULL
+#: operands to ``False``.
+ARITHMETIC_OPS = _ARITHMETIC_OPS
+
+
+def scalar_function(name: str) -> Optional[Callable[..., Any]]:
+    """The scalar-function implementation for ``name``, or ``None``.
+
+    Exposes the same table :class:`FunctionCall` dispatches through, so
+    source-level code generators bind the identical (NULL-tolerant)
+    callables instead of duplicating their semantics.
+    """
+    return _SCALAR_FUNCTIONS.get(name.lower())
+
 
 def _batch_scalar(expression: "Expression") -> Optional[Callable[[], Any]]:
     """A per-batch scalar reader for literal/parameter operands, else None.

@@ -191,6 +191,15 @@ class ShardedTable(Table):
         for row in self.rows:
             self.shards[self.shard_index(row[key])].adopt_row(row)
 
+    # -- storage ---------------------------------------------------------
+
+    def set_storage_mode(self, mode: str) -> None:
+        # Per-shard executors scan the shard partitions, not the aggregate
+        # view, so the physical-layout knob must reach both.
+        super().set_storage_mode(mode)
+        for shard in self.shards:
+            shard.set_storage_mode(mode)
+
     # -- introspection ---------------------------------------------------
 
     def shard_row_counts(self) -> list[int]:
@@ -368,9 +377,15 @@ class ShardRouter:
     #: Cached routing decisions kept before LRU eviction.
     ROUTE_CACHE_LIMIT = 256
 
-    def __init__(self, tables: Mapping[str, Table], mode: str) -> None:
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        mode: str,
+        vector_backend: Optional[str] = None,
+    ) -> None:
         self._tables = tables
         self._mode = mode
+        self._vector_backend = vector_backend
         #: plan -> _Route, LRU-evicted (plans embed query literals).
         self._routes: OrderedDict[algebra.PlanNode, _Route] = OrderedDict()
         #: (frozenset of substituted names, shard index) -> Executor.
@@ -383,18 +398,15 @@ class ShardRouter:
             "compiled": 0,
             "interpreted": 0,
         }
-        self._retired_vectorized: dict[str, Any] = {
-            "executions": 0,
-            "fallbacks": 0,
-            "subtree_fallbacks": 0,
-            "fallback_reasons": {},
-        }
+        self._retired_vectorized: dict[str, Any] = _zero_vectorized_counters()
         #: per-call markers for tracing / EXPLAIN: how the most recent
         #: try_execute dispatched (``None`` for not-sharded plans), which
-        #: tier served it, and the vectorized fallback reason if any.
+        #: tier served it, the vectorized fallback reason if any, and the
+        #: concrete execution path ("codegen" / "kernel" / row tier name).
         self.last_route: Optional[dict] = None
         self.last_tier: Optional[str] = None
         self.last_fallback_reason: Optional[str] = None
+        self.last_execution_path: Optional[str] = None
 
     # -- public API ------------------------------------------------------
 
@@ -422,6 +434,7 @@ class ShardRouter:
             self.last_route = {"kind": "routed", "shards": (index,)}
             self.last_tier = executor.last_tier
             self.last_fallback_reason = executor.last_fallback_reason
+            self.last_execution_path = executor.last_execution_path
             return rows
         count = self._shard_count(route.names)
         self.last_route = {"kind": kind, "shards": tuple(range(count))}
@@ -491,12 +504,7 @@ class ShardRouter:
 
     def _sum_live_counters(self) -> tuple[dict[str, int], dict[str, Any]]:
         tiers = {"vectorized": 0, "compiled": 0, "interpreted": 0}
-        vectorized: dict[str, Any] = {
-            "executions": 0,
-            "fallbacks": 0,
-            "subtree_fallbacks": 0,
-            "fallback_reasons": {},
-        }
+        vectorized = _zero_vectorized_counters()
         for executor in self._executors.values():
             merge_execution_counters(
                 tiers, vectorized, executor.tier_counts, executor.vectorized_stats
@@ -530,7 +538,9 @@ class ShardRouter:
                 )
                 for name, table in self._tables.items()
             }
-            executor = Executor(overlay, mode=self._mode)
+            executor = Executor(
+                overlay, mode=self._mode, vector_backend=self._vector_backend
+            )
             self._executors[key] = executor
         return executor
 
@@ -540,14 +550,22 @@ class ShardRouter:
         """Execute ``node`` on every shard and gather, in shard order."""
         executors = [self._shard_executor(names, i) for i in range(count)]
         if self._mode == "vectorized":
+            rows = self._scatter_codegen(executors, node)
+            if rows is not None:
+                self.last_tier = "vectorized"
+                self.last_fallback_reason = None
+                self.last_execution_path = "codegen"
+                return rows
             rows = self._scatter_batches(executors, node)
             if rows is not None:
                 self.last_tier = "vectorized"
                 self.last_fallback_reason = None
+                self.last_execution_path = "kernel"
                 return rows
         if self._mode == "interpreted":
             self.last_tier = "interpreted"
             self.last_fallback_reason = None
+            self.last_execution_path = "interpreted"
             return [
                 row
                 for executor in executors
@@ -556,11 +574,36 @@ class ShardRouter:
         # Compiled (and the vectorized row-fallback): chain the per-shard
         # fused iterators lazily; the gather materializes one output list.
         self.last_tier = "compiled"
+        self.last_execution_path = "compiled"
         gathered: list[Row] = []
         for executor in executors:
             gathered.extend(executor._execute(node))
             executor.tier_counts["compiled"] += 1
         return gathered
+
+    def _scatter_codegen(
+        self, executors: Sequence[Executor], node: algebra.PlanNode
+    ) -> Optional[list[Row]]:
+        """Codegen scatter: run the fused pipeline per shard, concatenate.
+
+        The gather node concatenates shard results in shard order (see
+        ``gather_batches``), so running each shard's compiled pipeline and
+        chaining the row lists is row-identical to the batch path.  Every
+        shard must take the codegen path — one decline (unsupported spine,
+        codegen disabled, compile/run error) sends the whole scatter to the
+        batch-kernel gather instead.
+        """
+        rows: list[Row] = []
+        for executor in executors:
+            shard_rows = executor._vectorized.try_codegen_rows(node)
+            if shard_rows is None:
+                return None
+            rows.extend(shard_rows)
+        for executor in executors:
+            executor._vectorized.executions += 1
+            executor._vectorized.codegen_executions += 1
+            executor.tier_counts["vectorized"] += 1
+        return rows
 
     def _scatter_batches(
         self, executors: Sequence[Executor], node: algebra.PlanNode
@@ -969,6 +1012,27 @@ def _row_preserving_path(nodes: Sequence[algebra.PlanNode]) -> bool:
     )
 
 
+#: The summable int counters of a vectorized-stats dict; everything the
+#: executor reports beyond these must be mergeable as fallback_reasons is,
+#: or attached above the merge (Database.execution_stats does the latter
+#: for the backend names and column-encoding census).
+VECTORIZED_COUNTER_KEYS = (
+    "executions",
+    "codegen_executions",
+    "pipelines_compiled",
+    "codegen_cache_hits",
+    "codegen_errors",
+    "fallbacks",
+    "subtree_fallbacks",
+)
+
+
+def _zero_vectorized_counters() -> dict[str, Any]:
+    zeros: dict[str, Any] = dict.fromkeys(VECTORIZED_COUNTER_KEYS, 0)
+    zeros["fallback_reasons"] = {}
+    return zeros
+
+
 def merge_execution_counters(
     tiers_into: dict[str, int],
     vectorized_into: dict[str, Any],
@@ -983,8 +1047,8 @@ def merge_execution_counters(
     """
     for tier, count in tiers_from.items():
         tiers_into[tier] = tiers_into.get(tier, 0) + count
-    for key in ("executions", "fallbacks", "subtree_fallbacks"):
-        vectorized_into[key] += vectorized_from[key]
+    for key in VECTORIZED_COUNTER_KEYS:
+        vectorized_into[key] += vectorized_from.get(key, 0)
     reasons = vectorized_into["fallback_reasons"]
     for reason, count in vectorized_from["fallback_reasons"].items():
         reasons[reason] = reasons.get(reason, 0) + count

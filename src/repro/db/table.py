@@ -23,11 +23,114 @@ per-row dictionaries.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.db.schema import SchemaError, TableSchema
 
 Row = dict
+
+#: storage modes for the columnar view, from least to most encoded:
+#: ``boxed`` keeps plain value lists, ``typed`` adds ``array('q')`` /
+#: ``array('d')`` sidecars for int/float columns, ``dictionary`` (the
+#: default) additionally dictionary-encodes string columns.
+STORAGE_MODES = ("boxed", "typed", "dictionary")
+
+
+class ColumnData(list):
+    """One column of the columnar view: boxed values plus typed sidecars.
+
+    Subclasses ``list`` so every existing consumer (batch kernels, gathers,
+    ``zip``-based materialization) keeps working on the boxed values at zero
+    adapter cost; the typed representation rides along in slots:
+
+    - ``encoding``: ``"boxed"``, ``"int64"``, ``"float64"``, or ``"dict"``.
+    - ``typed``: ``array('q')`` / ``array('d')`` of the non-null values
+      (nulls stored as 0/0.0 — consult ``nulls``), or ``None`` when boxed.
+    - ``nulls``: little-endian null bitmap ``bytearray`` (bit *i* set means
+      row *i* is NULL), or ``None`` when the column contains no nulls.
+    - ``dictionary`` / ``codes`` / ``code_of``: for ``"dict"`` encoding,
+      the value dictionary (code -> string), the per-row code array
+      (``array('q')``, ``-1`` for NULL), and the string -> code map used to
+      translate filter literals once per pipeline.
+    """
+
+    __slots__ = ("encoding", "typed", "nulls", "dictionary", "codes", "code_of")
+
+    def __init__(self, values=()):  # noqa: D107 - documented on the class
+        super().__init__(values)
+        self.encoding = "boxed"
+        self.typed = None
+        self.nulls = None
+        self.dictionary = None
+        self.codes = None
+        self.code_of = None
+
+
+def _null_bitmap(values: list) -> Optional[bytearray]:
+    """Little-endian null bitmap for ``values``; ``None`` if no nulls."""
+    bits: Optional[bytearray] = None
+    for position, value in enumerate(values):
+        if value is None:
+            if bits is None:
+                bits = bytearray((len(values) + 7) // 8)
+            bits[position >> 3] |= 1 << (position & 7)
+    return bits
+
+
+def encode_column(values: list, mode: str) -> ColumnData:
+    """Build one :class:`ColumnData`, inferring the physical representation.
+
+    A column is typed only when every non-null value is exactly one of
+    ``int`` / ``float`` / ``str`` (``bool`` stays boxed: it is a distinct
+    type and must round-trip unchanged).  Anything mixed, empty, or
+    surprising (e.g. ints too wide for 64 bits) falls back to the boxed
+    list, which is always present and always authoritative.
+    """
+    data = ColumnData(values)
+    if mode == "boxed" or not values:
+        return data
+    kinds = set(map(type, data))
+    has_null = type(None) in kinds
+    kinds.discard(type(None))
+    if len(kinds) != 1:
+        return data
+    kind = next(iter(kinds))
+    if kind is int:
+        try:
+            data.typed = array(
+                "q", (0 if v is None else v for v in data) if has_null else data
+            )
+        except OverflowError:
+            return data
+        data.encoding = "int64"
+    elif kind is float:
+        data.typed = array(
+            "d", (0.0 if v is None else v for v in data) if has_null else data
+        )
+        data.encoding = "float64"
+    elif kind is str and mode == "dictionary":
+        code_of: dict[str, int] = {}
+        codes = array("q")
+        append = codes.append
+        for value in data:
+            if value is None:
+                append(-1)
+            else:
+                code = code_of.get(value)
+                if code is None:
+                    code = len(code_of)
+                    code_of[value] = code
+                append(code)
+        data.encoding = "dict"
+        data.codes = codes
+        data.code_of = code_of
+        data.dictionary = list(code_of)
+    else:
+        return data
+    if has_null:
+        data.nulls = _null_bitmap(data)
+    return data
 
 
 class Table:
@@ -43,10 +146,17 @@ class Table:
         self._indexes: dict[str, dict[Any, list[Row]]] = {}
         #: column name -> cached distinct non-null value count.
         self._distinct_cache: dict[str, int] = {}
-        #: cached columnar view (column name -> value list) and the table
-        #: version it was built against; rebuilt lazily when stale.
-        self._columnar: Optional[dict[str, list]] = None
+        #: cached columnar view (column name -> :class:`ColumnData`) and the
+        #: table version it was built against; rebuilt lazily when stale.
+        self._columnar: Optional[dict[str, ColumnData]] = None
         self._columnar_version: int = -1
+        #: physical representation picked on columnar rebuild; see
+        #: :data:`STORAGE_MODES` and :meth:`set_storage_mode`.
+        self._storage_mode: str = "dictionary"
+        #: alias -> cached full-width output rows (bare + qualified keys)
+        #: for that scan alias, plus the version they were built against.
+        self._wide_rows: dict[str, list[Row]] = {}
+        self._wide_version: int = -1
         #: bumped on every mutation; external caches may key on this.
         self.version: int = 0
 
@@ -240,6 +350,8 @@ class Table:
         if self._distinct_cache:
             self._distinct_cache.clear()
         self._columnar = None
+        if self._wide_rows:
+            self._wide_rows.clear()
 
     # -- access ----------------------------------------------------------
 
@@ -286,27 +398,92 @@ class Table:
             self._indexes[column] = index
         return index
 
-    def columns(self) -> dict[str, list]:
-        """Columnar view: column name -> list of values, aligned by row.
+    def columns(self) -> dict[str, ColumnData]:
+        """Columnar view: column name -> :class:`ColumnData`, aligned by row.
 
         Built lazily from the row dicts on first use and cached until the
         table mutates (checked against :attr:`version`, like
         :meth:`index_for`).  Row dicts remain the mutation surface; the
-        returned lists are positionally aligned with :attr:`rows` and must
+        returned columns are positionally aligned with :attr:`rows` and must
         not be mutated by callers.  The vectorized executor scans these
-        arrays instead of iterating row dictionaries.
+        arrays instead of iterating row dictionaries; each column carries a
+        typed/dictionary-encoded sidecar per :meth:`set_storage_mode`, which
+        the codegen and numpy paths specialize on.
         """
         cached = self._columnar
         if cached is not None and self._columnar_version == self.version:
             return cached
         rows = self.rows
+        mode = self._storage_mode
         store = {
-            name: [row[name] for row in rows]
+            name: encode_column([row[name] for row in rows], mode)
             for name in self.schema.column_names
         }
         self._columnar = store
         self._columnar_version = self.version
         return store
+
+    def wide_rows(self, alias: str) -> list[Row]:
+        """Full-width scan output rows for ``alias``, cached per version.
+
+        A scan materializes each row with its bare keys followed by the
+        alias-qualified keys.  Codegen select pipelines emit survivors as
+        ``dict.copy`` of these prebuilt templates — a single C-level copy
+        per output row instead of an 8-entry dict display — so the
+        templates are cached here next to the columnar view and share its
+        lifecycle: any mutation bumps :attr:`version` and drops them.
+        Callers receive copies, never these dicts.
+        """
+        if self._wide_version != self.version:
+            if self._wide_rows:
+                self._wide_rows.clear()
+            self._wide_version = self.version
+        cached = self._wide_rows.get(alias)
+        if cached is None:
+            qualified = [
+                f"{alias}.{name}" for name in self.schema.column_names
+            ]
+            cached = []
+            append = cached.append
+            for row in self.rows:
+                # Stored rows hold every schema column in declaration
+                # order (prepare_row guarantees it), so values() aligns.
+                wide = dict(row)
+                wide.update(zip(qualified, row.values()))
+                append(wide)
+            self._wide_rows[alias] = cached
+        return cached
+
+    def set_storage_mode(self, mode: str) -> None:
+        """Choose the columnar representation (see :data:`STORAGE_MODES`).
+
+        Takes effect on the next columnar rebuild; the row dicts are
+        untouched, so this is purely a physical-layout knob.
+        """
+        if mode not in STORAGE_MODES:
+            raise ValueError(
+                f"unknown storage mode {mode!r}; expected one of "
+                f"{STORAGE_MODES}"
+            )
+        if mode != self._storage_mode:
+            self._storage_mode = mode
+            self._columnar = None
+
+    @property
+    def storage_mode(self) -> str:
+        return self._storage_mode
+
+    def column_encodings(self) -> dict[str, str]:
+        """Encoding per column of the *currently built* columnar view.
+
+        Reads only the cached view — it never triggers a rebuild — so it is
+        safe to call from stats paths without side effects.  Returns an
+        empty dict when no fresh columnar view exists.
+        """
+        cached = self._columnar
+        if cached is None or self._columnar_version != self.version:
+            return {}
+        return {name: column.encoding for name, column in cached.items()}
 
     @property
     def row_width(self) -> int:

@@ -1,0 +1,235 @@
+"""Optional acceleration backends for the vectorized tier's filter kernels.
+
+The vectorized tier is dependency-free by default: its kernels are pure
+Python over the boxed column lists.  When numpy is importable *and*
+requested (``REPRO_VECTOR_BACKEND=numpy`` or
+``EngineBuilder.vector_backend("numpy")``), filter conjuncts of the shape
+``column <cmp> scalar`` / ``column IS [NOT] NULL`` are evaluated as numpy
+mask operations over the typed sidecars of :class:`repro.db.table.
+ColumnData` — ``array('q')``/``array('d')`` buffers are wrapped zero-copy
+via ``frombuffer`` and dictionary columns compare their small-int codes.
+
+The backend is strictly best-effort: a conjunct outside the supported
+shapes compiles to no filter, and at run time a boxed (untyped) column is
+declined — counted as the ``untyped_column`` fallback reason — as is any
+numpy-level surprise (silently, so the authoritative Python kernel
+reproduces row-tier values *and* row-tier errors).  When numpy is missing
+entirely, ``resolve_backend`` degrades the request to ``"python"`` and the
+engine behaves exactly as if no backend had been asked for.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from typing import Any, Callable, Optional
+
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    IsNull,
+    Literal,
+    ParameterSlot,
+)
+
+try:  # feature detection: numpy is optional and never required
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Recognized backend names.
+BACKENDS = ("python", "numpy")
+
+#: Environment variable selecting the default backend.
+BACKEND_ENV = "REPRO_VECTOR_BACKEND"
+
+_COMPARISON_OPS: dict[str, Callable] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+}
+
+#: Mirror the comparison when the column sits on the right-hand side.
+_FLIPPED = {
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+    "=": "=",
+    "==": "==",
+    "!=": "!=",
+    "<>": "<>",
+}
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can actually be activated."""
+    return _np is not None
+
+
+def resolve_backend(requested: Optional[str]) -> tuple[str, str]:
+    """Resolve a backend request to ``(requested, active)`` names.
+
+    ``None`` consults :data:`BACKEND_ENV`; unknown names and a ``numpy``
+    request without numpy installed degrade to ``"python"`` — gracefully,
+    because the backend is an accelerator, never a dependency.
+    """
+    if requested is None:
+        requested = os.environ.get(BACKEND_ENV, "python")
+    requested = (requested or "python").strip().lower()
+    if requested not in BACKENDS:
+        requested = "python"
+    active = requested
+    if active == "numpy" and _np is None:
+        active = "python"
+    return requested, active
+
+
+def make_filter_backend(
+    active: str, count_reason: Callable[[str], None]
+) -> Optional["NumpyFilterBackend"]:
+    """The filter backend for an active backend name (``None`` = python)."""
+    if active != "numpy" or _np is None:
+        return None
+    return NumpyFilterBackend(count_reason)
+
+
+def _null_mask(data) -> Any:
+    """Boolean numpy mask of a column's NULL rows."""
+    if data.nulls is None:
+        return _np.zeros(len(data), dtype=bool)
+    return _np.unpackbits(
+        _np.frombuffer(bytes(data.nulls), dtype=_np.uint8),
+        count=len(data),
+        bitorder="little",
+    ).astype(bool)
+
+
+def _positions(mask, selection) -> list:
+    """Batch-relative surviving positions for a full-column mask."""
+    if selection is None:
+        return _np.flatnonzero(mask).tolist()
+    return _np.flatnonzero(
+        mask[_np.asarray(selection, dtype=_np.intp)]
+    ).tolist()
+
+
+class NumpyFilterBackend:
+    """Compiles filter conjuncts to numpy position filters.
+
+    :meth:`position_filter` returns ``None`` for unsupported conjunct
+    shapes; a returned filter itself returns ``None`` at run time whenever
+    the concrete batch cannot be handled (boxed column, numpy-level type
+    surprise), in which case the caller falls back to the Python kernel for
+    that conjunct.  Returned position lists are batch-relative, exactly
+    like the kernel path's ``keep`` lists.
+    """
+
+    def __init__(self, count_reason: Callable[[str], None]) -> None:
+        self._count_reason = count_reason
+
+    def position_filter(self, conjunct) -> Optional[Callable]:
+        if _np is None:  # pragma: no cover - backend never built then
+            return None
+        if isinstance(conjunct, IsNull) and isinstance(
+            conjunct.operand, ColumnRef
+        ):
+            return self._is_null_filter(conjunct.operand, conjunct.negated)
+        if not isinstance(conjunct, BinaryOp):
+            return None
+        op = conjunct.op
+        if op not in _COMPARISON_OPS:
+            return None
+        column, scalar = conjunct.left, conjunct.right
+        if isinstance(scalar, ColumnRef) and not isinstance(column, ColumnRef):
+            column, scalar = scalar, column
+            op = _FLIPPED[op]
+        if not isinstance(column, ColumnRef) or not isinstance(
+            scalar, (Literal, ParameterSlot)
+        ):
+            return None
+        if isinstance(scalar, Literal):
+            constant = scalar.value
+
+            def get_scalar() -> Any:
+                return constant
+
+        else:
+            slots, index = scalar.slots, scalar.index
+
+            def get_scalar() -> Any:
+                return slots[index]
+
+        compare = _COMPARISON_OPS[op]
+        equality = op in ("=", "==")
+        inequality = op in ("!=", "<>")
+        count_reason = self._count_reason
+
+        def run(batch) -> Optional[list]:
+            name = batch.resolve(column)
+            if name is None:
+                return None  # kernel path raises / handles resolution
+            data, selection = batch.columns[name]
+            encoding = getattr(data, "encoding", "boxed")
+            value = get_scalar()
+            try:
+                if encoding in ("int64", "float64"):
+                    if value is None:
+                        return []  # NULL compares False against every row
+                    dtype = _np.int64 if encoding == "int64" else _np.float64
+                    values = _np.frombuffer(data.typed, dtype=dtype)
+                    mask = _np.asarray(compare(values, value))
+                    if mask.shape != values.shape:
+                        # Mismatched-type comparison collapsed to a scalar;
+                        # let the Python kernel decide row by row.
+                        return None
+                    if data.nulls is not None:
+                        mask = mask & ~_null_mask(data)
+                    return _positions(mask, selection)
+                if encoding == "dict" and (equality or inequality):
+                    if value is None:
+                        return []
+                    codes = _np.frombuffer(data.codes, dtype=_np.int64)
+                    code = data.code_of.get(value, -2)
+                    if equality:
+                        mask = codes == code
+                    else:
+                        mask = (codes >= 0) & (codes != code)
+                    return _positions(mask, selection)
+            except Exception:
+                # Silent: the Python kernel reproduces row-tier values and
+                # row-tier errors for whatever numpy could not express.
+                return None
+            if encoding == "boxed":
+                count_reason("untyped_column")
+            return None
+
+        return run
+
+    def _is_null_filter(
+        self, column: ColumnRef, negated: bool
+    ) -> Callable:
+        count_reason = self._count_reason
+
+        def run(batch) -> Optional[list]:
+            name = batch.resolve(column)
+            if name is None:
+                return None
+            data, selection = batch.columns[name]
+            if getattr(data, "encoding", "boxed") == "boxed":
+                count_reason("untyped_column")
+                return None
+            try:
+                mask = _null_mask(data)
+                if negated:
+                    mask = ~mask
+                return _positions(mask, selection)
+            except Exception:
+                return None
+
+        return run

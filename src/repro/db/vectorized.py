@@ -33,9 +33,11 @@ property-tested row-identical.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import math
+import os
+from collections import OrderedDict, defaultdict
 from itertools import repeat
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, NamedTuple, Optional, Sequence
 
 from repro.db import algebra
 from repro.db.executor import (
@@ -45,7 +47,22 @@ from repro.db.executor import (
     _sort_key,
     plan_aggregate_arguments,
 )
-from repro.db.expressions import BatchKernel, ColumnRef, Expression
+from repro.db.expressions import (
+    ARITHMETIC_OPS,
+    BINARY_OP_SOURCE,
+    BatchKernel,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    ParameterSlot,
+    scalar_function,
+)
 from repro.db.table import Row
 
 
@@ -103,9 +120,14 @@ class ColumnBatch:
         self.length = length
         self.key_order = key_order
         self.rows = rows
-        #: (id(array), id(selection)) -> gathered value list, memoized so
-        #: several expressions over one column gather it once per batch.
-        self._gathered: dict[tuple[int, int], list] = {}
+        #: (id(array), id(selection)) -> (array, selection, gathered value
+        #: list), memoized so several expressions over one column gather it
+        #: once per batch.  The entry *holds* the array and selection: a live
+        #: entry therefore pins both objects, so their ids cannot be recycled
+        #: behind the memo's back, and the identity check below turns any
+        #: remaining id collision into a plain cache miss instead of serving
+        #: a stale column.
+        self._gathered: dict[tuple[int, int], tuple[list, list, list]] = {}
 
     def values_for(self, name: str) -> list:
         """The value array of column ``name``, gathered through its selection."""
@@ -113,10 +135,11 @@ class ColumnBatch:
         if selection is None:
             return array
         key = (id(array), id(selection))
-        gathered = self._gathered.get(key)
-        if gathered is None:
-            gathered = [array[i] for i in selection]
-            self._gathered[key] = gathered
+        entry = self._gathered.get(key)
+        if entry is not None and entry[0] is array and entry[1] is selection:
+            return entry[2]
+        gathered = [array[i] for i in selection]
+        self._gathered[key] = (array, selection, gathered)
         return gathered
 
     def resolve(self, column: ColumnRef) -> Optional[str]:
@@ -381,6 +404,864 @@ def _hash_join_positions(
     return probe_out, build_out
 
 
+# -- fused-pipeline code generation ---------------------------------------
+#
+# The batch kernels above still make one full pass over Python lists of
+# boxed values per filter/projection expression.  For the dominant pipeline
+# spine — an optional Project or Aggregate over any number of Selects over a
+# single Scan — the executor goes one step further and compiles the *whole
+# pipeline* into one ``exec``-compiled fused loop, specialized to each
+# referenced column's physical representation (see
+# :class:`repro.db.table.ColumnData`):
+#
+# * dictionary-encoded string filters translate the comparison literal (or
+#   parameter value) through the dictionary once per execution and compare
+#   small-int codes inside the loop;
+# * non-nullable typed columns drop their ``is None`` guards entirely;
+# * ``ParameterSlot``s read the statement's slot buffer in the loop
+#   prologue, so prepared templates replay with zero re-lowering.
+#
+# Compiled pipelines are cached per (plan, column-layout signature): a table
+# rebuild that changes an encoding (or grows a null bitmap) recompiles, a
+# rebuild that keeps the layout reuses the cached function against the fresh
+# column store.  Lowering failures surface as :class:`_CodegenUnsupported`
+# and fall back to the batch-kernel path (counted as
+# ``codegen_unsupported``); a *runtime* error in a generated pipeline also
+# re-runs via the kernel path, so error semantics never diverge from the
+# row tiers.
+
+
+class _CodegenUnsupported(Exception):
+    """An eligible pipeline spine contains an unlowerable expression."""
+
+
+#: Shape-cache entry for eligible spines whose expressions cannot be
+#: lowered; distinct from ``None`` ("not a pipeline spine at all" — joins,
+#: sorts and limits stay on the kernel path without counting anything).
+_CODEGEN_UNSUPPORTED = object()
+
+#: Shape-cache miss marker (``None`` and the sentinel above are both
+#: meaningful cached values).
+_SHAPE_MISSING = object()
+
+
+class _PipelineShape:
+    """The analyzed spine of a codegen-eligible plan."""
+
+    __slots__ = ("table", "alias", "conjuncts", "outputs", "aggregate")
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        conjuncts: tuple[Expression, ...],
+        outputs: Optional[tuple[algebra.OutputColumn, ...]],
+        aggregate: Optional[algebra.Aggregate],
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.conjuncts = conjuncts
+        self.outputs = outputs
+        self.aggregate = aggregate
+
+
+def _analyze_pipeline(plan: algebra.PlanNode) -> Optional[_PipelineShape]:
+    """Peel ``plan`` into a [Project | Aggregate] → Select* → Scan spine.
+
+    Returns ``None`` for every other shape.  Sorts in particular must stay
+    ineligible: prepared statements rely on sorted plans populating the
+    batch-kernel cache (``_ops``).
+    """
+    outputs: Optional[tuple[algebra.OutputColumn, ...]] = None
+    aggregate: Optional[algebra.Aggregate] = None
+    node = plan
+    if isinstance(node, algebra.Aggregate):
+        aggregate = node
+        node = node.child
+    elif isinstance(node, algebra.Project):
+        outputs = node.outputs
+        node = node.child
+        if isinstance(node, algebra.Aggregate):
+            # The parser wraps every aggregate query in a Project that
+            # renames / reorders the aggregate's outputs; the projection is
+            # applied at emit time against the aggregate's output columns.
+            aggregate = node
+            node = node.child
+    predicates: list[Expression] = []
+    while isinstance(node, algebra.Select):
+        predicates.append(node.predicate)
+        node = node.child
+    if not isinstance(node, algebra.Scan):
+        return None
+    predicates.reverse()  # the innermost Select applies first
+    conjuncts: list[Expression] = []
+    for predicate in predicates:
+        conjuncts.extend(_flatten_and(predicate))
+    return _PipelineShape(
+        node.table, node.effective_alias, tuple(conjuncts), outputs, aggregate
+    )
+
+
+class _Lowered(NamedTuple):
+    """One lowered expression: a source fragment plus its static facts.
+
+    ``trivial`` marks plain variable/constant atoms — the only fragments
+    that can be freely repeated *or skipped* by a parent's null guard,
+    because their evaluation cannot raise.  Anything composite (including a
+    bare comparison, which can raise ``TypeError`` on mixed operands) must
+    be evaluated exactly as often as the row tiers would evaluate it.
+    """
+
+    src: str
+    nullable: bool
+    is_bool: bool
+    trivial: bool
+
+
+_AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+class _PipelineCompiler:
+    """Lowers one pipeline's expressions into Python source fragments.
+
+    One instance compiles one (pipeline shape, column-layout signature)
+    pair: null-guard elision and dictionary code comparison are decided by
+    each referenced column's physical encoding, which is why compiled
+    pipelines are cached per layout signature.  With ``store=None`` the
+    compiler runs in *trial mode* — every column is assumed boxed and
+    nullable — which exercises the identical supportability decisions
+    without a live column store (used to cache unsupportable shapes once).
+
+    The generated function has the signature ``_pipeline(_cols, _n)`` where
+    ``_cols`` is the table's current column store and ``_n`` its row count:
+    nothing store-specific is baked into the compiled code — dictionary
+    lookups, column arrays and null layouts are all read from ``_cols`` in
+    the loop prologue — so a cached pipeline stays valid across table
+    rebuilds that preserve the layout signature.
+    """
+
+    def __init__(self, schema, store) -> None:
+        self._schema = schema
+        self._store = store
+        self.globals: dict[str, Any] = {"_zip": zip, "_range": range}
+        self.prologue: list[str] = []
+        self.zip_names: list[str] = []
+        self.zip_sources: list[str] = []
+        self._column_vars: dict[str, str] = {}
+        self._boxed_vars: dict[str, str] = {}
+        self._code_vars: dict[str, str] = {}
+        self._dict_vars: dict[str, str] = {}
+        self._buffer_vars: dict[int, str] = {}
+        self._slot_vars: dict[int, str] = {}
+        self._counter = 0
+        #: when set, column references resolve against these emit-scope
+        #: sources (an aggregate's output namespace) instead of the scanned
+        #: table's columns — used to lower a projection over an aggregate.
+        self.emit_columns: Optional[dict[str, str]] = None
+        #: whether the generated function reads the table's prebuilt
+        #: full-width row templates (the ``_wide`` parameter); set by the
+        #: full-width select generator, which emits survivors as
+        #: ``dict.copy`` of those templates.
+        self.uses_wide = False
+
+    def gensym(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- column / parameter access ----------------------------------------
+
+    def resolve(self, column: ColumnRef) -> str:
+        """Resolve a reference to a schema column name, or refuse.
+
+        Single-table pipelines resolve exactly like the row tiers: the
+        qualified lookup and the unique-suffix fallback both land on the
+        bare schema column when it exists, so the bare name is the whole
+        story here.
+        """
+        if not self._schema.has_column(column.name):
+            raise _CodegenUnsupported(column.qualified_name)
+        return column.name
+
+    def _resolve_emit(self, column: ColumnRef) -> str:
+        """Resolve a reference against the emit-scope namespace.
+
+        Mirrors :meth:`ColumnRef.evaluate` over the aggregate's output row:
+        qualified key first, then the bare name, then a unique ``.name``
+        suffix; anything missing or ambiguous refuses (the row tiers raise
+        their own error for it).
+        """
+        available = self.emit_columns
+        if column.qualifier:
+            qualified = f"{column.qualifier}.{column.name}"
+            if qualified in available:
+                return available[qualified]
+        if column.name in available:
+            return available[column.name]
+        suffix = f".{column.name}"
+        matches = [key for key in available if key.endswith(suffix)]
+        if len(matches) == 1:
+            return available[matches[0]]
+        raise _CodegenUnsupported(column.qualified_name)
+
+    def encoding(self, name: str) -> str:
+        if self._store is None:  # trial mode: pessimistic
+            return "boxed"
+        return self._store[name].encoding
+
+    def nullable(self, name: str) -> bool:
+        if self._store is None:  # trial mode: pessimistic
+            return True
+        data = self._store[name]
+        return data.encoding == "boxed" or data.nulls is not None
+
+    def column_var(self, name: str) -> str:
+        """Prologue variable holding the column's :class:`ColumnData`."""
+        var = self._column_vars.get(name)
+        if var is None:
+            var = self.gensym("_c")
+            self._column_vars[name] = var
+            self.prologue.append(f"{var} = _cols[{name!r}]")
+        return var
+
+    def boxed_var(self, name: str) -> str:
+        """Loop variable over the column's boxed values."""
+        var = self._boxed_vars.get(name)
+        if var is None:
+            var = self.gensym("_v")
+            self._boxed_vars[name] = var
+            self.zip_names.append(var)
+            self.zip_sources.append(self.column_var(name))
+        return var
+
+    def codes_var(self, name: str) -> str:
+        """Loop variable over a dictionary column's code array."""
+        var = self._code_vars.get(name)
+        if var is None:
+            var = self.gensym("_x")
+            self._code_vars[name] = var
+            self.zip_names.append(var)
+            self.zip_sources.append(f"{self.column_var(name)}.codes")
+        return var
+
+    def dictionary_var(self, name: str) -> str:
+        """Prologue variable holding a dictionary column's value list."""
+        var = self._dict_vars.get(name)
+        if var is None:
+            var = self.gensym("_d")
+            self._dict_vars[name] = var
+            self.prologue.append(f"{var} = {self.column_var(name)}.dictionary")
+        return var
+
+    def slot_var(self, slot: ParameterSlot) -> str:
+        """Prologue variable reading a parameter slot's current value."""
+        var = self._slot_vars.get(id(slot))
+        if var is None:
+            buffer_var = self._buffer_vars.get(id(slot.slots))
+            if buffer_var is None:
+                buffer_var = self.bind(slot.slots)
+                self._buffer_vars[id(slot.slots)] = buffer_var
+            var = self.gensym("_p")
+            self._slot_vars[id(slot)] = var
+            self.prologue.append(f"{var} = {buffer_var}[{slot.index}]")
+        return var
+
+    def bind(self, value: Any) -> str:
+        """Bind ``value`` into the generated function's globals."""
+        var = self.gensym("_b")
+        self.globals[var] = value
+        return var
+
+    def const(self, value: Any) -> str:
+        """A source literal for ``value`` (bound when repr is not exact)."""
+        if value is None or value is True or value is False:
+            return repr(value)
+        if isinstance(value, str):
+            return repr(value)
+        if isinstance(value, int):
+            return repr(value) if value >= 0 else f"({value!r})"
+        if isinstance(value, float):
+            if math.isfinite(value):
+                return repr(value) if value >= 0.0 else f"({value!r})"
+            return self.bind(value)
+        return self.bind(value)
+
+    def loop_clause(self) -> str:
+        """The ``for ...`` clause iterating every referenced column."""
+        names, sources = self.zip_names, self.zip_sources
+        if not names:
+            return "for _i in _range(_n)"
+        if len(names) == 1:
+            return f"for {names[0]} in {sources[0]}"
+        return f"for {', '.join(names)} in _zip({', '.join(sources)})"
+
+    # -- expression lowering -----------------------------------------------
+
+    def lower(self, expression: Expression) -> _Lowered:
+        if isinstance(expression, Literal):
+            value = expression.value
+            return _Lowered(
+                self.const(value), value is None, isinstance(value, bool), True
+            )
+        if isinstance(expression, ColumnRef):
+            if self.emit_columns is not None:
+                return _Lowered(self._resolve_emit(expression), True, False, False)
+            name = self.resolve(expression)
+            return _Lowered(self.boxed_var(name), self.nullable(name), False, True)
+        if isinstance(expression, ParameterSlot):
+            return _Lowered(self.slot_var(expression), True, False, True)
+        if isinstance(expression, BinaryOp):
+            return self._lower_binary(expression)
+        if isinstance(expression, BooleanOp):
+            operands = [self.lower(o) for o in expression.operands]
+            joiner = " and " if expression.op == "and" else " or "
+            src = joiner.join(
+                o.src if o.is_bool else f"bool({o.src})" for o in operands
+            )
+            # The row tiers short-circuit AND/OR exactly like this.
+            return _Lowered(f"({src})", False, True, False)
+        if isinstance(expression, Not):
+            operand = self.lower(expression.operand)
+            return _Lowered(f"(not {operand.src})", False, True, False)
+        if isinstance(expression, IsNull):
+            operand = self.lower(expression.operand)
+            test = "is not" if expression.negated else "is"
+            return _Lowered(f"({operand.src} {test} None)", False, True, False)
+        if isinstance(expression, InList):
+            operand = self.lower(expression.operand)
+            try:
+                values: Any = frozenset(expression.values)
+            except TypeError:
+                values = expression.values
+            bound = self.bind(values)
+            # An unhashable *operand value* raises against the frozenset
+            # where the row tiers scan the tuple; that runtime error re-runs
+            # via the kernel path, which reproduces the row-tier result.
+            return _Lowered(f"({operand.src} in {bound})", False, True, False)
+        if isinstance(expression, FunctionCall):
+            function = scalar_function(expression.name)
+            if function is None:
+                raise _CodegenUnsupported(expression.name)
+            arguments = [self.lower(a) for a in expression.args]
+            bound = self.bind(function)
+            src = f"{bound}({', '.join(a.src for a in arguments)})"
+            return _Lowered(src, True, False, False)
+        raise _CodegenUnsupported(type(expression).__name__)
+
+    def _lower_binary(self, expression: BinaryOp) -> _Lowered:
+        arithmetic = expression.op in ARITHMETIC_OPS
+        if not arithmetic:
+            fast = self._dict_compare(expression)
+            if fast is not None:
+                return fast
+        operator_src = BINARY_OP_SOURCE[expression.op]
+        left = self.lower(expression.left)
+        right = self.lower(expression.right)
+        if not left.nullable and not right.nullable:
+            src = f"({left.src} {operator_src} {right.src})"
+            return _Lowered(src, False, not arithmetic, False)
+        if left.trivial and right.trivial:
+            # Atoms are free to repeat, so no temporaries are needed.
+            nullable_atoms = [o for o in (left, right) if o.nullable]
+            if arithmetic:
+                guard = " or ".join(f"{o.src} is None" for o in nullable_atoms)
+                src = (
+                    f"(None if {guard} else "
+                    f"({left.src} {operator_src} {right.src}))"
+                )
+                return _Lowered(src, True, False, False)
+            guard = " and ".join(f"{o.src} is not None" for o in nullable_atoms)
+            src = f"({guard} and {left.src} {operator_src} {right.src})"
+            return _Lowered(src, False, True, False)
+        # A composite operand can raise, and the row tiers always evaluate
+        # both operands before the null check — so evaluate both into
+        # temporaries unconditionally (a tuple display fixes the order),
+        # then guard.
+        left_temp = self.gensym("_t")
+        right_temp = self.gensym("_t")
+        null_checks = []
+        live_checks = []
+        if left.nullable:
+            null_checks.append(f"{left_temp} is None")
+            live_checks.append(f"{left_temp} is not None")
+        if right.nullable:
+            null_checks.append(f"{right_temp} is None")
+            live_checks.append(f"{right_temp} is not None")
+        prefix = f"(({left_temp} := {left.src}), ({right_temp} := {right.src}), "
+        if arithmetic:
+            src = (
+                prefix
+                + f"(None if {' or '.join(null_checks)} else "
+                + f"({left_temp} {operator_src} {right_temp})))[2]"
+            )
+            return _Lowered(src, True, False, False)
+        src = (
+            prefix
+            + f"({' and '.join(live_checks)} and "
+            + f"{left_temp} {operator_src} {right_temp}))[2]"
+        )
+        return _Lowered(src, False, True, False)
+
+    def _dict_compare(self, expression: BinaryOp) -> Optional[_Lowered]:
+        """``dict_col = scalar`` / ``!=`` as a small-int code comparison.
+
+        The scalar is translated through the column's dictionary once per
+        execution (in the loop prologue); inside the loop only the per-row
+        code is compared.  Sentinels: row code ``-1`` is NULL, translated
+        key ``-2`` means "scalar is NULL", ``-3`` "scalar not in the
+        dictionary" — both compare unequal to every row code, and the NULL
+        cases collapse to ``False`` exactly like the row tiers' comparison
+        semantics.
+        """
+        if self.emit_columns is not None:
+            return None  # emit scope has no dictionary columns
+        equality = expression.op in ("=", "==")
+        if not equality and expression.op not in ("!=", "<>"):
+            return None
+        column, scalar = expression.left, expression.right
+        if isinstance(scalar, ColumnRef) and not isinstance(column, ColumnRef):
+            column, scalar = scalar, column
+        if not isinstance(column, ColumnRef) or not isinstance(
+            scalar, (Literal, ParameterSlot)
+        ):
+            return None
+        name = self.resolve(column)
+        if self.encoding(name) != "dict":
+            return None
+        codes = self.codes_var(name)
+        holder = self.column_var(name)
+        key = self.gensym("_k")
+        if isinstance(scalar, Literal):
+            value = scalar.value
+            if value is None:
+                # NULL never compares equal (or unequal) to anything.
+                return _Lowered("False", False, True, True)
+            try:
+                hash(value)
+            except TypeError:
+                return None  # generic lowering compares boxed values
+            self.prologue.append(
+                f"{key} = {holder}.code_of.get({self.const(value)}, -2)"
+            )
+            if equality:
+                return _Lowered(f"({codes} == {key})", False, True, True)
+            return _Lowered(
+                f"({codes} >= 0 and {codes} != {key})", False, True, True
+            )
+        slot = self.slot_var(scalar)
+        self.prologue.append(
+            f"{key} = -2 if {slot} is None else {holder}.code_of.get({slot}, -3)"
+        )
+        if equality:
+            return _Lowered(f"({codes} == {key})", False, True, True)
+        return _Lowered(
+            f"({codes} >= 0 and {key} != -2 and {codes} != {key})",
+            False,
+            True,
+            True,
+        )
+
+
+def _assemble_pipeline(
+    compiler: _PipelineCompiler, body: list[str]
+) -> tuple[str, dict, bool]:
+    lines = ["def _pipeline(_cols, _n, _wide):"]
+    lines.extend(f"    {line}" for line in compiler.prologue)
+    lines.extend(f"    {line}" for line in body)
+    return "\n".join(lines), compiler.globals, compiler.uses_wide
+
+
+def _generate_select(
+    shape: _PipelineShape, schema, store
+) -> tuple[str, dict, bool]:
+    """Source for a Scan → Select* → [Project] pipeline."""
+    compiler = _PipelineCompiler(schema, store)
+    conditions = [compiler.lower(conjunct) for conjunct in shape.conjuncts]
+    condition = " and ".join(lowered.src for lowered in conditions)
+    suffix = f" if {condition}" if condition else ""
+    if shape.outputs is None:
+        # Full-width output: each survivor is a C-level ``dict.copy`` of
+        # the table's prebuilt template for this alias (bare keys then
+        # alias-qualified keys — the kernel scan's key order, and
+        # therefore the row tiers').  Only filter columns are zipped.
+        compiler.uses_wide = True
+        names, sources = compiler.zip_names, compiler.zip_sources
+        if names:
+            loop = (
+                f"for _r, {', '.join(names)} in "
+                f"_zip(_wide, {', '.join(sources)})"
+            )
+        else:
+            loop = "for _r in _wide"
+        body = [f"return [_r.copy() {loop}{suffix}]"]
+        return _assemble_pipeline(compiler, body)
+    items: list[str] = []
+    for output in shape.outputs:
+        lowered = compiler.lower(output.expression)
+        items.append(f"{output.name!r}: {lowered.src}")
+    body = [
+        f"return [{{{', '.join(items)}}} {compiler.loop_clause()}{suffix}]"
+    ]
+    return _assemble_pipeline(compiler, body)
+
+
+def _emit_items(
+    compiler: _PipelineCompiler,
+    shape: _PipelineShape,
+    available: dict[str, str],
+) -> list[str]:
+    """Dict-display items for an aggregate's emit row.
+
+    ``available`` is the aggregate's output namespace (key -> value source)
+    in row-dict insertion order.  Without an outer projection it *is* the
+    output row; with one, each projection output is lowered in emit scope so
+    references resolve against the aggregate's outputs like the row tiers'
+    projection over aggregate rows.
+    """
+    if shape.outputs is None:
+        return [f"{key!r}: {value}" for key, value in available.items()]
+    compiler.emit_columns = available
+    try:
+        items = []
+        for output in shape.outputs:
+            lowered = compiler.lower(output.expression)
+            items.append(f"{output.name!r}: {lowered.src}")
+        return items
+    finally:
+        compiler.emit_columns = None
+
+
+def _generate_aggregate(
+    shape: _PipelineShape, schema, store
+) -> tuple[str, dict]:
+    """Source for a Scan → Select* → Aggregate pipeline (one fused pass)."""
+    plan = shape.aggregate
+    compiler = _PipelineCompiler(schema, store)
+    conditions = [compiler.lower(conjunct) for conjunct in shape.conjuncts]
+    for spec in plan.aggregates:
+        if spec.function not in _AGGREGATE_FUNCTIONS:
+            raise _CodegenUnsupported(spec.function)
+    argument_exprs: list[Expression] = []
+
+    def compile_argument(expression: Expression) -> Optional[_Lowered]:
+        try:
+            lowered = compiler.lower(expression)
+        except _CodegenUnsupported:
+            return None
+        argument_exprs.append(expression)
+        return lowered
+
+    planned = plan_aggregate_arguments(plan.aggregates, compile_argument)
+    if planned is None:
+        raise _CodegenUnsupported("aggregate argument")
+    arguments, spec_slots = planned
+    # Distinct (function, slot) partials, exactly like the kernel path, so
+    # the emit loop stays slot-compatible with the sharding layer's merge.
+    partial_keys: list[tuple[str, int]] = []
+    partial_index: dict[tuple[str, int], int] = {}
+
+    def partial_slot(function: str, slot: int) -> int:
+        key = (function, slot)
+        index = partial_index.get(key)
+        if index is None:
+            index = len(partial_keys)
+            partial_index[key] = index
+            partial_keys.append(key)
+        return index
+
+    emitters: list[tuple[str, str, tuple[int, ...]]] = []
+    needs_sizes = False
+    for spec, slot in spec_slots:
+        if slot is None:
+            needs_sizes = True
+            emitters.append((spec.name, "size", ()))
+        elif spec.function == "avg":
+            pair = (partial_slot("sum", slot), partial_slot("count", slot))
+            emitters.append((spec.name, "avg", pair))
+        else:
+            emitters.append((spec.name, "partial", (partial_slot(spec.function, slot),)))
+    # Argument slots: trivial arguments are referenced in place, composite
+    # arguments are evaluated once per surviving row into a temporary.
+    value_srcs: list[str] = []
+    value_assigns: list[str] = []
+    for slot, lowered in enumerate(arguments):
+        if lowered.trivial:
+            value_srcs.append(lowered.src)
+        else:
+            temp = f"_a{slot}"
+            value_srcs.append(temp)
+            value_assigns.append(f"{temp} = {lowered.src}")
+
+    def fast_numeric(slot: int) -> bool:
+        """True when the slot is a non-nullable typed numeric column —
+        ``sum`` then skips None seeding and uses ``+=`` directly."""
+        expression = argument_exprs[slot]
+        if arguments[slot].nullable or not isinstance(expression, ColumnRef):
+            return False
+        return compiler.encoding(compiler.resolve(expression)) in (
+            "int64",
+            "float64",
+        )
+
+    grouped = bool(plan.group_by)
+    condition = " and ".join(lowered.src for lowered in conditions)
+    body: list[str] = []
+    if grouped:
+        group_srcs: list[str] = []
+        group_emits: list[tuple[str, str, Optional[str]]] = []
+        for column in plan.group_by:
+            name = compiler.resolve(column)
+            if compiler.encoding(name) == "dict":
+                # Group on the injective small-int codes; decode at emit.
+                group_srcs.append(compiler.codes_var(name))
+                group_emits.append(
+                    (column.name, column.qualified_name, compiler.dictionary_var(name))
+                )
+            else:
+                group_srcs.append(compiler.boxed_var(name))
+                group_emits.append((column.name, column.qualified_name, None))
+        if len(group_srcs) == 1:
+            key_src = group_srcs[0]
+        else:
+            key_src = f"({', '.join(group_srcs)})"
+        # Per-group accumulation strategy.  The common single-argument
+        # shape (any mix of sum/count/min/max/avg over one expression)
+        # appends each surviving value to a per-group values list — a
+        # ``defaultdict(list)`` subscript creates missing groups at C
+        # level, so the hot loop is one probe plus one append with no
+        # Python-level branch — and reduces with the C builtins at emit
+        # time, which accumulate left-to-right exactly like the kernels'
+        # sequential folds.  Everything else keeps one mutable state list
+        # per group, indexed by partial slot.
+        single = len(arguments) == 1
+        if single and needs_sizes and arguments[0].nullable:
+            single = False  # len(values) would miss NULL-argument rows
+        loop: list[str] = []
+        if condition:
+            loop.append(f"if not ({condition}):")
+            loop.append("    continue")
+        loop.extend(value_assigns)
+        reductions: list[str] = []
+        available: dict[str, str] = {}
+        compiler.globals["_defaultdict"] = defaultdict
+        if single:
+            compiler.globals.update(
+                {
+                    "_sum": sum,
+                    "_len": len,
+                    "_min": min,
+                    "_max": max,
+                    "_list": list,
+                    "_lap": list.append,
+                }
+            )
+            value = value_srcs[0]
+            guard = arguments[0].nullable
+            if guard:
+                loop.append(f"_l = _ids[{key_src}]")
+                loop.append(f"if {value} is not None:")
+                loop.append(f"    _lap(_l, {value})")
+            else:
+                loop.append(f"_lap(_ids[{key_src}], {value})")
+            state_var = "_l"
+            for index, (function, _) in enumerate(partial_keys):
+                if function == "count":
+                    reductions.append(f"_r{index} = _len(_l)")
+                elif guard:
+                    reductions.append(
+                        f"_r{index} = _{function}(_l) if _l else None"
+                    )
+                else:
+                    reductions.append(f"_r{index} = _{function}(_l)")
+            # needs_sizes forces a non-nullable argument here, so a count
+            # partial's reduction doubles as the surviving-row count.
+            size_src = next(
+                (
+                    f"_r{index}"
+                    for index, (function, _) in enumerate(partial_keys)
+                    if function == "count"
+                ),
+                "_len(_l)",
+            )
+            partial_src = ["_r{}".format(i) for i in range(len(partial_keys))]
+            factory = "_list"
+        else:
+            inits: list[str] = []
+            updates: dict[int, list[str]] = {}  # slot -> update lines
+            for index, (function, slot) in enumerate(partial_keys):
+                value = value_srcs[slot]
+                cell = f"_st[{index}]"
+                if function == "count":
+                    inits.append("0")
+                    updates.setdefault(slot, []).append(f"{cell} += 1")
+                elif function == "sum" and fast_numeric(slot):
+                    inits.append("0")
+                    updates.setdefault(slot, []).append(f"{cell} += {value}")
+                elif function == "sum":
+                    temp = compiler.gensym("_m")
+                    inits.append("None")
+                    updates.setdefault(slot, []).extend(
+                        [
+                            f"{temp} = {cell}",
+                            f"{cell} = (0 + {value}) if {temp} is None"
+                            f" else {temp} + {value}",
+                        ]
+                    )
+                else:  # min / max
+                    comparator = "<" if function == "min" else ">"
+                    temp = compiler.gensym("_m")
+                    inits.append("None")
+                    updates.setdefault(slot, []).extend(
+                        [
+                            f"{temp} = {cell}",
+                            f"if {temp} is None or {value} {comparator} {temp}:",
+                            f"    {cell} = {value}",
+                        ]
+                    )
+            # Surviving-row counts (count(*)) share an unguarded count
+            # partial's cell when one exists; otherwise they get their own.
+            size_cell: Optional[int] = None
+            if needs_sizes:
+                for index, (function, slot) in enumerate(partial_keys):
+                    if function == "count" and not arguments[slot].nullable:
+                        size_cell = index
+                        break
+                if size_cell is None:
+                    size_cell = len(partial_keys)
+                    inits.append("0")
+            loop.append(f"_st = _ids[{key_src}]")
+            if size_cell is not None and size_cell >= len(partial_keys):
+                loop.append(f"_st[{size_cell}] += 1")
+            for slot, lines in updates.items():
+                if arguments[slot].nullable:
+                    loop.append(f"if {value_srcs[slot]} is not None:")
+                    loop.extend(f"    {line}" for line in lines)
+                else:
+                    loop.extend(lines)
+            state_var = "_st"
+            size_src = f"_st[{size_cell}]" if size_cell is not None else "0"
+            partial_src = [f"_st[{i}]" for i in range(len(partial_keys))]
+            factory = f"lambda: [{', '.join(inits)}]"
+        body.append(f"_ids = _defaultdict({factory})")
+        body.append(f"{compiler.loop_clause()}:")
+        body.extend(f"    {line}" for line in loop)
+        # Emit: one output row per group, in first-encounter order.
+        key_names = [f"_k{i}" for i in range(len(group_srcs))]
+        if len(key_names) == 1:
+            unpack = key_names[0]
+        else:
+            unpack = f"({', '.join(key_names)})"
+        # The aggregate's output namespace, as the row tiers build it:
+        # group columns (bare and qualified keys) first, then spec outputs;
+        # later assignments overwrite, exactly like row-dict insertion.
+        for key_name, (bare, qualified, dictionary) in zip(key_names, group_emits):
+            value = (
+                key_name
+                if dictionary is None
+                else f"({dictionary}[{key_name}] if {key_name} >= 0 else None)"
+            )
+            available[bare] = value
+            available[qualified] = value
+        for name, kind, indices in emitters:
+            if kind == "size":
+                available[name] = size_src
+            elif kind == "avg":
+                count_slot = partial_keys[indices[1]][1]
+                if arguments[count_slot].nullable:
+                    available[name] = (
+                        f"(({partial_src[indices[0]]}"
+                        f" / {partial_src[indices[1]]})"
+                        f" if {partial_src[indices[1]]} else None)"
+                    )
+                else:
+                    # A group only exists once a surviving row landed in
+                    # it, so a non-nullable argument's count is >= 1.
+                    available[name] = (
+                        f"({partial_src[indices[0]]}"
+                        f" / {partial_src[indices[1]]})"
+                    )
+            else:
+                available[name] = partial_src[indices[0]]
+        emit_items = _emit_items(compiler, shape, available)
+        body.append("_out = []")
+        body.append("_emit = _out.append")
+        body.append(f"for {unpack}, {state_var} in _ids.items():")
+        body.extend(f"    {line}" for line in reductions)
+        body.append(f"    _emit({{{', '.join(emit_items)}}})")
+        body.append("return _out")
+        return _assemble_pipeline(compiler, body)
+    # Scalar aggregation: plain accumulator locals, always one output row.
+    if not condition and not partial_keys:
+        # count(*)-only over an unfiltered scan: the answer is the row count.
+        available = {name: "_n" for name, _, _ in emitters}
+        emit_items = _emit_items(compiler, shape, available)
+        body.append(f"return [{{{', '.join(emit_items)}}}]")
+        return _assemble_pipeline(compiler, body)
+    inits = []
+    updates = {}
+    for index, (function, slot) in enumerate(partial_keys):
+        value = value_srcs[slot]
+        state = f"_s{index}"
+        if function == "count":
+            inits.append(f"{state} = 0")
+            updates.setdefault(slot, []).append(f"{state} += 1")
+        elif function == "sum":
+            inits.append(f"{state} = None")
+            updates.setdefault(slot, []).append(
+                f"{state} = (0 + {value}) if {state} is None else {state} + {value}"
+            )
+        else:
+            comparator = "<" if function == "min" else ">"
+            inits.append(f"{state} = None")
+            updates.setdefault(slot, []).extend(
+                [
+                    f"if {state} is None or {value} {comparator} {state}:",
+                    f"    {state} = {value}",
+                ]
+            )
+    if needs_sizes:
+        body.append("_sz = 0")
+    body.extend(inits)
+    body.append(f"{compiler.loop_clause()}:")
+    loop = []
+    if condition:
+        loop.append(f"if not ({condition}):")
+        loop.append("    continue")
+    if needs_sizes:
+        loop.append("_sz += 1")
+    loop.extend(value_assigns)
+    for slot, lines in updates.items():
+        if arguments[slot].nullable:
+            loop.append(f"if {value_srcs[slot]} is not None:")
+            loop.extend(f"    {line}" for line in lines)
+        else:
+            loop.extend(lines)
+    if not loop:
+        loop.append("pass")
+    body.extend(f"    {line}" for line in loop)
+    available = {}
+    for name, kind, indices in emitters:
+        if kind == "size":
+            available[name] = "_sz"
+        elif kind == "avg":
+            available[name] = (
+                f"((_s{indices[0]} / _s{indices[1]})"
+                f" if _s{indices[1]} else None)"
+            )
+        else:
+            available[name] = f"_s{indices[0]}"
+    emit_items = _emit_items(compiler, shape, available)
+    body.append(f"return [{{{', '.join(emit_items)}}}]")
+    return _assemble_pipeline(compiler, body)
+
+
+def _generate_pipeline(
+    shape: _PipelineShape, schema, store
+) -> tuple[str, dict, bool]:
+    if shape.aggregate is not None:
+        return _generate_aggregate(shape, schema, store)
+    return _generate_select(shape, schema, store)
+
+
 class VectorizedExecutor:
     """Lowers algebra plans to batch pipelines and runs them.
 
@@ -393,8 +1274,12 @@ class VectorizedExecutor:
 
     #: Lowered-plan cache entries kept before LRU eviction.
     OP_CACHE_LIMIT = 256
+    #: Compiled fused-pipeline cache entries kept before LRU eviction.
+    PIPELINE_CACHE_LIMIT = 256
 
-    def __init__(self, executor) -> None:
+    def __init__(self, executor, backend: Optional[str] = None) -> None:
+        from repro.db.vector_backend import make_filter_backend, resolve_backend
+
         self._executor = executor
         self._tables = executor._tables
         #: plan -> lowered BatchOp (or the unvectorizable sentinel), LRU.
@@ -402,8 +1287,33 @@ class VectorizedExecutor:
         #: materializer-layout signature -> code-generated row constructor,
         #: LRU-evicted like the executor's compile caches.
         self._makers: OrderedDict[tuple, Callable] = OrderedDict()
+        #: plan -> analyzed pipeline shape, ``None`` (not a pipeline spine)
+        #: or the unsupported sentinel; LRU alongside the op cache.
+        self._shapes: OrderedDict[algebra.PlanNode, Any] = OrderedDict()
+        #: (plan, column-layout signature) -> compiled fused pipeline, LRU.
+        self._pipelines: OrderedDict[tuple, Callable] = OrderedDict()
+        #: whether fused-pipeline codegen is attempted at all (the
+        #: ``REPRO_VECTOR_CODEGEN=0`` escape hatch forces the kernel path).
+        self.codegen_enabled = os.environ.get(
+            "REPRO_VECTOR_CODEGEN", "1"
+        ).lower() not in ("0", "false", "off")
+        #: requested / active kernel filter backend ("python" or "numpy";
+        #: "numpy" silently degrades to "python" when numpy is absent).
+        self.backend_requested, self.backend = resolve_backend(backend)
+        self._filter_backend = make_filter_backend(
+            self.backend, self._count_reason
+        )
         #: queries served entirely by this tier.
         self.executions = 0
+        #: of which: served by a compiled fused pipeline.
+        self.codegen_executions = 0
+        #: fused pipelines compiled (cache misses on a supported shape).
+        self.pipelines_compiled = 0
+        #: fused-pipeline cache hits.
+        self.codegen_cache_hits = 0
+        #: codegen attempts aborted by an unexpected error (the query then
+        #: re-runs via the kernel path, so this is not a fallback).
+        self.codegen_errors = 0
         #: queries that bailed to the compiled tier (no lowering, or a
         #: kernel raised at run time).
         self.fallbacks = 0
@@ -414,7 +1324,10 @@ class VectorizedExecutor:
         #: ``unknown_function`` (an expression with no batch kernel —
         #: unknown scalar functions and foreign expression types),
         #: ``unsupported_operator`` (a plan node outside the vectorized
-        #: subset), ``kernel_error`` (a kernel raised at run time).
+        #: subset), ``kernel_error`` (a kernel raised at run time),
+        #: ``codegen_unsupported`` (an eligible pipeline spine with an
+        #: unlowerable expression ran on the kernel path instead), and
+        #: ``untyped_column`` (the numpy backend declined a boxed column).
         self.fallback_reasons: dict[str, int] = {}
         #: reason of the most recent lowering failure (set by _lower).
         self._last_reason = "unsupported_operator"
@@ -422,6 +1335,9 @@ class VectorizedExecutor:
         #: after a vectorized success.  Read by the executor's per-call
         #: tier markers (tracing / EXPLAIN).
         self.last_fallback_reason: Optional[str] = None
+        #: how the most recent vectorized success ran: ``"codegen"`` or
+        #: ``"kernel"``; ``None`` after a fallback.
+        self.last_path: Optional[str] = None
 
     # -- public API ------------------------------------------------------
 
@@ -434,10 +1350,18 @@ class VectorizedExecutor:
         compiled tier, which reproduces genuine user-visible errors with
         row-tier semantics.
         """
+        rows = self.try_codegen_rows(plan)
+        if rows is not None:
+            self.executions += 1
+            self.codegen_executions += 1
+            self.last_fallback_reason = None
+            self.last_path = "codegen"
+            return rows
         op = self._op(plan)
         if op is None:
             self.fallbacks += 1
             self.last_fallback_reason = self._last_reason
+            self.last_path = None
             self._count_reason(self._last_reason)
             return None
         try:
@@ -448,15 +1372,129 @@ class VectorizedExecutor:
         except Exception:
             self.fallbacks += 1
             self.last_fallback_reason = "kernel_error"
+            self.last_path = None
             self._count_reason("kernel_error")
             return None
         self.executions += 1
         self.last_fallback_reason = None
+        self.last_path = "kernel"
         return rows
+
+    def try_codegen_rows(self, plan: algebra.PlanNode) -> Optional[list[Row]]:
+        """Run ``plan`` through a compiled fused pipeline, or ``None``.
+
+        Returns the output rows on success and ``None`` whenever the plan
+        must take the batch-kernel path instead: codegen disabled, the plan
+        is not a [Project | Aggregate] → Select* → Scan spine, the spine
+        contains an unlowerable expression (counted as
+        ``codegen_unsupported``), the scanned table is missing (the kernel
+        path raises the row-tier error), or the generated code failed at
+        compile or run time (counted in ``codegen_errors``; the kernel
+        re-run reproduces row-tier error semantics).  Does *not* touch the
+        execution counters — callers (``try_execute``, the sharding layer's
+        scatter) account for successes themselves.
+        """
+        if not self.codegen_enabled:
+            return None
+        try:
+            shape = self._pipeline_shape(plan)
+            if shape is None:
+                return None
+            if shape is _CODEGEN_UNSUPPORTED:
+                self._count_reason("codegen_unsupported")
+                return None
+            table = self._tables.get(shape.table)
+            if table is None:
+                return None
+            store = table.columns()
+            signature = tuple(
+                (data.encoding, data.nulls is not None)
+                for data in store.values()
+            )
+            pipeline, uses_wide = self._pipeline_fn(
+                plan, shape, table, store, signature
+            )
+            wide = table.wide_rows(shape.alias) if uses_wide else None
+            return pipeline(store, len(table.rows), wide)
+        except Exception:
+            self.codegen_errors += 1
+            return None
 
     def invalidate(self) -> None:
         """Drop every cached lowered pipeline (call on DDL)."""
         self._ops.clear()
+        self._shapes.clear()
+        self._pipelines.clear()
+
+    # -- fused-pipeline compilation ---------------------------------------
+
+    def _pipeline_shape(self, plan: algebra.PlanNode) -> Any:
+        """The cached shape analysis of ``plan``.
+
+        Supportability is layout-independent (the boxed fallback always
+        exists, and trial mode makes the pessimistic lowering decisions), so
+        one trial compile per plan settles eligibility for good.
+        """
+        try:
+            cached = self._shapes.get(plan, _SHAPE_MISSING)
+        except TypeError:  # unhashable literal buried in the plan
+            return self._analyze_shape(plan, cache=False)
+        if cached is not _SHAPE_MISSING:
+            self._shapes.move_to_end(plan)
+            return cached
+        return self._analyze_shape(plan, cache=True)
+
+    def _analyze_shape(self, plan: algebra.PlanNode, cache: bool) -> Any:
+        shape: Any = _analyze_pipeline(plan)
+        if shape is not None:
+            table = self._tables.get(shape.table)
+            if table is None:
+                # Can't settle supportability without a schema; don't cache
+                # (the table may exist under a future resolver context).
+                return shape
+            try:
+                source, _, _ = _generate_pipeline(shape, table.schema, None)
+                compile(source, "<pipeline-trial>", "exec")
+            except _CodegenUnsupported:
+                shape = _CODEGEN_UNSUPPORTED
+        if cache:
+            if len(self._shapes) >= self.OP_CACHE_LIMIT:
+                self._shapes.popitem(last=False)
+            self._shapes[plan] = shape
+        return shape
+
+    def _pipeline_fn(
+        self,
+        plan: algebra.PlanNode,
+        shape: _PipelineShape,
+        table,
+        store: dict,
+        signature: tuple,
+    ) -> tuple[Callable, bool]:
+        key = (plan, signature)
+        try:
+            pipeline = self._pipelines.get(key)
+        except TypeError:  # unhashable literal buried in the plan
+            return self._compile_pipeline(shape, table.schema, store)
+        if pipeline is not None:
+            self._pipelines.move_to_end(key)
+            self.codegen_cache_hits += 1
+            return pipeline
+        pipeline = self._compile_pipeline(shape, table.schema, store)
+        if len(self._pipelines) >= self.PIPELINE_CACHE_LIMIT:
+            self._pipelines.popitem(last=False)
+        self._pipelines[key] = pipeline
+        return pipeline
+
+    def _compile_pipeline(
+        self, shape: _PipelineShape, schema, store: dict
+    ) -> tuple[Callable, bool]:
+        source, bindings, uses_wide = _generate_pipeline(shape, schema, store)
+        exec(  # noqa: S102 - internal codegen, identifiers repr-escaped
+            compile(source, "<pipeline>", "exec"), bindings
+        )
+        self.pipelines_compiled += 1
+        return bindings["_pipeline"], uses_wide
 
     # -- lowering --------------------------------------------------------
 
@@ -562,12 +1600,22 @@ class VectorizedExecutor:
         return run
 
     def _lower_select(self, plan: algebra.Select) -> Optional[BatchOp]:
+        filter_backend = self._filter_backend
         kernels = []
         for conjunct in _flatten_and(plan.predicate):
             kernel = self._kernel(conjunct)
             if kernel is None:
                 return self._fallback("unknown_function")
-            kernels.append(kernel)
+            # The optional vector backend (numpy) may supply a faster
+            # position filter for this conjunct; ``None`` (unsupported
+            # shape, or at run time an untyped column) defers to the
+            # Python kernel, which is always present and authoritative.
+            position_filter = (
+                filter_backend.position_filter(conjunct)
+                if filter_backend is not None
+                else None
+            )
+            kernels.append((kernel, position_filter))
         child = self._source(plan.child)
 
         def run() -> ColumnBatch:
@@ -575,11 +1623,17 @@ class VectorizedExecutor:
             # Conjuncts shrink the selection stage by stage: each kernel
             # only sees rows that survived the previous conjunct, which is
             # the batch equivalent of the row tiers' short-circuit AND.
-            for kernel in kernels:
+            for kernel, position_filter in kernels:
                 if batch.length == 0:
                     return batch
-                values = kernel(batch)
-                keep = [i for i, v in enumerate(values) if v]
+                keep = (
+                    position_filter(batch)
+                    if position_filter is not None
+                    else None
+                )
+                if keep is None:
+                    values = kernel(batch)
+                    keep = [i for i, v in enumerate(values) if v]
                 if len(keep) != batch.length:
                     batch = batch.take(keep)
             return batch

@@ -86,19 +86,26 @@ class ExplainResult:
     routing: Optional[dict]
     tier: str
     analyzed: bool
+    #: EXPLAIN ANALYZE only: how the execution actually ran — the serving
+    #: tier, the concrete path ("codegen" / "kernel" / row tier /
+    #: "point-lookup"), and the vectorized fallback reason, if any.
+    execution: Optional[dict] = None
 
     @property
     def root(self) -> ExplainEntry:
         return self.entries[0]
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "sql": self.sql,
             "routing": self.routing,
             "tier": self.tier,
             "analyzed": self.analyzed,
             "plan": [entry.as_dict() for entry in self.entries],
         }
+        if self.execution is not None:
+            out["execution"] = self.execution
+        return out
 
     def render(self) -> str:
         verb = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
@@ -115,6 +122,15 @@ class ExplainResult:
                     f"routing: {kind} over shard(s) {list(shards)}"
                 )
         lines.append(f"tier: {self.tier}")
+        if self.execution is not None:
+            line = f"executed: {self.execution['tier']}"
+            path = self.execution.get("path")
+            if path is not None and path != self.execution["tier"]:
+                line += f" via {path}"
+            reason = self.execution.get("fallback_reason")
+            if reason is not None:
+                line += f" (fallback: {reason})"
+            lines.append(line)
         label_width = max(
             len("  " * entry.depth + f"{entry.operator}({entry.detail})")
             for entry in self.entries
@@ -205,12 +221,18 @@ def explain_statement(
     visit(plan, 0)
 
     result_trace = None
+    execution = None
     if analyze:
         tracer = database._tracer
         tracing = tracer is not None and tracer.enabled
         if tracing:
             result_trace = tracer.start("explain_analyze", sql)
         result = statement.execute(params)
+        execution = {
+            "tier": statement.last_tier,
+            "path": statement.last_execution_path,
+            "fallback_reason": statement.last_fallback_reason,
+        }
         executor = (
             database._executor
             if database._mvcc is None
@@ -265,6 +287,7 @@ def explain_statement(
         routing=routing,
         tier=tier,
         analyzed=analyze,
+        execution=execution,
     )
 
 

@@ -332,14 +332,21 @@ class TestSlotInvalidationInteraction:
         assert database._executor._context_cache == {}
 
     def test_ddl_clears_vectorized_plan_cache(self):
-        """DDL drops the vectorized tier's lowered-plan cache too."""
+        """DDL drops the vectorized tier's plan and pipeline caches too."""
         database = make_database()
         statement = database.prepare("select * from orders where o_total > ?")
         statement.execute((10.0,))
         vectorized = database._executor._vectorized
-        assert vectorized is not None and vectorized._ops
+        assert vectorized is not None and vectorized._pipelines
+        ordered = database.prepare(
+            "select o_id from orders where o_total > ? order by o_id"
+        )
+        ordered.execute((10.0,))
+        assert vectorized._ops
         database.create_table("extra", [Column("x", ColumnType.INT)])
         assert not vectorized._ops
+        assert not vectorized._pipelines
+        assert not vectorized._shapes
 
     def test_table_mutation_reflected_on_next_execution(self):
         database = make_database()
