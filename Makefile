@@ -1,4 +1,4 @@
-.PHONY: test test-async test-faults test-mvcc test-obs test-columnar bench bench-suite bench-smoke ci
+.PHONY: test test-async test-faults test-mvcc test-obs test-columnar test-parallel bench bench-suite bench-smoke ci
 
 # Tier-1 verification: the full unit + benchmark test suite.
 test:
@@ -40,6 +40,15 @@ test-columnar:
 	REPRO_VECTOR_BACKEND=numpy python -m pytest \
 		tests/test_typed_columns.py tests/test_vectorized.py -q
 
+# The parallel scatter-gather suites: worker-pool units, packed-payload
+# round-trips, the parallel ≡ serial scatter ≡ unsharded equivalence sweep
+# across all three tiers in thread and process pool modes (fallback plans
+# and mid-scatter errors included), sorted-run merging, out-of-order
+# partial-aggregate merging, counter accounting, and the parallel trace
+# breakdown.
+test-parallel:
+	python -m pytest tests/test_parallel.py -q
+
 # Engine performance benchmarks; writes BENCH_engine.json in the repo root.
 bench:
 	python benchmarks/bench_engine.py
@@ -68,6 +77,6 @@ bench-smoke:
 	@echo "bench smoke ok (wrote /tmp/BENCH_engine_smoke.json)"
 
 # What CI runs: the full test suite (includes the async/pipeline suites),
-# the fault and concurrency suites across extra seeds, the observability
-# and columnar/codegen suites, plus a benchmark smoke run.
-ci: test test-async test-faults test-mvcc test-obs test-columnar bench-smoke
+# the fault and concurrency suites across extra seeds, the observability,
+# columnar/codegen, and parallel-scatter suites, plus a benchmark smoke run.
+ci: test test-async test-faults test-mvcc test-obs test-columnar test-parallel bench-smoke

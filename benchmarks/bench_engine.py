@@ -825,6 +825,80 @@ def bench_sharded(rows: int) -> dict:
     }
 
 
+def bench_parallel(rows: int) -> dict:
+    """Parallel scatter-gather: serial scatter vs the worker pool at 8 shards.
+
+    * ``parallel_scan_filter`` — the scatter-mandatory filter of
+      ``sharded_scan_filter``, executed serially and on the worker pool;
+      rows are asserted identical (parallel preserves shard gather order
+      exactly), and both are compared against the unsharded baseline.
+    * ``parallel_aggregate`` — the per-shard partial aggregate of
+      ``sharded_aggregate``, same protocol.
+
+    ``relative_overhead`` is pool-vs-unsharded — the number the sharding
+    tax becomes a speedup on (< 1.0 on a multi-core runner; on a single
+    core the thread pool can only break even minus coordination cost).
+    ``BENCH_ENGINE_WORKERS`` sizes the pool (default: CPU count) and
+    ``BENCH_ENGINE_PARALLEL_MODE`` picks ``thread`` (default) or
+    ``process``.
+    """
+    sharded, unsharded = _build_sharded_pair(rows)
+    workers = int(os.environ.get("BENCH_ENGINE_WORKERS", "0")) or (
+        os.cpu_count() or 1
+    )
+    mode = os.environ.get("BENCH_ENGINE_PARALLEL_MODE", "thread")
+    aggregate_plan = algebra.Aggregate(
+        algebra.Scan("orders"),
+        group_by=(ColumnRef("o_c_id"),),
+        aggregates=(
+            algebra.AggregateSpec("count", None, "n"),
+            algebra.AggregateSpec("sum", ColumnRef("o_id"), "total"),
+            algebra.AggregateSpec("min", ColumnRef("o_id"), "low"),
+            algebra.AggregateSpec("max", ColumnRef("o_id"), "high"),
+        ),
+    )
+    entries: dict = {}
+    for name, plan in (
+        ("parallel_scan_filter", executor_plans()["scan_filter"]),
+        ("parallel_aggregate", aggregate_plan),
+    ):
+        sharded.set_parallel(mode="serial")
+        serial_rows = sharded._executor.execute(plan)
+        unsharded_rows = unsharded._executor.execute(plan)
+        if _normalized(serial_rows) != _normalized(unsharded_rows):
+            raise AssertionError(f"{name}: sharded and unsharded rows differ")
+        serial_s = _best_time(lambda plan=plan: sharded._executor.execute(plan))
+        sharded.set_parallel(workers, mode)
+        parallel_rows = sharded._executor.execute(plan)
+        if parallel_rows != serial_rows:
+            raise AssertionError(
+                f"{name}: parallel scatter is not row-identical to serial"
+            )
+        parallel_s = _best_time(
+            lambda plan=plan: sharded._executor.execute(plan)
+        )
+        unsharded_s = _best_time(
+            lambda plan=plan: unsharded._executor.execute(plan)
+        )
+        entries[name] = {
+            "output_rows": len(serial_rows),
+            "shards": SHARD_COUNT,
+            "workers": workers,
+            "mode": mode,
+            "unsharded_seconds": unsharded_s,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup_vs_serial": (
+                serial_s / parallel_s if parallel_s else None
+            ),
+            "relative_overhead": (
+                parallel_s / unsharded_s if unsharded_s else None
+            ),
+        }
+    sharded.close_parallel()
+    return entries
+
+
 #: Rows inserted (and then updated) per timed run of the WAL benchmark.
 WAL_BENCH_UPDATES = 5
 
@@ -1414,6 +1488,7 @@ def main() -> dict:
         "optimizer": bench_optimizer(),
     }
     report.update(bench_sharded(rows))
+    report.update(bench_parallel(rows))
     report["harness_seconds"] = time.perf_counter() - started
     out_path = os.environ.get(
         "BENCH_ENGINE_OUT", os.path.join(_REPO_ROOT, "BENCH_engine.json")

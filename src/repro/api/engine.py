@@ -107,6 +107,7 @@ class EngineBuilder:
         self._tracing: Optional[dict] = None
         self._slow_query_threshold: Optional[float] = None
         self._vector_backend: Optional[str] = None
+        self._parallel: Optional[tuple[Optional[int], str]] = None
 
     # -- data sources ----------------------------------------------------
 
@@ -330,6 +331,28 @@ class EngineBuilder:
         self._vector_backend = backend
         return self
 
+    def parallel(
+        self, workers: Optional[int] = None, mode: str = "thread"
+    ) -> "EngineBuilder":
+        """Parallel scatter-gather over shards on a worker pool.
+
+        ``mode`` selects ``"thread"`` (shared-memory worker threads, the
+        default), ``"process"`` (worker processes fed pickled
+        ColumnBatches built on the typed column sidecars), or ``"serial"``
+        (the sequential baseline).  ``workers=None`` sizes the pool to the
+        CPU count.  Composes with :meth:`shards`::
+
+            engine = (
+                Engine.builder()
+                .orders_workload(num_orders=100_000)
+                .shards(8)
+                .parallel(workers=8)
+                .build()
+            )
+        """
+        self._parallel = (workers, mode)
+        return self
+
     def region_rules(self, rules: Sequence) -> "EngineBuilder":
         """Override the optimizer's region transformation rules."""
         self._region_rules = rules
@@ -366,6 +389,9 @@ class EngineBuilder:
                 }
             for table_name, key in key_by.items():
                 database.shard_table(table_name, key, count)
+        if self._parallel is not None:
+            workers, parallel_mode = self._parallel
+            database.set_parallel(workers, parallel_mode)
         # Identity test: an empty WriteAheadLog is falsy (it has __len__)
         # but attaching one must still enable durability.
         if self._wal is not False and database.wal is None:
@@ -596,6 +622,10 @@ class Engine:
         self._closed = True
         for connection in self._connections:
             connection.close()
+        # Worker threads/processes are the one engine-scoped resource the
+        # database holds; the pool re-creates them lazily if another engine
+        # keeps issuing parallel scatters against the same database.
+        self.database.close_parallel()
 
     def __enter__(self) -> "Engine":
         if self._closed:

@@ -84,6 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     optimize.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "execute scatter-gather shards on an N-worker pool "
+            "(0 = serial; requires --shards)"
+        ),
+    )
+    optimize.add_argument(
+        "--parallel-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool flavor for --workers",
+    )
+    optimize.add_argument(
         "--show-alternatives",
         action="store_true",
         help="print every alternative of every region with its estimated cost",
@@ -212,6 +227,10 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         )
     if getattr(args, "shards", 0):
         builder.shards(args.shards)
+    if getattr(args, "workers", 0):
+        builder.parallel(
+            args.workers, getattr(args, "parallel_mode", "thread")
+        )
     if getattr(args, "wal", False):
         builder.wal()
     if getattr(args, "mvcc", False):

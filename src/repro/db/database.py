@@ -672,6 +672,9 @@ class Database:
         #: set once a table is sharded; consulted by the executor before
         #: normal execution and by the point-lookup fast path.
         self._router: Optional[ShardRouter] = None
+        #: pending (workers, mode) parallel-scatter config, applied to the
+        #: router when sharding is enabled (or immediately if it already is).
+        self._parallel_config: Optional[tuple[Optional[int], str]] = None
         #: LRU prepared-statement cache, keyed by SQL text.
         self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
         self.statement_cache_size = statement_cache_size
@@ -788,6 +791,8 @@ class Database:
                 vector_backend=self._executor.vector_backend,
             )
             self._executor.router = self._router
+            if self._parallel_config is not None:
+                self._router.set_parallel(*self._parallel_config)
         else:
             # Reuse the router (it reads the live table mapping): dropping
             # it would zero the sharding stats and the retired per-shard
@@ -1404,6 +1409,34 @@ class Database:
             self._router._vector_backend = backend
             self._router.invalidate()
 
+    def set_parallel(
+        self, workers: Optional[int] = None, mode: str = "thread"
+    ) -> None:
+        """Configure parallel scatter-gather execution.
+
+        ``mode`` is ``"thread"`` (shared-memory worker threads, the
+        default), ``"process"`` (worker processes fed pickled
+        ColumnBatches), or ``"serial"`` (the sequential baseline — no
+        pool).  ``workers=None`` sizes the pool to the CPU count.  Takes
+        effect immediately when sharding is already enabled, otherwise
+        when the first table is sharded; reconfiguring shuts the previous
+        pool down first.
+        """
+        from repro.db.parallel import PARALLEL_MODES, ParallelConfigError
+
+        if mode not in PARALLEL_MODES:
+            raise ParallelConfigError(
+                f"unknown parallel mode {mode!r}; modes are {PARALLEL_MODES}"
+            )
+        self._parallel_config = (workers, mode)
+        if self._router is not None:
+            self._router.set_parallel(workers, mode)
+
+    def close_parallel(self) -> None:
+        """Shut down the scatter worker pool (recreated lazily on use)."""
+        if self._router is not None:
+            self._router.close()
+
     def execution_stats(self) -> dict:
         """Per-tier execution counters of the underlying executor.
 
@@ -1468,12 +1501,14 @@ class Database:
                 "scatter": 0,
                 "fallback": 0,
                 "tables": {},
+                "parallel": {"mode": "serial", "workers": 1, "scatters": 0},
             }
         stats = router.stats.as_dict()
         stats["tables"] = {
             name: table.shard_count
             for name, table in router.sharded_tables().items()
         }
+        stats["parallel"] = router.parallel_stats()
         return stats
 
     def row_count(self, table: str) -> int:

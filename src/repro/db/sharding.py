@@ -56,7 +56,9 @@ the addition.
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.db import algebra
@@ -74,12 +76,20 @@ from repro.db.expressions import (
     Literal,
     ParameterSlot,
 )
+from repro.db.parallel import (
+    ShardExecutorPool,
+    fold_worker_counters,
+    pack_table,
+)
 from repro.db.schema import TableSchema
 from repro.db.table import Row, Table
 from repro.db.vectorized import (
     AGGREGATE_MERGERS,
+    batch_output_rows,
     finalize_avg,
     gather_batches,
+    merge_sorted_runs,
+    unpack_batch,
 )
 
 
@@ -244,9 +254,24 @@ class _Route:
     per-shard results — the root ``Sort`` of a scatter, or the
     ``Select`` / ``Project`` / ``Sort`` spine sitting above a partially
     aggregated node.
+
+    ``merge`` is the parallel-gather alternative to a root-``Sort``
+    ``post``: the *original* plan (Sort included, so each shard returns a
+    sorted run) plus a compiled total-order merge key, letting the gather
+    k-way merge the runs instead of re-sorting the concatenation.  Only
+    set for scatter/local-join routes whose root is a ``Sort``.
     """
 
-    __slots__ = ("kind", "names", "table", "getter", "node", "post", "partial")
+    __slots__ = (
+        "kind",
+        "names",
+        "table",
+        "getter",
+        "node",
+        "post",
+        "partial",
+        "merge",
+    )
 
     def __init__(
         self,
@@ -258,6 +283,7 @@ class _Route:
         node: Optional[algebra.PlanNode] = None,
         post: tuple = (),
         partial: Optional["_PartialAggregate"] = None,
+        merge: Optional[tuple] = None,
     ) -> None:
         self.kind = kind
         self.names = names
@@ -266,6 +292,7 @@ class _Route:
         self.node = node
         self.post = post
         self.partial = partial
+        self.merge = merge
 
     def apply_post(self, rows: list[Row]) -> list[Row]:
         for transform in self.post:
@@ -362,6 +389,84 @@ class _PartialAggregate:
             out_rows.append(out)
         return out_rows
 
+    def merge_indexed(
+        self, indexed: Iterable[tuple[int, list[Row]]]
+    ) -> list[Row]:
+        """Merge per-shard partial rows arriving in *any* completion order.
+
+        The parallel scatter hands shard results to the gather as they
+        finish, not in shard order.  Each group's state still folds
+        incrementally (sum/count/min/max merges are commutative), and the
+        emission order is recovered afterwards: groups emit sorted by
+        their earliest ``(shard index, row position)`` encounter — exactly
+        the first-encounter order :meth:`merge` produces over the
+        shard-ordered concatenation.  Float sums may reassociate, per the
+        module ordering contract.
+        """
+        group_by = self.group_by
+        states: dict[tuple, tuple[tuple[int, int], Row]] = {}
+        for shard, rows in indexed:
+            for position, row in enumerate(rows):
+                key = tuple(
+                    row[column.qualified_name] for column in group_by
+                )
+                entry = states.get(key)
+                if entry is None:
+                    states[key] = ((shard, position), dict(row))
+                    continue
+                order, state = entry
+                if (shard, position) < order:
+                    states[key] = ((shard, position), state)
+                for name, function, partials in self.emitters:
+                    if function == "avg":
+                        sum_name, count_name = partials
+                        state[sum_name] = AGGREGATE_MERGERS["sum"](
+                            state[sum_name], row[sum_name]
+                        )
+                        state[count_name] = AGGREGATE_MERGERS["count"](
+                            state[count_name], row[count_name]
+                        )
+                    else:
+                        merge = AGGREGATE_MERGERS[function]
+                        state[name] = merge(state[name], row[name])
+        out_rows: list[Row] = []
+        for key, (_, state) in sorted(
+            states.items(), key=lambda item: item[1][0]
+        ):
+            out: Row = {}
+            for column, value in zip(group_by, key):
+                out[column.name] = value
+                out[column.qualified_name] = value
+            for name, function, partials in self.emitters:
+                if function == "avg":
+                    out[name] = finalize_avg(
+                        state[partials[0]], state[partials[1]]
+                    )
+                else:
+                    out[name] = state[name]
+            out_rows.append(out)
+        return out_rows
+
+
+class _Descending:
+    """Inverts one sort-key component inside a k-way merge key tuple.
+
+    ``heapq.merge`` compares whole key tuples ascending; wrapping a
+    component flips its comparison so a ``DESC`` sort key merges
+    correctly while the other components keep their direction.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.key == self.key
+
 
 class ShardRouter:
     """Classifies and executes plans over sharded tables.
@@ -407,6 +512,38 @@ class ShardRouter:
         self.last_tier: Optional[str] = None
         self.last_fallback_reason: Optional[str] = None
         self.last_execution_path: Optional[str] = None
+        #: worker pool for parallel scatters (``None`` = serial baseline)
+        #: and the most recent parallel scatter's timing/shipping record.
+        self._pool: Optional[ShardExecutorPool] = None
+        self.last_parallel: Optional[dict] = None
+
+    # -- parallel configuration ------------------------------------------
+
+    def set_parallel(
+        self, workers: Optional[int] = None, mode: str = "thread"
+    ) -> None:
+        """(Re)configure the scatter worker pool; ``serial`` disables it.
+
+        Reconfiguration shuts the previous pool down first; its cumulative
+        stats are dropped with it (``parallel_stats`` reflects the live
+        pool, like ``execution_stats`` reflects live executors).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if mode != "serial":
+            self._pool = ShardExecutorPool(workers, mode)
+
+    def parallel_stats(self) -> dict:
+        """Pool stats for ``stats()["sharding"]["parallel"]``."""
+        if self._pool is None:
+            return {"mode": "serial", "workers": 1, "scatters": 0}
+        return self._pool.stats()
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one is configured."""
+        if self._pool is not None:
+            self._pool.close()
 
     # -- public API ------------------------------------------------------
 
@@ -438,18 +575,50 @@ class ShardRouter:
             return rows
         count = self._shard_count(route.names)
         self.last_route = {"kind": kind, "shards": tuple(range(count))}
+        self.last_parallel = None
+        parallel = self._pool is not None and count > 1
         if kind == "local-aggregate":
             partial = route.partial
-            shard_rows = self._scatter(partial.plan, route.names, count)
-            rows = route.apply_post(partial.merge(shard_rows))
+            if parallel:
+                indexed = self._parallel_scatter(
+                    partial.plan, route.names, count
+                )
+                merged = partial.merge_indexed(indexed)
+            else:
+                merged = partial.merge(
+                    self._scatter(partial.plan, route.names, count)
+                )
+            rows = route.apply_post(merged)
             self.stats.local += 1
+            if self.last_parallel is not None:
+                self.last_route["parallel"] = self.last_parallel
             return rows
         # scatter (single sharded table) / local (co-partitioned join)
-        rows = route.apply_post(self._scatter(route.node, route.names, count))
+        if parallel and route.merge is not None:
+            # Each shard executes the original plan, Sort included, and
+            # returns a sorted run; the gather k-way merges the runs
+            # (stable by shard index) instead of re-sorting the concat.
+            merge_node, merge_key = route.merge
+            indexed = self._parallel_scatter(merge_node, route.names, count)
+            rows = merge_sorted_runs(
+                [shard_rows for _, shard_rows in indexed], merge_key
+            )
+        elif parallel:
+            indexed = self._parallel_scatter(route.node, route.names, count)
+            gathered: list[Row] = []
+            for _, shard_rows in indexed:
+                gathered.extend(shard_rows)
+            rows = route.apply_post(gathered)
+        else:
+            rows = route.apply_post(
+                self._scatter(route.node, route.names, count)
+            )
         if kind == "local-join":
             self.stats.local += 1
         else:
             self.stats.scatter += 1
+        if self.last_parallel is not None:
+            self.last_route["parallel"] = self.last_parallel
         return rows
 
     def classify(self, plan: algebra.PlanNode) -> dict:
@@ -649,6 +818,156 @@ class ShardRouter:
             executor.tier_counts["vectorized"] += 1
         return rows
 
+    # -- parallel scatter ------------------------------------------------
+
+    def _parallel_scatter(
+        self, node: algebra.PlanNode, names: frozenset[str], count: int
+    ) -> list[tuple[int, list[Row]]]:
+        """Execute ``node`` on every shard concurrently on the pool.
+
+        Returns ``(shard index, rows)`` pairs in shard order.  Thread mode
+        runs each shard's full executor dispatch (so every tier, fallback,
+        and counter behaves exactly as its serial per-shard execution
+        would); process mode ships the plan + packed column payloads to
+        worker processes and degrades to the thread path when the plan or
+        a payload refuses to pickle or the pool breaks.
+        """
+        pool = self._pool
+        assert pool is not None
+        if pool.mode == "process":
+            indexed = self._process_scatter(node, names, count)
+            if indexed is not None:
+                return indexed
+            pool.degraded += 1
+        executors = [self._shard_executor(names, i) for i in range(count)]
+        tasks = [
+            (lambda executor=executor: executor.execute(node))
+            for executor in executors
+        ]
+        results, seconds = pool.run_tasks(tasks)
+        pool.note_scatter(seconds)
+        self.last_parallel = {
+            "mode": pool.mode,
+            "workers": pool.workers,
+            "shards": count,
+            "shard_seconds": tuple(seconds),
+            "elapsed": max(seconds, default=0.0),
+        }
+        self._fold_markers(
+            [
+                (
+                    executor.last_tier,
+                    executor.last_execution_path,
+                    executor.last_fallback_reason,
+                )
+                for executor in executors
+            ]
+        )
+        return list(enumerate(results))
+
+    def _process_scatter(
+        self, node: algebra.PlanNode, names: frozenset[str], count: int
+    ) -> Optional[list[tuple[int, list[Row]]]]:
+        """Process-pool scatter; ``None`` degrades to the thread path.
+
+        Shard data ships as packed typed/dictionary column buffers keyed
+        by ``(table, shard, version)`` — workers cache them, so steady
+        state ships only the (cached) plan blob.  Results come back as
+        pickled ColumnBatches; executor counter deltas from the workers
+        fold into the parent-side shard executors so
+        ``execution_stats()`` stays complete.
+        """
+        pool = self._pool
+        assert pool is not None
+        try:
+            plan_blob = pickle.dumps(node, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+        scans = sorted({scan.table for scan in algebra.find_scans(node)})
+        requests = []
+        for index in range(count):
+            keys = []
+            for name in scans:
+                table = self._tables[name]
+                if name in names and isinstance(table, ShardedTable):
+                    keys.append(
+                        ((name, index, table.shards[index].version), None)
+                    )
+                else:
+                    keys.append(((name, -1, table.version), None))
+            requests.append(
+                {
+                    "plan": plan_blob,
+                    "mode": self._mode,
+                    "backend": self._vector_backend,
+                    "tables": keys,
+                }
+            )
+
+        def provide(key: tuple) -> tuple:
+            name, shard, _version = key
+            table = self._tables[name]
+            if shard >= 0:
+                table = table.shards[shard]  # type: ignore[union-attr]
+            return pack_table(table)
+
+        sent_before = pool.pickle_bytes_sent
+        received_before = pool.pickle_bytes_received
+        try:
+            responses, seconds = pool.run_process_requests(requests, provide)
+        except (pickle.PicklingError, BrokenProcessPool):
+            return None
+        pool.note_scatter(seconds)
+        self.last_parallel = {
+            "mode": pool.mode,
+            "workers": pool.workers,
+            "shards": count,
+            "shard_seconds": tuple(seconds),
+            "elapsed": max(seconds, default=0.0),
+            "pickle_bytes": {
+                "sent": pool.pickle_bytes_sent - sent_before,
+                "received": pool.pickle_bytes_received - received_before,
+            },
+        }
+        indexed: list[tuple[int, list[Row]]] = []
+        markers = []
+        for index, response in enumerate(responses):
+            rows = batch_output_rows(unpack_batch(response["result"]))
+            executor = self._shard_executor(names, index)
+            fold_worker_counters(
+                executor, response["tiers"], response["vectorized"]
+            )
+            markers.append(response["last"])
+            indexed.append((index, rows))
+        self._fold_markers(markers)
+        return indexed
+
+    def _fold_markers(self, markers: list[tuple]) -> None:
+        """Fold per-shard (tier, path, reason) markers into the route's.
+
+        All-vectorized scatters report the vectorized tier (``codegen``
+        only when every shard ran codegen, like the serial all-or-nothing
+        rule); otherwise the first shard that fell to a row tier names the
+        tier and fallback reason, mirroring the serial row-fallback
+        marker.
+        """
+        if not markers:
+            return
+        if all(tier == "vectorized" for tier, _, _ in markers):
+            self.last_tier = "vectorized"
+            paths = {path for _, path, _ in markers}
+            self.last_execution_path = (
+                paths.pop() if len(paths) == 1 else "kernel"
+            )
+            self.last_fallback_reason = None
+            return
+        for tier, _, reason in markers:
+            if tier != "vectorized":
+                self.last_tier = tier
+                self.last_execution_path = tier
+                self.last_fallback_reason = reason
+                return
+
     # -- classification --------------------------------------------------
 
     def _route(self, plan: algebra.PlanNode) -> _Route:
@@ -695,11 +1014,14 @@ class ShardRouter:
                 partial=_PartialAggregate(node),
             )
         # Scatter / co-partitioned join: Select and Project distribute into
-        # the per-shard plans; only a root Sort runs at the gather node.
+        # the per-shard plans; only a root Sort runs at the gather node
+        # (serial), or turns into a sorted-run k-way merge (parallel).
         node = plan
         post: tuple = ()
+        merge: Optional[tuple] = None
         if isinstance(node, algebra.Sort):
             post = (self._compile_sort(node),)
+            merge = (plan, self._compile_merge_key(node))
             node = node.child
         distributed = self._distribute(node)
         if distributed is None or not distributed[1]:
@@ -710,6 +1032,7 @@ class ShardRouter:
             names=names,
             node=node,
             post=post,
+            merge=merge,
         )
 
     def _compile_spine(
@@ -768,6 +1091,30 @@ class ShardRouter:
             return rows
 
         return sort_rows
+
+    def _compile_merge_key(
+        self, sort: algebra.Sort
+    ) -> Callable[[Row], tuple]:
+        """A single total-order key for k-way merging sorted shard runs.
+
+        Equivalent to :meth:`_compile_sort`'s stable multi-pass sort: one
+        tuple over all sort keys, with ``DESC`` components wrapped in
+        :class:`_Descending` so ascending tuple comparison realises the
+        mixed-direction order.  ``heapq.merge`` is stable by input order
+        on ties, and runs are merged in shard-index order, so tie order
+        matches the serial concatenate-then-stable-sort exactly.
+        """
+        keys = [(key.column.compile(), key.ascending) for key in sort.keys]
+
+        def merge_key(row: Row) -> tuple:
+            return tuple(
+                _sort_key(evaluate(row))
+                if ascending
+                else _Descending(_sort_key(evaluate(row)))
+                for evaluate, ascending in keys
+            )
+
+        return merge_key
 
     # -- point routing ---------------------------------------------------
 

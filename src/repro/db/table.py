@@ -133,6 +133,96 @@ def encode_column(values: list, mode: str) -> ColumnData:
     return data
 
 
+def _slice_nulls(
+    nulls: Optional[bytearray], start: int, stop: int
+) -> Optional[bytes]:
+    """The ``[start, stop)`` bit range of a null bitmap, rebased to bit 0.
+
+    Byte-aligned slices are cut straight out of the buffer; unaligned
+    starts rebuild the bits (rare: partition views are whole-column in
+    practice).  Returns ``None`` when no bit in the range is set.
+    """
+    if nulls is None:
+        return None
+    if start & 7 == 0:
+        chunk = bytes(nulls[start >> 3 : (stop + 7) >> 3])
+        return chunk if any(chunk) else None
+    rebased = bytearray((stop - start + 7) // 8)
+    any_set = False
+    for position in range(start, stop):
+        if nulls[position >> 3] & (1 << (position & 7)):
+            rebased[(position - start) >> 3] |= 1 << ((position - start) & 7)
+            any_set = True
+    return bytes(rebased) if any_set else None
+
+
+def pack_column(data, start: int = 0, stop: Optional[int] = None) -> tuple:
+    """A compact, picklable payload for one column (or a slice of it).
+
+    Typed (``int64`` / ``float64``) and dictionary columns are packed as
+    raw buffer bytes extracted through ``memoryview`` slices of their
+    ``array`` sidecars — a zero-copy view of the partition range, never an
+    intermediate boxed list — plus the matching null-bitmap slice.  Boxed
+    columns keep the list path (their values carry no buffer form).  The
+    payload round-trips through :func:`unpack_column`.
+    """
+    if stop is None:
+        stop = len(data)
+    encoding = getattr(data, "encoding", "boxed")
+    if encoding in ("int64", "float64"):
+        view = memoryview(data.typed)[start:stop]
+        return (
+            encoding,
+            stop - start,
+            view.tobytes(),
+            _slice_nulls(data.nulls, start, stop),
+            None,
+        )
+    if encoding == "dict":
+        view = memoryview(data.codes)[start:stop]
+        return ("dict", stop - start, view.tobytes(), None, data.dictionary)
+    return ("boxed", stop - start, list(data[start:stop]), None, None)
+
+
+def unpack_column(payload: tuple) -> ColumnData:
+    """Rebuild a :class:`ColumnData` from a :func:`pack_column` payload.
+
+    The boxed list is refilled from the typed buffer at C speed (list over
+    an ``array``, or a dictionary decode over the code array), so the
+    receiver gets the same dual boxed + typed representation
+    :func:`encode_column` builds — without re-running type inference.
+    """
+    encoding, length, buffer, nulls, dictionary = payload
+    if encoding == "boxed":
+        return ColumnData(buffer)
+    if encoding == "dict":
+        codes = array("q")
+        codes.frombytes(buffer)
+        code_of: dict[str, int] = {
+            value: code for code, value in enumerate(dictionary)
+        }
+        data = ColumnData(
+            None if code < 0 else dictionary[code] for code in codes
+        )
+        data.encoding = "dict"
+        data.codes = codes
+        data.code_of = code_of
+        data.dictionary = list(dictionary)
+        return data
+    typed = array("q" if encoding == "int64" else "d")
+    typed.frombytes(buffer)
+    data = ColumnData(typed)
+    data.encoding = encoding
+    data.typed = typed
+    if nulls is not None:
+        bitmap = bytearray(nulls)
+        data.nulls = bitmap
+        for position in range(length):
+            if bitmap[position >> 3] & (1 << (position & 7)):
+                data[position] = None
+    return data
+
+
 class Table:
     """An in-memory table: a schema plus a list of rows."""
 

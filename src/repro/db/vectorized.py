@@ -33,6 +33,7 @@ property-tested row-identical.
 
 from __future__ import annotations
 
+import heapq
 import math
 import os
 from collections import OrderedDict, defaultdict
@@ -196,9 +197,70 @@ class ColumnBatch:
             rows = [rows[p] for p in positions]
         return ColumnBatch(columns, len(positions), self.key_order, rows)
 
+    # -- pickling ---------------------------------------------------------
+    # Batches cross process boundaries in the sharding layer's process-pool
+    # scatter.  The gather memo is transient (its id()-keyed entries would
+    # be meaningless in another process) and is dropped; everything else is
+    # plain data.
+
+    def __getstate__(self) -> tuple:
+        return (self.columns, self.length, self.key_order, self.rows)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.columns, self.length, self.key_order, self.rows = state
+        self._gathered = {}
+
 
 def _empty_batch() -> ColumnBatch:
     return ColumnBatch({}, 0, ())
+
+
+def pack_batch(batch: ColumnBatch) -> tuple:
+    """A compact payload for shipping a batch between processes.
+
+    Each column is gathered through its selection and re-encoded onto
+    typed ``array`` / dictionary sidecars (:func:`~repro.db.table.
+    encode_column` + :func:`~repro.db.table.pack_column`), so the pickle
+    carries raw buffers instead of per-value boxed objects — the PR-5
+    ship-ColumnBatches-not-row-lists rule, applied across the process
+    boundary.  Round-trips through :func:`unpack_batch`.
+    """
+    from repro.db.table import encode_column, pack_column
+
+    columns = tuple(
+        (key, pack_column(encode_column(batch.values_for(key), "dictionary")))
+        for key in batch.key_order
+    )
+    return (columns, batch.length)
+
+
+def unpack_batch(payload: tuple) -> ColumnBatch:
+    """Rebuild a :class:`ColumnBatch` from a :func:`pack_batch` payload."""
+    from repro.db.table import unpack_column
+
+    packed_columns, length = payload
+    columns: dict[str, tuple[list, Optional[list[int]]]] = {
+        key: (unpack_column(packed), None) for key, packed in packed_columns
+    }
+    return ColumnBatch(
+        columns, length, tuple(key for key, _ in packed_columns)
+    )
+
+
+def batch_output_rows(batch: ColumnBatch) -> list[Row]:
+    """Materialize a batch's output rows with a plain zip (no row maker).
+
+    Used where no :class:`VectorizedExecutor` is at hand (unpacking a
+    shipped batch on the gather side); ``key_order`` is the dict layout,
+    exactly as :meth:`VectorizedExecutor._materialize` would emit it.
+    """
+    if batch.rows is not None:
+        return batch.rows
+    keys = batch.key_order
+    if not keys or not batch.length:
+        return []
+    arrays = [batch.values_for(key) for key in keys]
+    return [dict(zip(keys, values)) for values in zip(*arrays)]
 
 
 def gather_batches(batches: Sequence[ColumnBatch]) -> Optional[ColumnBatch]:
@@ -232,6 +294,36 @@ def gather_batches(batches: Sequence[ColumnBatch]) -> Optional[ColumnBatch]:
     if all(batch.rows is not None for batch in live):
         rows = [row for batch in live for row in batch.rows]
     return ColumnBatch(columns, sum(batch.length for batch in live), key_order, rows)
+
+
+def gather_completed_batches(
+    indexed: Iterable[tuple[int, ColumnBatch]],
+) -> Optional[ColumnBatch]:
+    """Gather ``(shard index, batch)`` pairs arriving in completion order.
+
+    The parallel scatter hands batches over as workers finish, in whatever
+    order the pool completes them; the gather stays order-preserving by
+    reassembling shard order before concatenating, so the output is
+    bit-identical to the sequential scatter's :func:`gather_batches`.
+    """
+    pairs = sorted(indexed, key=lambda pair: pair[0])
+    return gather_batches([batch for _, batch in pairs])
+
+
+def merge_sorted_runs(
+    runs: Sequence[list[Row]], key: Callable[[Row], Any]
+) -> list[Row]:
+    """K-way merge of per-shard sorted runs (the gather under a ``Sort``).
+
+    Each run arrives already sorted by ``key`` (the shards executed the
+    ``Sort`` locally); ``heapq.merge`` is stable across runs in run order,
+    which matches the sequential gather's stable concatenate-then-sort on
+    ties — so the merged ordering is row-identical to the serial path.
+    """
+    live = [run for run in runs if run]
+    if len(live) <= 1:
+        return live[0] if live else []
+    return list(heapq.merge(*live, key=key))
 
 
 # -- partial-aggregate / merge kernels -----------------------------------

@@ -90,7 +90,7 @@ from repro.net.faults import (
     RetryPolicy,
 )
 from repro.net.network import NetworkConditions
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, attach_parallel_scatter
 
 #: transaction-control statements the cursor routes to connection methods.
 _TXN_RE = re.compile(
@@ -878,9 +878,12 @@ class SimulatedConnection:
         )
         route = statement.last_route
         if route is not None:
-            trace.add_span(
+            route_span = trace.add_span(
                 "route", 0.0, kind=route["kind"], shards=route["shards"]
             )
+            parallel = route.get("parallel")
+            if parallel is not None:
+                attach_parallel_scatter(route_span, parallel)
         trace.add_span("network_round_trip", self.network.round_trip_seconds)
         execute = trace.add_span(
             "execute",

@@ -351,4 +351,33 @@ class Tracer:
         return "\n\n".join(trace.render() for trace in recent)
 
 
-__all__ = ["QueryTrace", "Span", "Tracer"]
+def attach_parallel_scatter(span: Span, parallel: dict) -> Span:
+    """Attach a parallel-scatter breakdown under a route span.
+
+    ``parallel`` is the router's scatter record (mode, workers, per-shard
+    wall times, pickle byte counts in process mode).  The breakdown rides
+    as *informational* sub-spans (:meth:`Span.child`), so
+    :meth:`QueryTrace.check_accounting`'s exact partition of the root —
+    which only inspects the root's direct children — is untouched.  The
+    ``parallel`` child's duration is the **max** per-shard wall time, not
+    the sum: shards ran concurrently, and the slowest one bounds the wall
+    clock the scatter actually occupied.  Each shard's own wall time
+    attaches as a ``shard-<i>`` grandchild.
+    """
+    attributes: dict = {
+        "mode": parallel.get("mode"),
+        "workers": parallel.get("workers"),
+        "shards": parallel.get("shards"),
+    }
+    pickle_bytes = parallel.get("pickle_bytes")
+    if pickle_bytes is not None:
+        attributes["pickle_bytes"] = dict(pickle_bytes)
+    child = span.child(
+        "parallel", parallel.get("elapsed", 0.0), **attributes
+    )
+    for index, seconds in enumerate(parallel.get("shard_seconds", ())):
+        child.child(f"shard-{index}", seconds)
+    return child
+
+
+__all__ = ["QueryTrace", "Span", "Tracer", "attach_parallel_scatter"]

@@ -487,6 +487,7 @@ class TestDatabaseSharding:
             "scatter": 0,
             "fallback": 0,
             "tables": {},
+            "parallel": {"mode": "serial", "workers": 1, "scatters": 0},
         }
 
 
